@@ -1,0 +1,99 @@
+// Ablation A3 — speculative depth sweep (DESIGN.md §3).
+//
+// The paper's 3-vs-9-task discussion: more tasks buy pipeline parallelism at
+// 1 user-thread but multiply the cost of every inter-thread abort (all tasks
+// of the thread roll back). This sweep runs the STMBench7 read-dominated
+// long-traversal mix at depth ∈ {1,3,9} × threads ∈ {1,2,3} and reports
+// throughput plus the abort bill, quantifying our restart-fence escalation
+// too (DESIGN.md §4.3).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/stmb7.hpp"
+
+using namespace tlstm;
+namespace s7 = wl::stmb7;
+
+namespace {
+
+constexpr std::uint64_t traversals_per_thread = 40;
+constexpr unsigned read_pct = 90;
+
+s7::config bench_cfg() {
+  s7::config c;
+  c.levels = 5;
+  c.composite_pool = 32;
+  c.parts_per_composite = 10;
+  return c;
+}
+
+std::string key_for(unsigned threads, unsigned depth) {
+  return "t" + std::to_string(threads) + "_d" + std::to_string(depth);
+}
+
+void BM_abl_depth(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const unsigned depth = static_cast<unsigned>(state.range(1));
+
+  for (auto _ : state) {
+    s7::benchmark bench(bench_cfg());
+    core::config cfg;
+    cfg.num_threads = threads;
+    cfg.spec_depth = depth;
+    auto roots = bench.split_roots(depth);
+    auto r = wl::run_tlstm(cfg, traversals_per_thread, 1,
+                           [&, roots](unsigned t, std::uint64_t i) {
+                             const bool write = ((i * threads + t) * 61) % 100 >= read_pct;
+                             std::vector<core::task_fn> fns;
+                             for (auto* root : roots) {
+                               if (write) {
+                                 fns.push_back([&bench, root, i](core::task_ctx& c) {
+                                   (void)bench.traverse_write(c, root, i + 1);
+                                 });
+                               } else {
+                                 fns.push_back([&bench, root](core::task_ctx& c) {
+                                   (void)bench.traverse_read(c, root);
+                                 });
+                               }
+                             }
+                             return fns;
+                           });
+    const char* why = nullptr;
+    if (!bench.check_invariants(&why)) {
+      state.SkipWithError(why != nullptr ? why : "invariant violation");
+      return;
+    }
+    state.counters["fence_aborts"] = static_cast<double>(r.stats.abort_fence);
+    bench_util::report(state, key_for(threads, depth), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_abl_depth)
+    ->ArgsProduct({{1, 2, 3}, {1, 3, 9}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  wl::print_fig_header("abl_depth", {"depth1", "depth3", "depth9"});
+  for (unsigned threads = 1; threads <= 3; ++threads) {
+    wl::print_fig_row("abl_depth", threads,
+                      {rec.tx_per_vms(key_for(threads, 1)),
+                       rec.tx_per_vms(key_for(threads, 3)),
+                       rec.tx_per_vms(key_for(threads, 9))});
+  }
+  std::puts("# Expect: depth 9 peaks at 1 thread, loses its edge as threads grow");
+  return 0;
+}

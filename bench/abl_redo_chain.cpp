@@ -1,0 +1,87 @@
+// Ablation A1 — redo-log chain overhead (DESIGN.md §3).
+//
+// The paper's §6: "The location redo-logs have also showed to add
+// substantial overhead. Hence, different approaches for handling speculative
+// writes (e.g. in-place writes) should be studied." This bench quantifies
+// that overhead: transactions of `depth` tasks either all write the SAME
+// words (chains grow to depth entries; every read walks them) or write
+// DISJOINT words (chains stay single-entry). The throughput gap, alongside
+// the chain_hops counter, is the redo-chain bill.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/harness.hpp"
+
+using namespace tlstm;
+
+namespace {
+
+constexpr std::uint64_t n_tx = 400;
+constexpr unsigned words_per_task = 16;
+
+std::string key_for(unsigned depth, bool shared) {
+  return "d" + std::to_string(depth) + (shared ? "_shared" : "_disjoint");
+}
+
+void BM_abl_redo_chain(benchmark::State& state) {
+  const unsigned depth = static_cast<unsigned>(state.range(0));
+  const bool shared = state.range(1) != 0;
+
+  for (auto _ : state) {
+    auto mem = std::make_shared<std::vector<stm::word>>(
+        static_cast<std::size_t>(depth) * words_per_task, 0);
+    core::config cfg;
+    cfg.num_threads = 1;
+    cfg.spec_depth = depth;
+    cfg.log2_table = 16;
+    auto r = wl::run_tlstm(cfg, n_tx, depth * words_per_task,
+                           [&](unsigned, std::uint64_t) {
+                             std::vector<core::task_fn> fns;
+                             for (unsigned t = 0; t < depth; ++t) {
+                               // shared: every task reads+writes words
+                               // [0, words_per_task) → chains stack up.
+                               // disjoint: task t owns its own word block.
+                               const unsigned base = shared ? 0 : t * words_per_task;
+                               fns.push_back([mem, base](core::task_ctx& c) {
+                                 for (unsigned w = 0; w < words_per_task; ++w) {
+                                   stm::word* addr = &(*mem)[base + w];
+                                   c.write(addr, c.read(addr) + 1);
+                                 }
+                               });
+                             }
+                             return fns;
+                           });
+    state.counters["chain_hops"] = static_cast<double>(r.stats.chain_hops);
+    bench_util::report(state, key_for(depth, shared), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_abl_redo_chain)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  wl::print_fig_header("abl_chain", {"disjoint", "shared", "shared/disjoint"});
+  for (unsigned d : {2u, 4u, 8u}) {
+    const double dis = rec.tx_per_vms(key_for(d, false));
+    const double sh = rec.tx_per_vms(key_for(d, true));
+    wl::print_fig_row("abl_chain", d, {dis, sh, dis > 0 ? sh / dis : 0.0});
+  }
+  std::puts(
+      "# Shared-location chains serialize tasks and add walk overhead — the "
+      "paper's motivation for studying in-place writes");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation A4 — inconsistent-read mitigation cost (DESIGN.md §3).
+//
+// Paper §3.2 "Inconsistent Reads": a unified runtime cannot prevent all
+// inconsistent reads, so it detects them; "this validation also takes a toll
+// on correct read operations." This bench sweeps the periodic-validation
+// period (validate every N committed reads; 0 = only at the paper's
+// mandatory trigger points) over the read-dominated RB-tree workload and
+// reports the throughput toll.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/rbtree.hpp"
+
+using namespace tlstm;
+
+namespace {
+
+constexpr std::uint64_t n_tx = 300;
+constexpr unsigned lookups_per_task = 8;
+constexpr unsigned tasks = 3;
+constexpr std::uint64_t tree_keys = 1 << 13;
+
+std::string key_for(unsigned period) { return "p" + std::to_string(period); }
+
+void BM_abl_validation(benchmark::State& state) {
+  const unsigned period = static_cast<unsigned>(state.range(0));
+  static wl::rbtree* tree = [] {
+    auto* t = new wl::rbtree();
+    util::xoshiro256 rng(4242);
+    for (std::uint64_t i = 0; i < tree_keys; ++i) {
+      t->insert_unsafe(rng.next() % (tree_keys * 4), i);
+    }
+    return t;
+  }();
+
+  for (auto _ : state) {
+    core::config cfg;
+    cfg.num_threads = 1;
+    cfg.spec_depth = tasks;
+    cfg.validate_every_n_reads = period;
+    auto r = wl::run_tlstm(
+        cfg, n_tx, tasks * lookups_per_task, [&](unsigned, std::uint64_t i) {
+          std::vector<core::task_fn> fns;
+          for (unsigned k = 0; k < tasks; ++k) {
+            fns.push_back([i, k](core::task_ctx& c) {
+              util::xoshiro256 rng(i * 17 + k, 9);
+              for (unsigned j = 0; j < lookups_per_task; ++j) {
+                (void)tree->lookup(c, rng.next() % (tree_keys * 4));
+              }
+            });
+          }
+          return fns;
+        });
+    state.counters["validations"] = static_cast<double>(r.stats.task_validations);
+    bench_util::report(state, key_for(period), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_abl_validation)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  wl::print_fig_header("abl_val", {"ops_per_vms", "relative_to_off"});
+  const double base = rec.ops_per_vms(key_for(0));
+  for (unsigned p : {0u, 4u, 16u, 64u}) {
+    const double v = rec.ops_per_vms(key_for(p));
+    wl::print_fig_row("abl_val", p, {v, base > 0 ? v / base : 0.0});
+  }
+  std::puts("# Tighter validation periods trade throughput for zombie-read safety");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the figure benchmarks.
+//
+// Each figure point runs a full workload experiment inside one
+// google-benchmark iteration; the iteration's manual time is the *virtual
+// makespan* (1 virtual cycle == 1 ns), so the reported ms/iteration is
+// virtual time, matching DESIGN.md §5. Results are also stashed in a global
+// recorder so main() can print the paper-figure rows (series vs x) with
+// cross-series ratios after the run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "workloads/harness.hpp"
+
+namespace bench_util {
+
+class recorder {
+ public:
+  static recorder& instance() {
+    static recorder r;
+    return r;
+  }
+  void put(const std::string& key, const tlstm::wl::run_result& r) { results_[key] = r; }
+  const tlstm::wl::run_result* get(const std::string& key) const {
+    auto it = results_.find(key);
+    return it == results_.end() ? nullptr : &it->second;
+  }
+  double ops_per_vms(const std::string& key) const {
+    const auto* r = get(key);
+    return r == nullptr ? 0.0 : r->ops_per_vms();
+  }
+  double tx_per_vms(const std::string& key) const {
+    const auto* r = get(key);
+    return r == nullptr ? 0.0 : r->tx_per_vms();
+  }
+
+ private:
+  std::map<std::string, tlstm::wl::run_result> results_;
+};
+
+/// Records the run under `key` and feeds google-benchmark the virtual time
+/// plus throughput counters.
+inline void report(benchmark::State& state, const std::string& key,
+                   const tlstm::wl::run_result& r) {
+  recorder::instance().put(key, r);
+  state.SetIterationTime(static_cast<double>(r.makespan) * 1e-9);
+  state.counters["ops_per_vms"] = r.ops_per_vms();
+  state.counters["tx_per_vms"] = r.tx_per_vms();
+  state.counters["aborts"] = static_cast<double>(r.stats.aborts_total());
+  state.counters["spec_reads"] = static_cast<double>(r.stats.reads_speculative);
+}
+
+}  // namespace bench_util

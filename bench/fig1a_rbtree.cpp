@@ -1,0 +1,110 @@
+// Figure 1a — red-black tree speedup vs task size.
+//
+// Paper: 1 user-thread runs transactions of N read-only lookups
+// (N = 2..64); TLSTM splits each transaction into 2 or 4 tasks. y-axis is
+// the speedup of TLSTM-2 / TLSTM-4 throughput over SwissTM with 1 thread.
+// Reported shape: speedup grows with task size, TLSTM-4 above TLSTM-2 for
+// large transactions (≈1.0-3.5 range).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/rbtree.hpp"
+
+using namespace tlstm;
+
+namespace {
+
+constexpr std::uint64_t tree_keys = 1 << 14;
+constexpr std::uint64_t n_tx = 300;
+
+wl::rbtree& shared_tree() {
+  static wl::rbtree* tree = [] {
+    auto* t = new wl::rbtree();
+    util::xoshiro256 rng(42);
+    for (std::uint64_t i = 0; i < tree_keys; ++i) {
+      t->insert_unsafe(rng.next() % (tree_keys * 4), i);
+    }
+    return t;
+  }();
+  return *tree;
+}
+
+std::string key_for(unsigned ops, unsigned tasks) {
+  return "ops" + std::to_string(ops) + "_" +
+         (tasks == 0 ? std::string("swiss") : "tlstm" + std::to_string(tasks));
+}
+
+/// Lookup keys for transaction i, deterministic so every runtime executes
+/// the identical workload.
+std::vector<std::uint64_t> tx_keys(std::uint64_t tx, unsigned ops) {
+  util::xoshiro256 rng(977, tx);
+  std::vector<std::uint64_t> keys(ops);
+  for (auto& k : keys) k = rng.next() % (tree_keys * 4);
+  return keys;
+}
+
+void BM_fig1a(benchmark::State& state) {
+  const unsigned ops = static_cast<unsigned>(state.range(0));
+  const unsigned tasks = static_cast<unsigned>(state.range(1));  // 0 = SwissTM
+  wl::rbtree& tree = shared_tree();
+
+  for (auto _ : state) {
+    wl::run_result r;
+    if (tasks == 0) {
+      r = wl::run_swiss(stm::swiss_config{}, 1, n_tx, ops,
+                        [&](unsigned, std::uint64_t i, stm::swiss_thread& tx) {
+                          for (auto k : tx_keys(i, ops)) (void)tree.lookup(tx, k);
+                        });
+    } else {
+      core::config cfg;
+      cfg.num_threads = 1;
+      cfg.spec_depth = tasks;
+      r = wl::run_tlstm(cfg, n_tx, ops, [&](unsigned, std::uint64_t i) {
+        auto keys = std::make_shared<std::vector<std::uint64_t>>(tx_keys(i, ops));
+        std::vector<core::task_fn> fns;
+        for (unsigned t = 0; t < tasks; ++t) {
+          // Balanced split covering every op, even when ops < tasks.
+          const unsigned lo = ops * t / tasks;
+          const unsigned hi = ops * (t + 1) / tasks;
+          fns.push_back([&tree, keys, lo, hi](core::task_ctx& c) {
+            for (unsigned j = lo; j < hi; ++j) (void)tree.lookup(c, (*keys)[j]);
+          });
+        }
+        return fns;
+      });
+    }
+    bench_util::report(state, key_for(ops, tasks), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_fig1a)
+    ->ArgsProduct({{2, 4, 8, 16, 32, 64}, {0, 2, 4}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  wl::print_fig_header("1a", {"TLSTM-2_speedup", "TLSTM-4_speedup"});
+  for (unsigned ops : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double base = rec.tx_per_vms(key_for(ops, 0));
+    if (base <= 0) continue;
+    wl::print_fig_row("1a", ops,
+                      {rec.tx_per_vms(key_for(ops, 2)) / base,
+                       rec.tx_per_vms(key_for(ops, 4)) / base});
+  }
+  std::puts("# Paper: speedup grows with ops/tx; TLSTM-4 tops TLSTM-2 at large sizes");
+  return 0;
+}

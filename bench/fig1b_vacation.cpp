@@ -1,0 +1,125 @@
+// Figure 1b — Vacation throughput vs number of clients.
+//
+// Paper: the modified STAMP Vacation issues 8 operations per transaction;
+// TLSTM splits them into two tasks of four. Series: TLSTM-2, TLSTM-1 and
+// SwissTM under the low- and high-contention mixes, clients = 1..10.
+// Reported shape: TLSTM-2 above both baselines; TLSTM-1 ≈ SwissTM (lines
+// overlap); low and high contention behave alike (contention between the
+// small operations is low either way).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/vacation.hpp"
+
+using namespace tlstm;
+namespace vac = wl::vacation;
+
+namespace {
+
+constexpr std::uint64_t tx_per_client = 100;
+
+vac::client_config mix_config(bool high_contention) {
+  vac::client_config c;
+  c.n_relations = 1 << 10;
+  c.n_customers = 1 << 8;
+  if (high_contention) {  // STAMP "high": narrower span, more updates
+    c.query_span_pct = 60;
+    c.pct_user = 90;
+  } else {  // STAMP "low"
+    c.query_span_pct = 90;
+    c.pct_user = 98;
+  }
+  return c;
+}
+
+std::string key_for(unsigned clients, unsigned tasks, bool high) {
+  return "c" + std::to_string(clients) + "_" +
+         (tasks == 0 ? std::string("swiss") : "tlstm" + std::to_string(tasks)) +
+         (high ? "_high" : "_low");
+}
+
+void BM_fig1b(benchmark::State& state) {
+  const unsigned clients = static_cast<unsigned>(state.range(0));
+  const unsigned tasks = static_cast<unsigned>(state.range(1));  // 0 = SwissTM
+  const bool high = state.range(2) != 0;
+  const auto ccfg = mix_config(high);
+
+  for (auto _ : state) {
+    // Fresh system per point so capacity drift never compounds across runs.
+    vac::manager mgr;
+    mgr.seed(ccfg.n_relations, ccfg.n_customers, 8, 2012);
+    std::vector<std::unique_ptr<vac::client>> gens;
+    for (unsigned c = 0; c < clients; ++c) {
+      gens.push_back(std::make_unique<vac::client>(ccfg, c));
+    }
+
+    wl::run_result r;
+    if (tasks == 0) {
+      r = wl::run_swiss(stm::swiss_config{}, clients, tx_per_client, ccfg.ops_per_tx,
+                        [&](unsigned t, std::uint64_t, stm::swiss_thread& tx) {
+                          for (const auto& o : gens[t]->next_batch()) {
+                            (void)vac::run_op(tx, mgr, o);
+                          }
+                        });
+    } else {
+      core::config cfg;
+      cfg.num_threads = clients;
+      cfg.spec_depth = tasks;
+      const unsigned per_task = ccfg.ops_per_tx / tasks;
+      r = wl::run_tlstm(cfg, tx_per_client, ccfg.ops_per_tx,
+                        [&, per_task](unsigned t, std::uint64_t) {
+                          auto batch = std::make_shared<std::vector<vac::op>>(
+                              gens[t]->next_batch());
+                          std::vector<core::task_fn> fns;
+                          for (unsigned k = 0; k < tasks; ++k) {
+                            fns.push_back([&mgr, batch, k, per_task](core::task_ctx& c) {
+                              for (unsigned i = 0; i < per_task; ++i) {
+                                (void)vac::run_op(c, mgr, (*batch)[k * per_task + i]);
+                              }
+                            });
+                          }
+                          return fns;
+                        });
+    }
+    const char* why = nullptr;
+    if (!mgr.check_invariants(&why)) {
+      state.SkipWithError(why != nullptr ? why : "invariant violation");
+      return;
+    }
+    bench_util::report(state, key_for(clients, tasks, high), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_fig1b)
+    ->ArgsProduct({{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {0, 1, 2}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  wl::print_fig_header("1b", {"TLSTM-2-low", "TLSTM-1-low", "SwissTM-low",
+                              "TLSTM-2-high", "TLSTM-1-high", "SwissTM-high"});
+  for (unsigned c = 1; c <= 10; ++c) {
+    wl::print_fig_row("1b", c,
+                      {rec.ops_per_vms(key_for(c, 2, false)),
+                       rec.ops_per_vms(key_for(c, 1, false)),
+                       rec.ops_per_vms(key_for(c, 0, false)),
+                       rec.ops_per_vms(key_for(c, 2, true)),
+                       rec.ops_per_vms(key_for(c, 1, true)),
+                       rec.ops_per_vms(key_for(c, 0, true))});
+  }
+  std::puts("# Paper: TLSTM-2 above both; TLSTM-1 overlaps SwissTM; low ≈ high");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 2a — STMBench7 long traversals vs read-only percentage.
+//
+// Paper: x = % of read-only transactions (long traversals only); series are
+// SwissTM with 3 threads, TLSTM with 1 thread × 3 tasks, and SwissTM with 1
+// thread. Reported shape: at 100 % reads TLSTM 1×3 reaches practically full
+// (≈3×) speedup over SwissTM-1 and approaches SwissTM-3; as the write share
+// grows, intra-thread conflicts serialize the tasks and TLSTM falls below
+// SwissTM-1 for write-dominated mixes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/stmb7.hpp"
+
+using namespace tlstm;
+namespace s7 = wl::stmb7;
+
+namespace {
+
+constexpr std::uint64_t traversals_per_thread = 80;
+
+s7::config bench_cfg() {
+  s7::config c;
+  c.levels = 5;
+  c.composite_pool = 32;
+  c.parts_per_composite = 10;
+  return c;
+}
+
+std::string key_for(unsigned read_pct, const char* series) {
+  return std::string(series) + "_r" + std::to_string(read_pct);
+}
+
+/// Deterministic read/write schedule shared by every series.
+bool is_write_tx(std::uint64_t i, unsigned read_pct) {
+  // Spread writes evenly through the run (i * phi mod 100).
+  return ((i * 61) % 100) >= read_pct;
+}
+
+void BM_fig2a(benchmark::State& state) {
+  const unsigned read_pct = static_cast<unsigned>(state.range(0));
+  const int series = static_cast<int>(state.range(1));  // 0=swiss1 1=tlstm1x3 2=swiss3
+
+  for (auto _ : state) {
+    s7::benchmark bench(bench_cfg());
+    wl::run_result r;
+    if (series == 1) {
+      core::config cfg;
+      cfg.num_threads = 1;
+      cfg.spec_depth = 3;
+      auto roots = bench.split_roots(3);
+      r = wl::run_tlstm(cfg, traversals_per_thread, 1,
+                        [&, roots](unsigned, std::uint64_t i) {
+                          const bool write = is_write_tx(i, read_pct);
+                          std::vector<core::task_fn> fns;
+                          for (auto* root : roots) {
+                            if (write) {
+                              fns.push_back([&bench, root, i](core::task_ctx& c) {
+                                (void)bench.traverse_write(c, root, i + 1);
+                              });
+                            } else {
+                              fns.push_back([&bench, root](core::task_ctx& c) {
+                                (void)bench.traverse_read(c, root);
+                              });
+                            }
+                          }
+                          return fns;
+                        });
+    } else {
+      const unsigned n_threads = series == 2 ? 3 : 1;
+      r = wl::run_swiss(stm::swiss_config{}, n_threads, traversals_per_thread, 1,
+                        [&](unsigned, std::uint64_t i, stm::swiss_thread& tx) {
+                          if (is_write_tx(i, read_pct)) {
+                            (void)bench.traverse_write(tx, bench.design_root(), i + 1);
+                          } else {
+                            (void)bench.traverse_read(tx, bench.design_root());
+                          }
+                        });
+    }
+    const char* why = nullptr;
+    if (!bench.check_invariants(&why)) {
+      state.SkipWithError(why != nullptr ? why : "invariant violation");
+      return;
+    }
+    const char* name = series == 0 ? "swiss1" : series == 1 ? "tlstm1x3" : "swiss3";
+    bench_util::report(state, key_for(read_pct, name), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_fig2a)
+    ->ArgsProduct({{0, 20, 40, 60, 80, 100}, {0, 1, 2}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  wl::print_fig_header("2a", {"SwissTM-3", "TLSTM-1x3", "SwissTM-1"});
+  for (unsigned pct : {0u, 20u, 40u, 60u, 80u, 100u}) {
+    wl::print_fig_row("2a", pct,
+                      {rec.tx_per_vms(key_for(pct, "swiss3")),
+                       rec.tx_per_vms(key_for(pct, "tlstm1x3")),
+                       rec.tx_per_vms(key_for(pct, "swiss1"))});
+  }
+  std::puts(
+      "# Paper: TLSTM-1x3 near SwissTM-3 at 100% reads (~full speedup), below "
+      "SwissTM-1 when write-dominated");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 2b — STMBench7 long traversals across the default workload mixes.
+//
+// Paper: workloads write-dominated (10 % reads), read-write (60 %) and
+// read-dominated (90 %); series SwissTM × {1,2,3} threads and TLSTM ×
+// {1,2,3} threads × {3,9} tasks. Reported shape: on the read-dominated
+// workload TLSTM-3tasks beats SwissTM by ~80 % at 1 thread and ~48 % at 2
+// threads, then drops from 2→3 threads; 9 tasks win only at 1 thread and
+// collapse once inter-thread aborts (which must roll back all 9 tasks)
+// appear; write-dominated mixes favour plain SwissTM.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/stmb7.hpp"
+
+using namespace tlstm;
+namespace s7 = wl::stmb7;
+
+namespace {
+
+constexpr std::uint64_t traversals_per_thread = 30;
+
+s7::config bench_cfg() {
+  s7::config c;
+  c.levels = 5;
+  c.composite_pool = 24;
+  c.parts_per_composite = 8;
+  return c;
+}
+
+bool is_write_tx(std::uint64_t i, unsigned read_pct) {
+  return ((i * 61) % 100) >= read_pct;
+}
+
+std::string key_for(unsigned read_pct, unsigned threads, unsigned tasks) {
+  return "r" + std::to_string(read_pct) + "_t" + std::to_string(threads) +
+         (tasks == 0 ? std::string("_swiss") : "_x" + std::to_string(tasks));
+}
+
+void BM_fig2b(benchmark::State& state) {
+  const unsigned read_pct = static_cast<unsigned>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  const unsigned tasks = static_cast<unsigned>(state.range(2));  // 0 = SwissTM
+
+  for (auto _ : state) {
+    s7::benchmark bench(bench_cfg());
+    wl::run_result r;
+    if (tasks == 0) {
+      r = wl::run_swiss(stm::swiss_config{}, threads, traversals_per_thread, 1,
+                        [&](unsigned t, std::uint64_t i, stm::swiss_thread& tx) {
+                          if (is_write_tx(i * threads + t, read_pct)) {
+                            (void)bench.traverse_write(tx, bench.design_root(), i + 1);
+                          } else {
+                            (void)bench.traverse_read(tx, bench.design_root());
+                          }
+                        });
+    } else {
+      core::config cfg;
+      cfg.num_threads = threads;
+      cfg.spec_depth = tasks;
+      auto roots = bench.split_roots(tasks);
+      r = wl::run_tlstm(cfg, traversals_per_thread, 1,
+                        [&, roots](unsigned t, std::uint64_t i) {
+                          const bool write = is_write_tx(i * threads + t, read_pct);
+                          std::vector<core::task_fn> fns;
+                          for (auto* root : roots) {
+                            if (write) {
+                              fns.push_back([&bench, root, i](core::task_ctx& c) {
+                                (void)bench.traverse_write(c, root, i + 1);
+                              });
+                            } else {
+                              fns.push_back([&bench, root](core::task_ctx& c) {
+                                (void)bench.traverse_read(c, root);
+                              });
+                            }
+                          }
+                          return fns;
+                        });
+    }
+    const char* why = nullptr;
+    if (!bench.check_invariants(&why)) {
+      state.SkipWithError(why != nullptr ? why : "invariant violation");
+      return;
+    }
+    bench_util::report(state, key_for(read_pct, threads, tasks), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_fig2b)
+    ->ArgsProduct({{10, 60, 90}, {1, 2, 3}, {0, 3, 9}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  // One row per (workload, thread-count) group, mirroring the paper's bars.
+  wl::print_fig_header("2b", {"SwissTM", "TLSTM-x3", "TLSTM-x9", "x3_vs_swiss"});
+  const char* names[] = {"write(10%r)", "read-write(60%r)", "read(90%r)"};
+  const unsigned pcts[] = {10, 60, 90};
+  for (unsigned w = 0; w < 3; ++w) {
+    for (unsigned threads = 1; threads <= 3; ++threads) {
+      const double sw = rec.tx_per_vms(key_for(pcts[w], threads, 0));
+      const double x3 = rec.tx_per_vms(key_for(pcts[w], threads, 3));
+      const double x9 = rec.tx_per_vms(key_for(pcts[w], threads, 9));
+      std::printf("FIG\t2b\t%s/threads=%u\t%.3f\t%.3f\t%.3f\t%.3f\n", names[w], threads,
+                  sw, x3, x9, sw > 0 ? x3 / sw : 0.0);
+    }
+  }
+  std::puts(
+      "# Paper: read-dominated x3 = +80% @1thr, +48% @2thr, drop at 3thr; x9 wins "
+      "only @1thr; write-dominated favours SwissTM");
+  return 0;
+}

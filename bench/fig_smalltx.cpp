@@ -1,0 +1,130 @@
+// In-text claim, paper §4 — the negative result: "most of STAMP's
+// applications had either very small transactions or no further
+// parallelization potential. One application stood out though…" — i.e. for
+// small-transaction applications, TLSTM provides no speedup over the base
+// STM (and pays its task-management overhead). This bench makes that claim
+// a measurable figure with kmeans, the canonical small-transaction STAMP
+// member: one transaction per point assignment.
+//
+// Series: SwissTM, TLSTM with 1 task (pure overhead), TLSTM split into a
+// classify task + an update task (2 tasks, value-forwarded centroid).
+// Expected shape: all series within noise of each other or TLSTM slightly
+// below SwissTM — in sharp contrast to fig1a/fig2a where large splittable
+// transactions gain up to ~2-4x.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/kmeans.hpp"
+
+using namespace tlstm;
+
+namespace {
+
+constexpr unsigned k_clusters = 8;
+constexpr unsigned dims = 4;
+constexpr unsigned n_points = 512;
+constexpr std::uint64_t tx_per_thread = 400;
+
+std::string key_for(const char* series, unsigned threads) {
+  return std::string(series) + "_t" + std::to_string(threads);
+}
+
+struct shared_state {
+  wl::kmeans km;
+  std::vector<std::int64_t> pts;
+  shared_state() : km(k_clusters, dims), pts(wl::make_clustered_points(n_points, k_clusters, dims, 77)) {
+    for (unsigned c = 0; c < k_clusters; ++c) {
+      std::vector<std::int64_t> seed(dims);
+      for (unsigned d = 0; d < dims; ++d) seed[d] = pts[c * dims + d];
+      km.seed_unsafe(c, seed);
+    }
+  }
+  const std::int64_t* point(unsigned thread, std::uint64_t i) const {
+    return &pts[((thread * 131 + i * 7) % n_points) * dims];
+  }
+};
+
+void BM_smalltx_swiss(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto st = std::make_shared<shared_state>();
+    stm::swiss_config cfg;
+    cfg.log2_table = 16;
+    auto r = wl::run_swiss(cfg, threads, tx_per_thread, 1,
+                           [st](unsigned t, std::uint64_t i, stm::swiss_thread& tx) {
+                             (void)st->km.assign_point(tx, st->point(t, i));
+                           });
+    bench_util::report(state, key_for("swiss", threads), r);
+  }
+}
+
+void BM_smalltx_tlstm(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const unsigned tasks = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    auto st = std::make_shared<shared_state>();
+    core::config cfg;
+    cfg.num_threads = threads;
+    cfg.spec_depth = tasks;
+    cfg.log2_table = 16;
+    auto chosen = std::make_shared<std::vector<tm_var<std::uint64_t>>>(threads);
+    auto r = wl::run_tlstm(
+        cfg, tx_per_thread, 1, [st, chosen, tasks](unsigned t, std::uint64_t i) {
+          const std::int64_t* pt = st->point(t, i);
+          std::vector<core::task_fn> fns;
+          if (tasks == 1) {
+            fns.push_back([st, pt](core::task_ctx& c) { (void)st->km.assign_point(c, pt); });
+          } else {
+            tm_var<std::uint64_t>* cell = &(*chosen)[t];
+            fns.push_back([st, pt, cell](core::task_ctx& c) {
+              cell->set(c, st->km.nearest(c, pt));
+            });
+            fns.push_back([st, pt, cell](core::task_ctx& c) {
+              st->km.accumulate(c, static_cast<unsigned>(cell->get(c)), pt);
+            });
+          }
+          return fns;
+        });
+    bench_util::report(state, key_for(tasks == 1 ? "tlstm1" : "tlstm2", threads), r);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_smalltx_swiss)
+    ->Arg(1)->Arg(2)->Arg(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_smalltx_tlstm)
+    ->ArgsProduct({{1, 2, 3}, {1, 2}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  auto& rec = bench_util::recorder::instance();
+  wl::print_fig_header("smalltx", {"swisstm", "tlstm_1task", "tlstm_2task",
+                                   "tlstm2/swiss"});
+  for (unsigned t : {1u, 2u, 3u}) {
+    const double sw = rec.tx_per_vms(key_for("swiss", t));
+    const double t1 = rec.tx_per_vms(key_for("tlstm1", t));
+    const double t2 = rec.tx_per_vms(key_for("tlstm2", t));
+    wl::print_fig_row("smalltx", t, {sw, t1, t2, sw > 0 ? t2 / sw : 0.0});
+  }
+  std::puts(
+      "# Paper 4 (in text): small-transaction apps gain nothing from TLS -"
+      " expect tlstm2/swiss <= ~1.0 at every thread count");
+  return 0;
+}

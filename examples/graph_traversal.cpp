@@ -1,0 +1,78 @@
+// Graph traversal example — STMBench7 long traversals over the CAD object
+// graph, decomposed into three speculative tasks (one per design branch),
+// in the paper's Fig. 2 shape. Compares the same workload on the SwissTM
+// baseline to show what the TLS dimension buys (and costs).
+//
+//   $ ./graph_traversal [traversals] [read_pct]
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/harness.hpp"
+#include "workloads/stmb7.hpp"
+
+using namespace tlstm;
+namespace s7 = wl::stmb7;
+
+int main(int argc, char** argv) {
+  const std::uint64_t traversals = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  const unsigned read_pct = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 90;
+
+  s7::config scfg;
+  scfg.levels = 5;
+  scfg.composite_pool = 48;
+  scfg.parts_per_composite = 12;
+
+  auto make_generator = [&](s7::benchmark& bench) {
+    auto roots = bench.split_roots(3);
+    return [&bench, roots, read_pct](unsigned t, std::uint64_t i) {
+      const bool write = (i * 100 / 97 + t) % 100 >= read_pct;
+      std::vector<core::task_fn> tasks;
+      for (auto* root : roots) {
+        if (write) {
+          tasks.push_back([&bench, root, i](core::task_ctx& c) {
+            (void)bench.traverse_write(c, root, i + 1);
+          });
+        } else {
+          tasks.push_back([&bench, root](core::task_ctx& c) {
+            (void)bench.traverse_read(c, root);
+          });
+        }
+      }
+      return tasks;
+    };
+  };
+
+  // TLSTM: 1 user-thread × 3 tasks.
+  s7::benchmark bench_tlstm(scfg);
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 3;
+  auto tls = wl::run_tlstm(cfg, traversals, 1, make_generator(bench_tlstm));
+
+  // SwissTM baseline: 1 thread, whole traversal in one transaction.
+  s7::benchmark bench_swiss(scfg);
+  auto swiss = wl::run_swiss(
+      stm::swiss_config{}, 1, traversals, 1,
+      [&](unsigned, std::uint64_t i, stm::swiss_thread& tx) {
+        const bool write = (i * 100 / 97) % 100 >= read_pct;
+        if (write) {
+          (void)bench_swiss.traverse_write(tx, bench_swiss.design_root(), i + 1);
+        } else {
+          (void)bench_swiss.traverse_read(tx, bench_swiss.design_root());
+        }
+      });
+
+  const char* why = nullptr;
+  const bool ok = bench_tlstm.check_invariants(&why);
+  std::printf("workload: %llu long traversals, %u%% read-only\n",
+              static_cast<unsigned long long>(traversals), read_pct);
+  std::printf("SwissTM-1:        %8.2f traversals/virtual-ms\n", swiss.tx_per_vms());
+  std::printf("TLSTM-1x3 tasks:  %8.2f traversals/virtual-ms (%.2fx)\n",
+              tls.tx_per_vms(),
+              swiss.tx_per_vms() > 0 ? tls.tx_per_vms() / swiss.tx_per_vms() : 0.0);
+  std::printf("TLSTM aborts: %llu, speculative reads: %llu, consistency: %s\n",
+              static_cast<unsigned long long>(tls.stats.aborts_total()),
+              static_cast<unsigned long long>(tls.stats.reads_speculative),
+              ok ? "OK" : why);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,306 @@
+// Workbench: a command-line driver over every runtime and workload in the
+// repository — the exploration tool for the design space the paper's
+// conclusion describes ("each application using TLSTM will have to find a
+// sweet spot between the number of user-threads and tasks in use").
+//
+//   $ ./workbench --runtime=tlstm --threads=2 --depth=3 --workload=rbtree \
+//                 --tx=500 --ops=16 --read-pct=90
+//   $ ./workbench --runtime=swiss --threads=3 --workload=bank --tx=1000
+//   $ ./workbench --runtime=tl2   --threads=2 --workload=list
+//
+// Prints ops/virtual-ms (DESIGN.md §5), the abort taxonomy, and the
+// speculation statistics for the chosen configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "stm/tl2.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/intset.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/rbtree.hpp"
+
+using namespace tlstm;
+using stm::word;
+
+namespace {
+
+struct options {
+  std::string runtime = "tlstm";   // tlstm | swiss | tl2
+  std::string workload = "rbtree"; // rbtree | bank | list | hash | kmeans
+  unsigned threads = 2;
+  unsigned depth = 3;   // tlstm only
+  unsigned tasks = 0;   // tasks per transaction (0 = depth)
+  std::uint64_t tx = 400;
+  unsigned ops = 12;    // operations per transaction
+  unsigned read_pct = 90;
+  std::uint64_t seed = 42;
+  bool help = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--runtime=tlstm|swiss|tl2] [--workload=rbtree|bank|list|hash|kmeans]\n"
+      "          [--threads=N] [--depth=N] [--tasks=N] [--tx=N] [--ops=N]\n"
+      "          [--read-pct=0..100] [--seed=N]\n",
+      argv0);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const auto v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse(int argc, char** argv, options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (key == "--help" || key == "-h") {
+      o.help = true;
+    } else if (key == "--runtime") {
+      o.runtime = val;
+    } else if (key == "--workload") {
+      o.workload = val;
+    } else if (key == "--threads" && parse_u64(val.c_str(), n)) {
+      o.threads = static_cast<unsigned>(n);
+    } else if (key == "--depth" && parse_u64(val.c_str(), n)) {
+      o.depth = static_cast<unsigned>(n);
+    } else if (key == "--tasks" && parse_u64(val.c_str(), n)) {
+      o.tasks = static_cast<unsigned>(n);
+    } else if (key == "--tx" && parse_u64(val.c_str(), n)) {
+      o.tx = n;
+    } else if (key == "--ops" && parse_u64(val.c_str(), n)) {
+      o.ops = static_cast<unsigned>(n);
+    } else if (key == "--read-pct" && parse_u64(val.c_str(), n) && n <= 100) {
+      o.read_pct = static_cast<unsigned>(n);
+    } else if (key == "--seed" && parse_u64(val.c_str(), n)) {
+      o.seed = n;
+    } else {
+      std::fprintf(stderr, "unknown or malformed argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Workload state shared by every runtime; ops are expressed against the
+/// generic context concept so one definition serves all three runtimes.
+struct workload_state {
+  explicit workload_state(const options& o)
+      : km(4, 3), pts(wl::make_clustered_points(256, 4, 3, o.seed)) {
+    for (std::uint64_t k = 0; k < 512; k += 2) tree.insert_unsafe(k, k);
+    for (std::uint64_t k = 0; k < 128; k += 2) list.insert_unsafe(k);
+    for (std::uint64_t k = 0; k < 256; k += 2) hash.insert_unsafe(k);
+    accounts.assign(64, 1000);
+    for (unsigned c = 0; c < 4; ++c) {
+      std::vector<std::int64_t> seedv(3);
+      for (unsigned d = 0; d < 3; ++d) seedv[d] = pts[c * 3 + d];
+      km.seed_unsafe(c, seedv);
+    }
+  }
+
+  wl::rbtree tree;
+  wl::sorted_list list;
+  wl::hashset hash{8};
+  std::vector<word> accounts;
+  wl::kmeans km;
+  std::vector<std::int64_t> pts;
+
+  /// One operation of the chosen workload. `op_seed` fully determines it
+  /// (re-execution safe).
+  template <typename Ctx>
+  void run_op(const options& o, Ctx& ctx, std::uint64_t op_seed) {
+    util::xoshiro256 rng(op_seed, 7);
+    const bool is_read = rng.next_below(100) < o.read_pct;
+    if (o.workload == "rbtree") {
+      const std::uint64_t k = rng.next_below(512);
+      if (is_read) {
+        (void)tree.contains(ctx, k);
+      } else if (rng.next_below(2) == 0) {
+        (void)tree.insert(ctx, k, k);
+      } else {
+        (void)tree.erase(ctx, k);
+      }
+    } else if (o.workload == "list") {
+      const std::uint64_t k = 1 + rng.next_below(128);
+      if (is_read) {
+        (void)list.contains(ctx, k);
+      } else if (rng.next_below(2) == 0) {
+        (void)list.insert(ctx, k);
+      } else {
+        (void)list.erase(ctx, k);
+      }
+    } else if (o.workload == "hash") {
+      const std::uint64_t k = rng.next_below(256);
+      if (is_read) {
+        (void)hash.contains(ctx, k);
+      } else if (rng.next_below(2) == 0) {
+        (void)hash.insert(ctx, k);
+      } else {
+        (void)hash.erase(ctx, k);
+      }
+    } else if (o.workload == "bank") {
+      const auto from = rng.next_below(accounts.size());
+      auto to = rng.next_below(accounts.size());
+      if (to == from) to = (to + 1) % accounts.size();
+      if (is_read) {
+        (void)ctx.read(&accounts[from]);
+      } else {
+        const word f = ctx.read(&accounts[from]);
+        ctx.write(&accounts[from], f - 1);
+        ctx.write(&accounts[to], ctx.read(&accounts[to]) + 1);
+      }
+    } else {  // kmeans
+      const std::int64_t* pt = &pts[(op_seed % 256) * 3];
+      if (is_read) {
+        (void)km.nearest(ctx, pt);
+      } else {
+        (void)km.assign_point(ctx, pt);
+      }
+    }
+  }
+};
+
+void print_result(const options& o, const util::stat_block& stats, vt::vtime makespan) {
+  const double vms = static_cast<double>(makespan) / 1e6;
+  const double total_ops = static_cast<double>(o.tx) * o.threads * o.ops;
+  std::printf("\n=== %s / %s: %u thread(s)", o.runtime.c_str(), o.workload.c_str(),
+              o.threads);
+  if (o.runtime == "tlstm") {
+    std::printf(" x depth %u (%u task(s)/tx)", o.depth, o.tasks);
+  }
+  std::printf(", %llu tx/thread, %u ops/tx, %u%% reads ===\n",
+              static_cast<unsigned long long>(o.tx), o.ops, o.read_pct);
+  std::printf("virtual makespan:  %.3f vms\n", vms);
+  std::printf("throughput:        %.1f ops/vms (%.1f tx/vms)\n",
+              vms > 0 ? total_ops / vms : 0.0,
+              vms > 0 ? static_cast<double>(o.tx) * o.threads / vms : 0.0);
+  std::printf("committed:         %llu tx (%llu read-only), %llu tasks\n",
+              static_cast<unsigned long long>(stats.tx_committed),
+              static_cast<unsigned long long>(stats.tx_read_only),
+              static_cast<unsigned long long>(stats.task_committed));
+  std::printf("aborts:            war=%llu waw_run=%llu waw_sig=%llu cm=%llu"
+              " valid=%llu tx_inter=%llu fence=%llu\n",
+              static_cast<unsigned long long>(stats.abort_war),
+              static_cast<unsigned long long>(stats.abort_waw_past_running),
+              static_cast<unsigned long long>(stats.abort_waw_signalled),
+              static_cast<unsigned long long>(stats.abort_cm),
+              static_cast<unsigned long long>(stats.abort_validation),
+              static_cast<unsigned long long>(stats.abort_tx_inter),
+              static_cast<unsigned long long>(stats.abort_fence));
+  std::printf("reads:             %llu committed, %llu speculative (forwarded)\n",
+              static_cast<unsigned long long>(stats.reads_committed),
+              static_cast<unsigned long long>(stats.reads_speculative));
+  std::printf("restarts:          %llu; validations: %llu; extensions: %llu\n",
+              static_cast<unsigned long long>(stats.task_restarts),
+              static_cast<unsigned long long>(stats.task_validations),
+              static_cast<unsigned long long>(stats.ts_extensions));
+}
+
+int run_tlstm(const options& o) {
+  auto st = std::make_unique<workload_state>(o);
+  core::config cfg;
+  cfg.num_threads = o.threads;
+  cfg.spec_depth = o.depth;
+  core::runtime rt(cfg);
+  const unsigned tasks = o.tasks == 0 ? o.depth : std::min(o.tasks, o.depth);
+  const unsigned per_task = (o.ops + tasks - 1) / tasks;
+
+  std::vector<std::thread> drivers;
+  for (unsigned t = 0; t < o.threads; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& th = rt.thread(t);
+      for (std::uint64_t i = 0; i < o.tx; ++i) {
+        std::vector<core::task_fn> fns;
+        for (unsigned k = 0; k < tasks; ++k) {
+          const std::uint64_t base = o.seed + (t * o.tx + i) * o.ops + k * per_task;
+          const unsigned count =
+              std::min(per_task, o.ops > k * per_task ? o.ops - k * per_task : 0);
+          fns.push_back([&, base, count](core::task_ctx& c) {
+            for (unsigned m = 0; m < count; ++m) st->run_op(o, c, base + m);
+          });
+        }
+        th.submit(std::move(fns));
+      }
+      th.drain();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+  options effective = o;
+  effective.tasks = tasks;
+  print_result(effective, rt.aggregated_stats(), rt.makespan());
+  return 0;
+}
+
+template <typename Runtime, typename Ctx>
+int run_flat(const options& o) {
+  auto st = std::make_unique<workload_state>(o);
+  Runtime rt;
+  std::vector<std::thread> drivers;
+  std::vector<util::stat_block> stats(o.threads);
+  std::vector<vt::vtime> clocks(o.threads, 0);
+  for (unsigned t = 0; t < o.threads; ++t) {
+    drivers.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      for (std::uint64_t i = 0; i < o.tx; ++i) {
+        const std::uint64_t base = o.seed + (t * o.tx + i) * o.ops;
+        th->run_transaction([&](Ctx& tx) {
+          for (unsigned m = 0; m < o.ops; ++m) st->run_op(o, tx, base + m);
+        });
+      }
+      stats[t] = th->stats();
+      clocks[t] = th->clock().now;
+    });
+  }
+  for (auto& d : drivers) d.join();
+  util::stat_block total;
+  vt::vtime makespan = 0;
+  for (unsigned t = 0; t < o.threads; ++t) {
+    total.accumulate(stats[t]);
+    makespan = std::max(makespan, clocks[t]);
+  }
+  print_result(o, total, makespan);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options o;
+  if (!parse(argc, argv, o) || o.help) {
+    usage(argv[0]);
+    return o.help ? 0 : 1;
+  }
+  if (o.threads == 0 || o.depth == 0 || o.ops == 0) {
+    std::fprintf(stderr, "threads, depth and ops must be >= 1\n");
+    return 1;
+  }
+  static const char* workloads[] = {"rbtree", "bank", "list", "hash", "kmeans"};
+  bool known = false;
+  for (const char* w : workloads) known |= o.workload == w;
+  if (!known) {
+    std::fprintf(stderr, "unknown workload: %s\n", o.workload.c_str());
+    return 1;
+  }
+
+  if (o.runtime == "tlstm") return run_tlstm(o);
+  if (o.runtime == "swiss") return run_flat<stm::swiss_runtime, stm::swiss_thread>(o);
+  if (o.runtime == "tl2") return run_flat<stm::tl2_runtime, stm::tl2_thread>(o);
+  std::fprintf(stderr, "unknown runtime: %s\n", o.runtime.c_str());
+  return 1;
+}

@@ -1,0 +1,143 @@
+// Typed convenience layer over the word-granular transactional API.
+//
+// Workload code is written once against a generic `Ctx` (either
+// core::task_ctx or stm::swiss_thread — both expose read/write/work/
+// log_alloc_undo/log_commit_retire), using:
+//
+//   tm_var<T>     a transactional cell for a trivially-copyable T (<= 8 B)
+//   tm_pool<T>    type-stable transactional allocation with abort-undo and
+//                 grace-period frees
+//   tm_read/tm_write   free functions for typed access to raw fields
+#pragma once
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "stm/lock_table.hpp"
+#include "util/epoch.hpp"
+
+namespace tlstm {
+
+template <typename T>
+concept tm_word_compatible =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(stm::word);
+
+namespace detail {
+template <typename T>
+stm::word to_word(const T& v) noexcept {
+  stm::word w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+template <typename T>
+T from_word(stm::word w) noexcept {
+  T v;
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+}  // namespace detail
+
+/// A transactional variable. Storage is one aligned word; all access goes
+/// through a transaction context. `init()` is for quiesced (single-threaded)
+/// setup only.
+template <tm_word_compatible T>
+class tm_var {
+ public:
+  tm_var() = default;
+  explicit tm_var(T v) { init(v); }
+
+  void init(T v) noexcept { storage_ = detail::to_word(v); }
+  T unsafe_peek() const noexcept { return detail::from_word<T>(storage_); }
+
+  template <typename Ctx>
+  T get(Ctx& ctx) const {
+    return detail::from_word<T>(ctx.read(&storage_));
+  }
+  template <typename Ctx>
+  void set(Ctx& ctx, T v) {
+    ctx.write(&storage_, detail::to_word(v));
+  }
+
+ private:
+  alignas(sizeof(stm::word)) stm::word storage_ = 0;
+};
+
+/// Composable atomic scope — the uniform way to write transactional library
+/// functions that work under both runtimes (paper §2 nesting, flattened):
+///
+///   * on a stm::swiss_thread outside a transaction it opens one;
+///   * on a stm::swiss_thread inside a transaction it merges into it;
+///   * on a core::task_ctx (always inside a user-transaction by
+///     construction) it simply runs inline.
+///
+/// In every case the body observes flat-nesting semantics: one atomic
+/// scope, visibility at the outermost commit, aborts restart the whole
+/// flattened transaction.
+template <typename Ctx, typename Fn>
+void atomic_scope(Ctx& ctx, Fn&& fn) {
+  if constexpr (requires { ctx.run_transaction(std::forward<Fn>(fn)); }) {
+    ctx.run_transaction(std::forward<Fn>(fn));
+  } else {
+    ctx.stats().tx_nested++;
+    fn(ctx);
+  }
+}
+
+/// Typed access to a raw word field (for arrays of words).
+template <typename Ctx, tm_word_compatible T = stm::word>
+T tm_read(Ctx& ctx, const stm::word* addr) {
+  return detail::from_word<T>(ctx.read(addr));
+}
+template <typename Ctx, tm_word_compatible T = stm::word>
+void tm_write(Ctx& ctx, stm::word* addr, T v) {
+  ctx.write(addr, detail::to_word(v));
+}
+
+/// Transactional allocator facade over a type-stable pool. Allocation inside
+/// a transaction is undone if the transaction aborts; destruction inside a
+/// transaction happens only if it commits, after an epoch grace period.
+///
+/// Lifetime: the pool must outlive every runtime whose transactions touched
+/// it — deferred frees referencing the pool are flushed when the runtime's
+/// worker reclaimers are destroyed. Declare pools before the runtime.
+template <typename T>
+class tm_pool {
+ public:
+  explicit tm_pool(std::size_t chunk_objects = 1024) : pool_(chunk_objects) {}
+
+  /// Allocates and constructs inside the transaction. The object's fields
+  /// may be initialized non-transactionally before the first transactional
+  /// publication of its address.
+  template <typename Ctx, typename... Args>
+  T* create(Ctx& ctx, Args&&... args) {
+    T* p = pool_.construct(std::forward<Args>(args)...);
+    ctx.log_alloc_undo(p, &util::object_pool<T>::pool_deleter, &pool_);
+    return p;
+  }
+
+  /// Transactionally frees: recycled only if the transaction commits, and
+  /// only after every task live at commit time has finished.
+  template <typename Ctx>
+  void destroy(Ctx& ctx, T* p) {
+    ctx.log_commit_retire(p, &util::object_pool<T>::pool_deleter, &pool_);
+  }
+
+  /// Non-transactional create/destroy for quiesced setup and teardown.
+  template <typename... Args>
+  T* create_unsafe(Args&&... args) {
+    return pool_.construct(std::forward<Args>(args)...);
+  }
+  void destroy_unsafe(T* p) {
+    p->~T();
+    pool_.deallocate_raw(p);
+  }
+
+  util::object_pool<T>& raw_pool() noexcept { return pool_; }
+
+ private:
+  util::object_pool<T> pool_;
+};
+
+}  // namespace tlstm

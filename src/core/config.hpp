@@ -1,0 +1,69 @@
+// TLSTM runtime configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "vt/cost_model.hpp"
+
+namespace tlstm::core {
+
+/// Inter-thread contention-management tie-break policy — applied when the
+/// task-aware progress comparison (paper Alg. 2 lines 55-60) ties, or for
+/// every decision when cm_task_aware is off. The paper ships two-phase
+/// greedy ("TLSTM implements the two phase greedy contention manager for
+/// this case") and names the layer pluggable; these are the classic
+/// alternatives from the STM contention-management literature.
+enum class cm_policy : std::uint8_t {
+  greedy,      ///< older transaction (start timestamp) wins
+  karma,       ///< transaction with more transactional accesses wins
+  aggressive,  ///< the requester always wins (signals the owner to abort)
+  /// The requester yields (self-aborts after spinning) while the owner makes
+  /// progress; after repeated losses it escalates to greedy. Pure yielding
+  /// deadlocks on exactly the crossed-lock cycle of paper §3.2 — owners
+  /// only release stripes at transaction commit, and the commits wait on
+  /// tasks stuck behind the other thread's stripes — so a policy that can
+  /// never abort an owner cannot be used unescalated in this design (the
+  /// cm_policy_test suite demonstrates both halves).
+  polite,
+};
+
+struct config {
+  /// Number of hand-parallelized user-threads (the TM dimension).
+  unsigned num_threads = 1;
+  /// SPECDEPTH: simultaneously active speculative tasks per user-thread
+  /// (the TLS dimension). A user-transaction may contain at most this many
+  /// tasks (paper §3.3: the owners array has SPECDEPTH slots).
+  unsigned spec_depth = 1;
+  /// log2 of the global lock-table size.
+  unsigned log2_table = 20;
+  /// Virtual-time cost model (DESIGN.md §5).
+  vt::cost_model costs{};
+  /// Polite-phase bound of the inter-thread contention manager.
+  unsigned cm_polite_spins = 64;
+  /// cm_policy::polite only: consecutive self-aborts of a task before the
+  /// policy escalates to greedy (deadlock breaker, see cm_policy::polite).
+  unsigned cm_polite_abort_cap = 8;
+  /// Task-aware contention management (paper §3.2): compare per-transaction
+  /// task progress before falling back to greedy. Disabling it reproduces
+  /// the naive SwissTM contention manager for the ablation bench (which the
+  /// paper shows can livelock/deadlock task pipelines; we keep greedy as the
+  /// fallback so the ablation measures throughput, not hangs).
+  bool cm_task_aware = true;
+  /// Tie-break policy below the task-aware comparison (bench/abl_cm_policy
+  /// measures the alternatives; greedy is the paper's choice and avoids
+  /// starvation by construction).
+  cm_policy cm_tie_break = cm_policy::greedy;
+  /// Abort backoff: max 2^k relax iterations between attempts.
+  unsigned backoff_max_shift = 12;
+  /// Inconsistent-read mitigation: force a full validation every N committed
+  /// reads of a task (0 disables; paper §3.2 "Inconsistent Reads").
+  unsigned validate_every_n_reads = 0;
+  /// Virtual cycles charged to the submitting user-thread per transaction
+  /// (the serial client-side cost of issuing work).
+  std::uint64_t submit_cost = 50;
+  /// Record (tx_start, tx_commit, commit_ts) per committed transaction; used
+  /// by the serializability oracle tests.
+  bool record_commits = false;
+};
+
+}  // namespace tlstm::core

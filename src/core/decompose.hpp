@@ -1,0 +1,181 @@
+// Task-decomposition library: the standard loop- and procedure-speculation
+// patterns the paper cites as the input to the unified runtime (§3.3: "from
+// loop iteration speculation (e.g. spec-DOALL and spec-DOACROSS) to
+// procedure fall-through speculation, at either compile-time and/or
+// execution-time"). The paper treats decomposition as orthogonal to the
+// runtime; this header is the runtime-side realization a compiler pass (or a
+// programmer) would target:
+//
+//   split_range      balanced contiguous chunking of an iteration space
+//   spec_doall       one transaction, one task per chunk, no carried state
+//   spec_reduce      spec_doall plus a commutative-combine of task partials
+//   spec_doacross    pipelined chunks with a loop-carried value, forwarded
+//                    task-to-task through the speculative read path
+//   spec_stages      procedure fall-through: a sequence of dependent stages
+//                    run as one speculatively-parallel transaction
+//
+// All helpers preserve the sequential semantics of the loop they decompose —
+// the runtime detects and repairs any speculation violation — so they are
+// safe on *any* body; they only pay off when iterations rarely conflict.
+//
+// Re-execution caveat (standard TM rule): bodies may run several times and
+// must be effect-free outside transactional state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/runtime.hpp"
+
+namespace tlstm::core {
+
+/// One contiguous chunk of an iteration space.
+struct iter_range {
+  std::uint64_t begin = 0;  ///< first iteration
+  std::uint64_t end = 0;    ///< one past the last iteration
+
+  std::uint64_t size() const noexcept { return end - begin; }
+  friend bool operator==(const iter_range&, const iter_range&) = default;
+};
+
+/// Splits [begin, end) into at most `chunks` contiguous, near-equal pieces
+/// (sizes differ by at most one, larger chunks first). Returns fewer pieces
+/// when the range has fewer iterations than `chunks`; never returns an empty
+/// chunk. An empty range yields no chunks.
+inline std::vector<iter_range> split_range(std::uint64_t begin, std::uint64_t end,
+                                           unsigned chunks) {
+  std::vector<iter_range> out;
+  if (end <= begin || chunks == 0) return out;
+  const std::uint64_t n = end - begin;
+  const std::uint64_t k = std::min<std::uint64_t>(chunks, n);
+  const std::uint64_t base = n / k;
+  const std::uint64_t extra = n % k;
+  std::uint64_t at = begin;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const std::uint64_t len = base + (i < extra ? 1 : 0);
+    out.push_back({at, at + len});
+    at += len;
+  }
+  return out;
+}
+
+/// spec-DOALL: runs `body(ctx, i)` for every i in [begin, end) as one
+/// user-transaction of up to `tasks` speculative tasks (clamped to the
+/// runtime's spec_depth), then drains. Iterations carry no loop state;
+/// cross-iteration conflicts through shared transactional memory are
+/// detected and repaired by the runtime.
+template <typename Body>
+void spec_doall(user_thread& th, std::uint64_t begin, std::uint64_t end,
+                unsigned tasks, Body body) {
+  const auto chunks = split_range(begin, end, std::min(tasks, th.spec_depth()));
+  if (chunks.empty()) return;
+  std::vector<task_fn> fns;
+  fns.reserve(chunks.size());
+  for (const iter_range r : chunks) {
+    fns.push_back([r, body](task_ctx& ctx) {
+      for (std::uint64_t i = r.begin; i < r.end; ++i) body(ctx, i);
+    });
+  }
+  th.execute(std::move(fns));
+}
+
+/// spec-DOALL + reduction: every task folds its chunk into a private
+/// accumulator with `map` (acc = reduce(acc, map(ctx, i))), publishes the
+/// partial through transactional memory, and the commit-task combines the
+/// partials with `reduce` in chunk order. Returns the final value after the
+/// transaction commits.
+///
+/// `reduce` must be associative for the decomposition to equal the
+/// sequential fold; commutativity is not required (partials combine in
+/// order).
+template <tm_word_compatible T, typename Map, typename Reduce>
+T spec_reduce(user_thread& th, std::uint64_t begin, std::uint64_t end,
+              unsigned tasks, T init, Map map, Reduce reduce) {
+  // The reduce transaction needs one task slot for the combine when more
+  // than one chunk exists, so cap chunk count at depth - 1 in that case.
+  const unsigned depth = th.spec_depth();
+  unsigned want = std::min(tasks, depth);
+  auto chunks = split_range(begin, end, want);
+  if (chunks.size() > 1 && chunks.size() + 1 > depth) {
+    chunks = split_range(begin, end, depth - 1);
+  }
+  if (chunks.empty()) return init;
+
+  // Partials and the result flow through transactional cells: a re-executed
+  // task overwrites its slot, and the combine task's speculative reads of
+  // the slots are validated like any other TLS value forwarding.
+  auto partials = std::make_shared<std::vector<tm_var<T>>>(chunks.size());
+  auto result = std::make_shared<tm_var<T>>(init);
+
+  std::vector<task_fn> fns;
+  fns.reserve(chunks.size() + 1);
+  const std::size_t n_parts = chunks.size();
+  for (std::size_t c = 0; c < n_parts; ++c) {
+    const iter_range r = chunks[c];
+    if (n_parts == 1) {
+      // Single chunk (including spec_depth == 1): fold and publish the
+      // result in one task, no separate combine.
+      fns.push_back([r, result, init, map, reduce](task_ctx& ctx) {
+        T acc = init;
+        for (std::uint64_t i = r.begin; i < r.end; ++i) acc = reduce(acc, map(ctx, i));
+        result->set(ctx, acc);
+      });
+    } else {
+      fns.push_back([r, c, partials, init, map, reduce](task_ctx& ctx) {
+        T acc = init;
+        for (std::uint64_t i = r.begin; i < r.end; ++i) acc = reduce(acc, map(ctx, i));
+        (*partials)[c].set(ctx, acc);
+      });
+    }
+  }
+  if (n_parts > 1) {
+    fns.push_back([n_parts, partials, result, init, reduce](task_ctx& ctx) {
+      T acc = init;
+      for (std::size_t c = 0; c < n_parts; ++c) {
+        acc = reduce(acc, (*partials)[c].get(ctx));
+      }
+      result->set(ctx, acc);
+    });
+  }
+  th.execute(std::move(fns));
+  return result->unsafe_peek();
+}
+
+/// spec-DOACROSS: a loop with a carried value. `body(ctx, i, carry) -> carry`
+/// runs sequentially inside each chunk; across chunks the carry is forwarded
+/// through transactional cells, so task k+1's speculative read of task k's
+/// carry is exactly the TLS read-from-past path (paper Alg. 1 lines 8-15).
+/// Returns the carry after the last iteration.
+template <tm_word_compatible T, typename Body>
+T spec_doacross(user_thread& th, std::uint64_t begin, std::uint64_t end,
+                unsigned tasks, T carry_init, Body body) {
+  const auto chunks = split_range(begin, end, std::min(tasks, th.spec_depth()));
+  if (chunks.empty()) return carry_init;
+
+  auto carries = std::make_shared<std::vector<tm_var<T>>>(chunks.size());
+  std::vector<task_fn> fns;
+  fns.reserve(chunks.size());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    const iter_range r = chunks[c];
+    fns.push_back([r, c, carries, carry_init, body](task_ctx& ctx) {
+      T carry = c == 0 ? carry_init : (*carries)[c - 1].get(ctx);
+      for (std::uint64_t i = r.begin; i < r.end; ++i) carry = body(ctx, i, carry);
+      (*carries)[c].set(ctx, carry);
+    });
+  }
+  th.execute(std::move(fns));
+  return carries->back().unsafe_peek();
+}
+
+/// Procedure fall-through speculation: runs `stages` (a call and its
+/// continuations) as one user-transaction, each stage a speculative task.
+/// Later stages execute optimistically before earlier ones finish; data
+/// handed between stages through transactional memory is value-forwarded
+/// and validated by the runtime.
+inline void spec_stages(user_thread& th, std::vector<task_fn> stages) {
+  th.execute(std::move(stages));
+}
+
+}  // namespace tlstm::core

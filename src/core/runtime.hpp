@@ -1,0 +1,170 @@
+// The TLSTM runtime facade (paper §3): a unified STM+TLS middleware.
+//
+// Usage sketch (see examples/quickstart.cpp):
+//
+//   tlstm::core::config cfg;
+//   cfg.num_threads = 2; cfg.spec_depth = 3;
+//   tlstm::core::runtime rt(cfg);
+//   auto& th = rt.thread(0);                   // one submitter per user-thread
+//   th.submit({task1, task2, task3});          // one user-transaction, 3 tasks
+//   th.drain();                                // wait until everything commits
+//
+// Each user-thread owns SPECDEPTH worker threads; worker w executes the
+// serials congruent to w (mod depth), which realizes the paper's
+// owners[serial mod SPECDEPTH] slot discipline and its speculation window.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/task.hpp"
+#include "core/thread_state.hpp"
+#include "stm/lock_table.hpp"
+#include "util/epoch.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "vt/vclock.hpp"
+
+namespace tlstm::core {
+
+class runtime;
+
+/// Submission handle for one user-thread. Not thread-safe: exactly one
+/// application thread drives each user_thread (that thread *is* the
+/// user-thread of the paper's model; the runtime parallelizes it).
+class user_thread {
+ public:
+  /// Submits one user-transaction decomposed into `tasks` (1..spec_depth
+  /// closures, program order). Returns once all tasks are installed — which
+  /// may pipeline far ahead of execution (speculative future transactions).
+  void submit(std::vector<task_fn> tasks);
+  void submit_single(task_fn fn);
+
+  /// Blocks until every submitted transaction has committed.
+  void drain();
+
+  /// Submit + drain: run one transaction to completion.
+  void execute(std::vector<task_fn> tasks) {
+    submit(std::move(tasks));
+    drain();
+  }
+
+  vt::worker_clock& clock() noexcept { return clock_; }
+  std::uint64_t submitted_serials() const noexcept { return next_serial_ - 1; }
+  /// SPECDEPTH of the owning runtime — the maximum tasks per transaction
+  /// (decomposition helpers clamp their chunk counts to this).
+  unsigned spec_depth() const noexcept;
+  /// Commit journal (requires config.record_commits; call after drain()).
+  const std::vector<commit_record>& journal() const noexcept { return thr_.journal; }
+  std::uint32_t id() const noexcept { return thr_.ptid; }
+
+ private:
+  friend class runtime;
+  user_thread(runtime& rt, thread_state& thr) : rt_(rt), thr_(thr) {}
+
+  runtime& rt_;
+  thread_state& thr_;
+  std::uint64_t next_serial_ = 1;
+  vt::worker_clock clock_;
+};
+
+/// Process-wide TLSTM instance: global lock table, commit clock, the
+/// user-threads and their worker pools.
+class runtime {
+ public:
+  explicit runtime(config cfg);
+  ~runtime();
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  user_thread& thread(unsigned i) { return *user_threads_[i]; }
+  unsigned num_threads() const noexcept { return cfg_.num_threads; }
+  const config& cfg() const noexcept { return cfg_; }
+
+  stm::lock_table& table() noexcept { return table_; }
+  /// Global commit clock — plain atomic, not vtime-stamped (see the
+  /// rationale on swiss_runtime::commit_ts).
+  std::atomic<stm::word>& commit_ts() noexcept { return commit_ts_; }
+  util::epoch_domain& epochs() noexcept { return epochs_; }
+  std::uint64_t next_greedy_ts() noexcept {
+    return greedy_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drains every user-thread and stops the workers. Called by ~runtime();
+  /// may be called earlier to read final statistics.
+  void stop();
+
+  /// Sum of all worker statistic blocks (quiesce with drain()/stop() first
+  /// for exact values).
+  util::stat_block aggregated_stats() const;
+  /// Maximum final virtual clock across workers and submitters — the virtual
+  /// makespan of the run (DESIGN.md §5).
+  vt::vtime makespan() const;
+
+  /// Racy snapshot of per-thread counters, fences and slot phases for
+  /// diagnosing stuck runs. Debug aid only — values may be torn.
+  std::string dump_state() const;
+
+  /// Final virtual clock of every worker (quiesce first); workers of
+  /// user-thread t occupy indices [t*spec_depth, (t+1)*spec_depth).
+  std::vector<vt::vtime> worker_clocks() const;
+
+ private:
+  friend class task_ctx;
+  friend class user_thread;
+
+  /// Per-worker bundle (one OS thread each; depth workers per user-thread).
+  struct worker {
+    vt::worker_clock clock;
+    util::stat_block stats;
+    std::unique_ptr<util::reclaimer> reclaimer;
+    util::xoshiro256 rng;
+    std::size_t epoch_slot = 0;
+    std::thread os_thread;
+  };
+
+  // --- Worker loop and task lifecycle (runtime.cpp). ---
+  void worker_main(thread_state& thr, unsigned widx, worker& wk);
+  bool wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot& slot, worker& wk);
+  void run_one_incarnation(thread_state& thr, task_slot& slot, worker& wk);
+  void task_commit(thread_state& thr, task_slot& slot, task_ctx& ctx);
+  void tx_commit_whole(thread_state& thr, task_slot& slot, task_ctx& ctx);
+  /// Returns 0 if every task's logs validate, else the first bad serial.
+  std::uint64_t validate_tx(thread_state& thr, task_slot& commit_slot, task_ctx& ctx,
+                            const std::vector<std::pair<stm::lock_pair*, stm::word>>* locked);
+  void rollback_parked_wait(thread_state& thr, task_slot& slot, worker& wk);
+  void coordinate_rollback(thread_state& thr, worker& wk);
+  void unlink_entry(stm::write_entry& e, vt::worker_clock& clk);
+
+  // --- Transactional operations (task.cpp calls back into these). ---
+  stm::word task_read(task_ctx& ctx, const stm::word* addr);
+  void task_write(task_ctx& ctx, stm::word* addr, stm::word value);
+  stm::word task_read_committed(task_ctx& ctx, const stm::word* addr, stm::lock_pair& pair);
+  bool task_extend(task_ctx& ctx);
+  /// Paper Alg. 1 validate-task: WAR detection over both read logs.
+  bool validate_task(thread_state& thr, task_slot& slot, vt::worker_clock& clk,
+                     util::stat_block& stats);
+  /// Paper Alg. 2 cm-should-abort. True → caller must abort itself.
+  bool cm_should_abort(task_ctx& ctx, stm::write_entry* head);
+  /// Karma CM priority: transactional accesses of a transaction's live tasks.
+  std::uint64_t tx_karma(thread_state& thr, std::uint64_t tx_start,
+                         std::uint64_t tx_commit) const;
+
+  config cfg_;
+  stm::lock_table table_;
+  std::atomic<stm::word> commit_ts_{0};
+  std::atomic<std::uint64_t> greedy_counter_{1};
+  util::epoch_domain epochs_;
+
+  std::vector<std::unique_ptr<thread_state>> threads_;
+  std::vector<std::unique_ptr<user_thread>> user_threads_;
+  // workers_[t * spec_depth + w] belongs to user-thread t.
+  std::vector<std::unique_ptr<worker>> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace tlstm::core

@@ -1,0 +1,122 @@
+// Task state (the paper's `owners[SPECDEPTH]` slots) and the task-facing
+// transactional context.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "stm/descriptor.hpp"
+#include "stm/lock_table.hpp"
+#include "util/epoch.hpp"
+#include "util/stats.hpp"
+#include "vt/vclock.hpp"
+
+namespace tlstm::core {
+
+class task_ctx;
+struct thread_state;
+class runtime;
+
+using task_fn = std::function<void(task_ctx&)>;
+
+/// Lifecycle of a slot in the owners array. Transitions are stamped so that
+/// waiting on a phase carries the publisher's virtual clock.
+enum class task_phase : std::uint32_t {
+  free = 0,        ///< slot empty; submitter may install the next task
+  ready,           ///< closure installed; worker may start
+  running,         ///< closure executing
+  completed,       ///< last instruction done; parked until the tx commits
+  rollback_parked, ///< hit the restart fence; waiting for the coordinator
+};
+
+/// One slot of owners[SPECDEPTH]. A slot is reused for serials
+/// s, s+depth, s+2·depth, … of its residue class; `serial` says which task
+/// currently owns it. Identity fields are atomic because chain readers and
+/// the contention manager peek at foreign slots.
+struct task_slot {
+  // --- Installed by the submitter (stable while phase != free). ---
+  task_fn closure;
+  std::atomic<std::uint64_t> serial{0};
+  std::uint64_t tx_start_serial = 0;
+  std::uint64_t tx_commit_serial = 0;
+  bool try_commit = false;          ///< last task of its user-transaction
+  std::uint64_t tx_greedy_ts = 0;   ///< greedy CM priority of the transaction
+
+  // --- Speculative execution state (owned by the worker). ---
+  stm::word valid_ts = 0;
+  std::uint64_t last_writer = 0;    ///< completed_writer observed at (re)start
+  stm::access_logs logs;
+  bool wrote = false;
+  unsigned reads_since_validation = 0;
+  std::atomic<std::uint32_t> incarnation{0};
+  /// Transactional accesses this incarnation — the karma CM priority.
+  /// Single writer (the owning worker); foreign CM peeks read it relaxed.
+  std::atomic<std::uint32_t> karma{0};
+  /// Consecutive aborts of the *current* task (reset on commit and when a
+  /// new serial takes the slot). Drives the escalating restart backoff:
+  /// contention livelocks on oversubscribed cores are broken by backing the
+  /// repeat loser off to scheduler granularity (see run_one_incarnation).
+  unsigned consecutive_restarts = 0;
+
+  // --- Coordination. ---
+  vt::stamped_atomic<std::uint32_t> phase;  ///< task_phase values
+
+  // --- Oracle support (commit-task only; valid when record_commits). ---
+  stm::word commit_ts_value = 0;
+
+  task_phase load_phase(vt::worker_clock& clk) noexcept {
+    return static_cast<task_phase>(phase.load(clk));
+  }
+  void store_phase(task_phase p, vt::worker_clock& clk) noexcept {
+    phase.store(static_cast<std::uint32_t>(p), clk);
+  }
+};
+
+/// The context handed to task closures — the TLSTM transactional API.
+/// Mirrors swiss_thread's surface so workloads are generic over either.
+class task_ctx {
+ public:
+  task_ctx(runtime& rt, thread_state& thr, task_slot& slot, vt::worker_clock& clk,
+           util::stat_block& stats, util::reclaimer& rec)
+      : rt_(rt), thr_(thr), slot_(slot), clock_(clk), stats_(stats), reclaimer_(rec) {}
+
+  /// Transactional word read (paper Alg. 1, read-word).
+  stm::word read(const stm::word* addr);
+  /// Transactional word write (paper Alg. 2, write-word).
+  void write(stm::word* addr, stm::word value);
+  /// Models `n` virtual cycles of user computation.
+  void work(std::uint64_t n) noexcept;
+  /// Forces a full consistency validation now (inconsistent-read guard).
+  void validate();
+  /// User-requested restart of the current task.
+  [[noreturn]] void abort_self();
+
+  /// Registers an allocation to undo if this task rolls back.
+  void log_alloc_undo(void* obj, util::reclaimer::deleter_fn fn, void* ctx);
+  /// Registers a free to execute (post grace period) once the tx commits.
+  void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx);
+
+  std::uint64_t serial() const noexcept;
+  util::stat_block& stats() noexcept { return stats_; }
+  vt::worker_clock& clock() noexcept { return clock_; }
+  util::reclaimer& reclaimer() noexcept { return reclaimer_; }
+
+ private:
+  friend class runtime;
+
+  /// Fence poll — every runtime entry point passes through here.
+  void check_safepoint();
+  stm::word read_committed(const stm::word* addr, stm::lock_pair& pair);
+  bool extend();
+  void maybe_periodic_validation();
+
+  runtime& rt_;
+  thread_state& thr_;
+  task_slot& slot_;
+  vt::worker_clock& clock_;
+  util::stat_block& stats_;
+  util::reclaimer& reclaimer_;
+};
+
+}  // namespace tlstm::core

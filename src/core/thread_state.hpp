@@ -1,0 +1,128 @@
+// Per-user-thread shared state: the owners array, completion counters, the
+// restart fence, and the rollback/commit mutual exclusion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "util/cache.hpp"
+#include "util/spin.hpp"
+#include "vt/vclock.hpp"
+
+namespace tlstm::core {
+
+/// Commit-order record for the serializability oracle (config.record_commits).
+struct commit_record {
+  std::uint64_t tx_start_serial;
+  std::uint64_t tx_commit_serial;
+  stm::word commit_ts;  ///< 0 for read-only transactions
+};
+
+/// Tiny spin mutex whose hand-offs carry virtual-time stamps, so waiting on
+/// the rollback/commit exclusion joins the holder's clock.
+class stamped_mutex {
+ public:
+  void lock(vt::worker_clock& clk) noexcept {
+    util::backoff bo;
+    std::uint32_t expected = 0;
+    while (!state_.compare_exchange(expected, 1, clk)) {
+      expected = 0;
+      bo.spin();
+    }
+  }
+  void unlock(vt::worker_clock& clk) noexcept { state_.store(0, clk); }
+
+ private:
+  vt::stamped_atomic<std::uint32_t> state_;
+};
+
+/// All state shared by the SPECDEPTH workers of one user-thread plus its
+/// submitter (paper §3.3 "User-Thread State").
+struct thread_state {
+  static constexpr std::uint64_t no_fence = ~std::uint64_t{0};
+
+  thread_state(std::uint32_t id, unsigned depth_) : ptid(id), depth(depth_), owners(depth_) {
+    completed_task.store_relaxed_init(0);
+    completed_writer.store_relaxed_init(0);
+    committed_task.store_relaxed_init(0);
+    fence.store_relaxed_init(no_fence);
+  }
+  thread_state(const thread_state&) = delete;
+  thread_state& operator=(const thread_state&) = delete;
+
+  const std::uint32_t ptid;
+  const unsigned depth;  ///< SPECDEPTH
+
+  /// Serial of the last task that completed execution (paper: completed-task).
+  vt::stamped_atomic<std::uint64_t> completed_task;
+  /// Serial of the last *writer* task that completed (paper: completed-writer).
+  vt::stamped_atomic<std::uint64_t> completed_writer;
+  /// Serial of the last task whose user-transaction committed. Slots free up
+  /// and parked intermediates wake when this passes their serial.
+  vt::stamped_atomic<std::uint64_t> committed_task;
+  /// Restart fence: every active task with serial >= fence must roll back
+  /// (DESIGN.md §4.3). no_fence when inactive. Lowered only under rollback_mu.
+  vt::stamped_atomic<std::uint64_t> fence;
+  /// Last writer serial among *committed* transactions; input to the
+  /// completed_writer recomputation after a rollback.
+  std::atomic<std::uint64_t> committed_writer_wm{0};
+
+  /// WAW gate: serial of a past writer that signalled future tasks to abort
+  /// because they held its stripe (paper line 47). Tasks newer than the gate
+  /// do not (re)start until the gate task has completed; without this, the
+  /// resumed future re-acquires the stripe before the past writer's worker
+  /// is ever scheduled and the thread livelocks (single-core pathology).
+  /// Stale once completed_task passes it; overwritten by newer signals.
+  std::atomic<std::uint64_t> waw_gate{0};
+
+  /// owners[(serial-1) % depth] — task slots double as the bounded
+  /// speculation window (a new task starts only when its residue slot is
+  /// free, which bounds active tasks to SPECDEPTH).
+  std::vector<task_slot> owners;
+
+  /// Serializes fence raises, rollback coordination, and the commit point of
+  /// no return, closing the fence-vs-commit race (DESIGN.md §4.3).
+  stamped_mutex rollback_mu;
+
+  std::atomic<bool> shutdown{false};
+
+  /// Commit journal (oracle tests); appended by commit-tasks under
+  /// rollback_mu, read by the driver after drain().
+  std::vector<commit_record> journal;
+
+  task_slot& slot_for(std::uint64_t serial) noexcept { return owners[(serial - 1) % depth]; }
+
+  /// Raises the fence to min(fence, target). No-op when the target's
+  /// transaction already committed (the raise lost the race). Returns true
+  /// iff this call actually lowered the fence (callers use it for abort
+  /// statistics; repeated signalling of an already-covered serial is free).
+  bool raise_fence(std::uint64_t target, vt::worker_clock& clk) noexcept {
+    rollback_mu.lock(clk);
+    bool lowered = false;
+    if (target > committed_task.load(clk) && target < fence.load(clk)) {
+      fence.store(target, clk);
+      lowered = true;
+    }
+    rollback_mu.unlock(clk);
+    return lowered;
+  }
+
+  bool fence_covers(std::uint64_t serial, vt::worker_clock& clk) noexcept {
+    return fence.load(clk) <= serial;
+  }
+  /// Flag-probe variants without a virtual-time join: polling a fence that
+  /// does not cover us is not a causal dependency, and joining the last
+  /// coordinator's clear-stamp on every safepoint would serialize unrelated
+  /// tasks' timelines (DESIGN.md §5 — only value-carrying and blocking edges
+  /// are stamped). Tasks that ARE covered join through rollback_parked_wait.
+  bool fence_covers_unstamped(std::uint64_t serial) const noexcept {
+    return fence.load_unstamped() <= serial;
+  }
+  bool fence_active_unstamped() const noexcept {
+    return fence.load_unstamped() != no_fence;
+  }
+};
+
+}  // namespace tlstm::core

@@ -1,0 +1,81 @@
+// Log structures and control-flow types shared by the SwissTM baseline and
+// the TLSTM runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stm/lock_table.hpp"
+#include "util/chunked_vector.hpp"
+#include "util/epoch.hpp"
+
+namespace tlstm::stm {
+
+/// Thrown to unwind user code when the current task/transaction must
+/// restart. Caught only by the owning worker loop; user code must let it
+/// propagate (catch(...) blocks in transactional code must rethrow).
+struct tx_abort {
+  enum class reason : std::uint8_t {
+    validation,        // read-log revalidation failed
+    cm,                // contention manager chose us as victim
+    war,               // intra-thread write-after-read (TLSTM)
+    waw_past_running,  // wrote where a running past task wrote (TLSTM)
+    fence,             // cascaded thread restart fence (TLSTM)
+    explicit_abort,    // user called ctx.abort()
+  };
+  reason why;
+};
+
+/// One observed committed read: the stripe, the address read, and the
+/// version the value had. Inter-thread validation is stripe-granular
+/// (version compare), but intra-thread WAR validation must be
+/// address-refined: a colliding-address write by a completed past task of
+/// the *same* transaction would otherwise fail validation until that
+/// transaction commits — which requires the failing task, a livelock.
+struct read_log_entry {
+  lock_pair* locks;
+  const word* addr;
+  word version;
+};
+
+/// One observed speculative read from a past task's chain entry (TLSTM):
+/// stripe + address + the (serial, incarnation) identity of the entry we
+/// read, used by task validation to detect WAR conflicts and recycled
+/// entries. The address refines chain-walk validation to the entries that
+/// actually cover the value we read (see read_log_entry on why).
+struct task_read_log_entry {
+  lock_pair* locks;
+  const word* addr;
+  std::uint64_t serial;
+  std::uint32_t incarnation;
+};
+
+/// Deferred memory-management action (allocation undo / committed retire).
+struct mm_action {
+  void* obj;
+  util::reclaimer::deleter_fn fn;
+  void* ctx;
+};
+
+/// Per-task (or per-SwissTM-transaction) log bundle. Logs are cleared
+/// logically between incarnations; the chunked write log keeps its memory so
+/// chain pointers held by concurrent readers stay dereferenceable.
+struct access_logs {
+  std::vector<read_log_entry> read_log;
+  std::vector<task_read_log_entry> task_read_log;
+  util::chunked_vector<write_entry> write_log;
+  std::vector<mm_action> alloc_undo;     // run on abort
+  std::vector<mm_action> commit_retire;  // handed to the reclaimer on commit
+
+  void clear_for_restart() {
+    read_log.clear();
+    task_read_log.clear();
+    write_log.clear();
+    // Alloc undo actions are executed (not just dropped) by the abort path
+    // before calling this; commit retires are simply discarded on abort.
+    alloc_undo.clear();
+    commit_retire.clear();
+  }
+};
+
+}  // namespace tlstm::stm

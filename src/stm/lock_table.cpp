@@ -1,0 +1,10 @@
+// lock_table is header-only; this TU anchors the target and keeps a
+// compile-time check of the entry layout close to the definition.
+#include "stm/lock_table.hpp"
+
+namespace tlstm::stm {
+
+static_assert(sizeof(word) == 8, "TLSTM assumes 64-bit words");
+static_assert(alignof(lock_pair) >= 8);
+
+}  // namespace tlstm::stm

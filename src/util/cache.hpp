@@ -1,0 +1,41 @@
+// Cache-line utilities: alignment constants and false-sharing-free wrappers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace tlstm::util {
+
+// std::hardware_destructive_interference_size is not reliably defined on all
+// standard libraries; 64 bytes is correct for every x86-64 and most ARM parts.
+inline constexpr std::size_t cache_line_size = 64;
+
+/// Wraps a value in its own cache line so that independent per-thread data
+/// never false-shares. The wrapped type is reachable through `value` or the
+/// pointer-like accessors.
+template <typename T>
+struct alignas(cache_line_size) padded {
+  T value{};
+
+  padded() = default;
+  explicit padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+/// A cache-line padded atomic counter with relaxed increments; used for the
+/// statistics counters that must not perturb the measured runtime.
+struct alignas(cache_line_size) padded_counter {
+  std::atomic<std::uint64_t> n{0};
+
+  void add(std::uint64_t d = 1) noexcept { n.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t load() const noexcept { return n.load(std::memory_order_relaxed); }
+  void reset() noexcept { n.store(0, std::memory_order_relaxed); }
+};
+
+}  // namespace tlstm::util

@@ -1,0 +1,77 @@
+// chunked_vector: append-only storage with *stable element addresses*.
+//
+// The STM write log needs stable addresses because the global lock table
+// stores raw pointers to write-log entries (the redo-log chain); a
+// std::vector would invalidate those pointers on growth. Chunks are never
+// freed while the owning descriptor lives, so concurrent speculative readers
+// chasing chain pointers can never touch unmapped memory (entries may be
+// logically stale, which validation detects — see DESIGN.md §4.4).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace tlstm::util {
+
+template <typename T, std::size_t ChunkSize = 64>
+class chunked_vector {
+  static_assert(ChunkSize > 0 && (ChunkSize & (ChunkSize - 1)) == 0,
+                "ChunkSize must be a power of two");
+
+ public:
+  chunked_vector() = default;
+  chunked_vector(const chunked_vector&) = delete;
+  chunked_vector& operator=(const chunked_vector&) = delete;
+
+  /// Appends a default-constructed element and returns a stable reference.
+  T& emplace_back() {
+    const std::size_t chunk = size_ / ChunkSize;
+    const std::size_t slot = size_ & (ChunkSize - 1);
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(std::make_unique<T[]>(ChunkSize));
+    }
+    ++size_;
+    return chunks_[chunk][slot];
+  }
+
+  T& operator[](std::size_t i) noexcept { return chunks_[i / ChunkSize][i & (ChunkSize - 1)]; }
+  const T& operator[](std::size_t i) const noexcept {
+    return chunks_[i / ChunkSize][i & (ChunkSize - 1)];
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Logical clear. Chunk memory is retained so that (a) re-use is
+  /// allocation-free and (b) stale chain pointers held by concurrent readers
+  /// remain dereferenceable (type-stability).
+  void clear() noexcept { size_ = 0; }
+
+  /// Logical removal of the newest element (used when a lock CAS loses the
+  /// race and the speculatively appended entry must be withdrawn).
+  void pop_back() noexcept { --size_; }
+
+  T& back() noexcept { return (*this)[size_ - 1]; }
+
+  /// Iteration support (forward only, sufficient for log walks).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < size_; ++i) fn((*this)[i]);
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn((*this)[i]);
+  }
+  /// Reverse iteration (newest first) — used when popping redo-chain entries.
+  template <typename Fn>
+  void for_each_reverse(Fn&& fn) {
+    for (std::size_t i = size_; i > 0; --i) fn((*this)[i - 1]);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tlstm::util

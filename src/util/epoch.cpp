@@ -1,0 +1,77 @@
+#include "util/epoch.hpp"
+
+#include <stdexcept>
+
+namespace tlstm::util {
+
+std::size_t epoch_domain::register_participant() {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  for (std::size_t i = 0; i < max_participants; ++i) {
+    bool expected = false;
+    if (used_[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      slots_[i].value.store(unpinned, std::memory_order_release);
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 &&
+             !high_water_.compare_exchange_weak(hw, i + 1, std::memory_order_relaxed)) {
+      }
+      return i;
+    }
+  }
+  throw std::runtime_error("epoch_domain: participant slots exhausted");
+}
+
+void epoch_domain::unregister_participant(std::size_t idx) noexcept {
+  slots_[idx].value.store(unpinned, std::memory_order_release);
+  used_[idx].store(false, std::memory_order_release);
+}
+
+std::uint64_t epoch_domain::try_advance() noexcept {
+  const std::uint64_t cur = global_.load(std::memory_order_acquire);
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    if (!used_[i].load(std::memory_order_acquire)) continue;
+    const std::uint64_t pinned_at = slots_[i].value.load(std::memory_order_seq_cst);
+    if (pinned_at != unpinned && pinned_at < cur) {
+      return cur;  // a straggler still observes an older epoch
+    }
+  }
+  std::uint64_t expected = cur;
+  global_.compare_exchange_strong(expected, cur + 1, std::memory_order_acq_rel);
+  return global_.load(std::memory_order_acquire);
+}
+
+std::uint64_t epoch_domain::safe_before() const noexcept {
+  std::uint64_t min_pinned = global_.load(std::memory_order_acquire);
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    if (!used_[i].load(std::memory_order_acquire)) continue;
+    const std::uint64_t pinned_at = slots_[i].value.load(std::memory_order_seq_cst);
+    if (pinned_at != unpinned && pinned_at < min_pinned) min_pinned = pinned_at;
+  }
+  return min_pinned;
+}
+
+std::size_t reclaimer::collect() {
+  const std::uint64_t safe = dom_->safe_before();
+  std::size_t freed = 0;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < limbo_.size(); ++i) {
+    if (limbo_[i].epoch < safe) {
+      limbo_[i].fn(limbo_[i].obj, limbo_[i].ctx);
+      ++freed;
+    } else {
+      limbo_[keep++] = limbo_[i];
+    }
+  }
+  limbo_.resize(keep);
+  return freed;
+}
+
+std::size_t reclaimer::flush_all() {
+  const std::size_t n = limbo_.size();
+  for (auto& it : limbo_) it.fn(it.obj, it.ctx);
+  limbo_.clear();
+  return n;
+}
+
+}  // namespace tlstm::util

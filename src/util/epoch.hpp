@@ -1,0 +1,177 @@
+// Epoch-based memory reclamation with type-stable object pools.
+//
+// Why this exists (DESIGN.md §4.4): TLSTM tasks read speculatively and may
+// be doomed; a doomed task can hold a pointer to a node that a committed
+// transaction has already freed. Safety here has two layers:
+//   1. *Type stability* — pool chunks are never returned to the OS while the
+//      pool lives, so a stale pointer dereference reads garbage values, never
+//      faults. Validation then kills the doomed task.
+//   2. *Grace periods* — a freed node is recycled (and non-transactionally
+//      re-initialized) only after every task that was live at free time has
+//      finished, so committed snapshots are never torn without a version
+//      bump in the lock table.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/cache.hpp"
+
+namespace tlstm::util {
+
+/// Global epoch clock plus per-participant pin slots. One participant per
+/// runtime worker. Advancement requires every *pinned* participant to have
+/// observed the current epoch (classic 3-epoch scheme).
+class epoch_domain {
+ public:
+  static constexpr std::size_t max_participants = 512;
+  static constexpr std::uint64_t unpinned = ~0ull;
+
+  epoch_domain() = default;
+  epoch_domain(const epoch_domain&) = delete;
+  epoch_domain& operator=(const epoch_domain&) = delete;
+
+  /// Claims a participant slot; call once per worker thread.
+  std::size_t register_participant();
+  void unregister_participant(std::size_t idx) noexcept;
+
+  /// Pins the participant at the current global epoch for the duration of a
+  /// task. Reads between pin and unpin are protected.
+  void pin(std::size_t idx) noexcept {
+    // Publish the observed epoch before any protected read; seq_cst keeps
+    // the pin visible to advancers without a second fence.
+    slots_[idx].value.store(global_.load(std::memory_order_relaxed),
+                            std::memory_order_seq_cst);
+  }
+  void unpin(std::size_t idx) noexcept {
+    slots_[idx].value.store(unpinned, std::memory_order_release);
+  }
+
+  std::uint64_t current() const noexcept { return global_.load(std::memory_order_acquire); }
+
+  /// Attempts to advance the global epoch. Succeeds iff every pinned
+  /// participant has observed the current epoch. Returns the (possibly new)
+  /// current epoch.
+  std::uint64_t try_advance() noexcept;
+
+  /// Epochs strictly below the returned value are safe to reclaim: no pinned
+  /// participant can still observe them.
+  std::uint64_t safe_before() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> global_{1};
+  padded<std::atomic<std::uint64_t>> slots_[max_participants];
+  std::atomic<bool> used_[max_participants]{};
+  std::mutex register_mu_;
+  std::atomic<std::size_t> high_water_{0};
+};
+
+/// Per-thread deferred-free list. `retire()` records (pointer, deleter);
+/// `collect()` runs deleters whose retirement epoch is safely in the past.
+class reclaimer {
+ public:
+  using deleter_fn = void (*)(void* obj, void* ctx);
+
+  explicit reclaimer(epoch_domain& dom) : dom_(&dom) {}
+  ~reclaimer() { flush_all(); }
+  reclaimer(const reclaimer&) = delete;
+  reclaimer& operator=(const reclaimer&) = delete;
+
+  void retire(void* obj, deleter_fn fn, void* ctx) {
+    limbo_.push_back({dom_->current(), obj, fn, ctx});
+    if (limbo_.size() >= collect_threshold) {
+      dom_->try_advance();
+      collect();
+    }
+  }
+
+  /// Frees everything whose epoch is < safe_before(). Returns #freed.
+  std::size_t collect();
+
+  /// Unconditional drain; only safe once the runtime has quiesced (no task
+  /// pinned). Used at shutdown and between benchmark phases.
+  std::size_t flush_all();
+
+  std::size_t pending() const noexcept { return limbo_.size(); }
+
+ private:
+  static constexpr std::size_t collect_threshold = 128;
+  struct item {
+    std::uint64_t epoch;
+    void* obj;
+    deleter_fn fn;
+    void* ctx;
+  };
+  epoch_domain* dom_;
+  std::vector<item> limbo_;
+};
+
+/// Type-stable pool: chunked storage, lock-protected shared free list.
+/// Chunks live until pool destruction, giving the type-stability guarantee.
+/// Free-list pushes must come through a reclaimer grace period.
+template <typename T>
+class object_pool {
+ public:
+  explicit object_pool(std::size_t chunk_objects = 1024) : chunk_objects_(chunk_objects) {}
+  ~object_pool() {
+    for (auto& c : chunks_) ::operator delete[](c, std::align_val_t{alignof(T)});
+  }
+  object_pool(const object_pool&) = delete;
+  object_pool& operator=(const object_pool&) = delete;
+
+  /// Grabs raw storage (no construction). Thread-safe.
+  void* allocate_raw() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_list_.empty()) {
+      void* p = free_list_.back();
+      free_list_.pop_back();
+      return p;
+    }
+    if (bump_ == chunk_objects_ || chunks_.empty()) {
+      chunks_.push_back(static_cast<char*>(
+          ::operator new[](chunk_objects_ * slot_size(), std::align_val_t{alignof(T)})));
+      bump_ = 0;
+    }
+    return chunks_.back() + (bump_++) * slot_size();
+  }
+
+  template <typename... Args>
+  T* construct(Args&&... args) {
+    return new (allocate_raw()) T(std::forward<Args>(args)...);
+  }
+
+  /// Returns storage to the free list. Callers must have established a grace
+  /// period (go through reclaimer::retire with pool_deleter).
+  void deallocate_raw(void* p) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_list_.push_back(p);
+  }
+
+  /// Deleter thunk for reclaimer::retire — destroys and recycles.
+  static void pool_deleter(void* obj, void* ctx) {
+    auto* self = static_cast<object_pool*>(ctx);
+    static_cast<T*>(obj)->~T();
+    self->deallocate_raw(obj);
+  }
+
+  std::size_t chunks_allocated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return chunks_.size();
+  }
+
+ private:
+  static constexpr std::size_t slot_size() {
+    return (sizeof(T) + alignof(T) - 1) / alignof(T) * alignof(T);
+  }
+  const std::size_t chunk_objects_;
+  mutable std::mutex mu_;
+  std::vector<char*> chunks_;
+  std::vector<void*> free_list_;
+  std::size_t bump_ = 0;
+};
+
+}  // namespace tlstm::util

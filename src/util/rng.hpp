@@ -1,0 +1,61 @@
+// Deterministic, fast pseudo-random number generation for workloads and
+// tests. We avoid <random> engines in hot paths: xoshiro256** is an order of
+// magnitude cheaper and reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace tlstm::util {
+
+/// splitmix64 — used to seed xoshiro and to hash seeds into streams.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna. All state is local; one instance per
+/// worker/client, seeded deterministically from (seed, stream id).
+class xoshiro256 {
+ public:
+  explicit constexpr xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                                std::uint64_t stream = 0) noexcept {
+    std::uint64_t sm = seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift reduction; the
+  /// slight modulo bias is irrelevant for workload generation.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return (static_cast<unsigned __int128>(next()) * bound) >> 64;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw: true with probability pct/100.
+  constexpr bool next_percent(unsigned pct) noexcept { return next_below(100) < pct; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace tlstm::util

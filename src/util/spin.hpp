@@ -1,0 +1,45 @@
+// Bounded exponential backoff for the runtime's predicate waits.
+//
+// Every wait in TLSTM is a predicate loop with abort-flag checks (CP.42:
+// don't wait without a condition). On the oversubscribed single-core hosts
+// this repo targets, pure spinning would starve the thread that must make
+// the predicate true, so the backoff yields to the scheduler early.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace tlstm::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential pause-then-yield backoff. `spin()` is called once per failed
+/// predicate check.
+class backoff {
+ public:
+  void spin() noexcept {
+    if (iter_ < spin_limit) {
+      for (std::uint32_t i = 0; i < (1u << iter_); ++i) cpu_relax();
+      ++iter_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  void reset() noexcept { iter_ = 0; }
+
+ private:
+  static constexpr std::uint32_t spin_limit = 4;  // up to 16 pauses, then yield
+  std::uint32_t iter_ = 0;
+};
+
+}  // namespace tlstm::util

@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace tlstm::util {
+
+void stat_block::accumulate(const stat_block& other) noexcept {
+  tx_started += other.tx_started;
+  tx_committed += other.tx_committed;
+  tx_read_only += other.tx_read_only;
+  task_started += other.task_started;
+  task_committed += other.task_committed;
+  task_restarts += other.task_restarts;
+  tx_nested += other.tx_nested;
+  abort_war += other.abort_war;
+  abort_waw_past_running += other.abort_waw_past_running;
+  abort_waw_signalled += other.abort_waw_signalled;
+  abort_cm += other.abort_cm;
+  abort_validation += other.abort_validation;
+  abort_tx_inter += other.abort_tx_inter;
+  abort_fence += other.abort_fence;
+  reads_committed += other.reads_committed;
+  reads_speculative += other.reads_speculative;
+  writes += other.writes;
+  task_validations += other.task_validations;
+  ts_extensions += other.ts_extensions;
+  chain_hops += other.chain_hops;
+  wait_spins += other.wait_spins;
+}
+
+std::string to_string(const stat_block& s) {
+  std::ostringstream os;
+  os << s;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const stat_block& s) {
+  os << "tx{started=" << s.tx_started << " committed=" << s.tx_committed
+     << " ro=" << s.tx_read_only << "} task{started=" << s.task_started
+     << " committed=" << s.task_committed << " restarts=" << s.task_restarts
+     << " nested=" << s.tx_nested << "} aborts{war=" << s.abort_war << " waw_run=" << s.abort_waw_past_running
+     << " waw_sig=" << s.abort_waw_signalled << " cm=" << s.abort_cm
+     << " valid=" << s.abort_validation << " tx_inter=" << s.abort_tx_inter
+     << " fence=" << s.abort_fence << "} ops{rd=" << s.reads_committed
+     << " rd_spec=" << s.reads_speculative << " wr=" << s.writes
+     << " validations=" << s.task_validations << " ext=" << s.ts_extensions
+     << " hops=" << s.chain_hops << " spins=" << s.wait_spins << "}";
+  return os;
+}
+
+}  // namespace tlstm::util

@@ -1,0 +1,56 @@
+// Runtime statistics. Each worker owns a padded counter block (plain
+// uint64 fields — worker-local writes, aggregated only after quiescence), so
+// collecting statistics never adds synchronization to the measured paths.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/cache.hpp"
+
+namespace tlstm::util {
+
+/// Counter block for one worker. Field names mirror the paper's abort
+/// taxonomy (§3.2): WAR / WAW intra-thread conflicts, inter-thread
+/// contention-manager kills, validation failures, transaction-level aborts.
+struct alignas(cache_line_size) stat_block {
+  // Progress.
+  std::uint64_t tx_started = 0;
+  std::uint64_t tx_committed = 0;
+  std::uint64_t tx_read_only = 0;
+  std::uint64_t task_started = 0;
+  std::uint64_t task_committed = 0;
+  std::uint64_t task_restarts = 0;
+  std::uint64_t tx_nested = 0;  // nested atomic scopes flattened (paper §2)
+
+  // Abort causes (task granularity).
+  std::uint64_t abort_war = 0;             // intra-thread write-after-read
+  std::uint64_t abort_waw_past_running = 0;  // wrote where a running past task wrote
+  std::uint64_t abort_waw_signalled = 0;   // future task killed by past writer
+  std::uint64_t abort_cm = 0;              // inter-thread contention manager
+  std::uint64_t abort_validation = 0;      // read-log revalidation failed
+  std::uint64_t abort_tx_inter = 0;        // whole-transaction inter-thread abort
+  std::uint64_t abort_fence = 0;           // cascaded by the thread restart fence
+
+  // Operation mix.
+  std::uint64_t reads_committed = 0;   // reads served from committed state
+  std::uint64_t reads_speculative = 0; // reads served from redo-log chains
+  std::uint64_t writes = 0;
+  std::uint64_t task_validations = 0;
+  std::uint64_t ts_extensions = 0;
+  std::uint64_t chain_hops = 0;        // redo-chain entries traversed
+  std::uint64_t wait_spins = 0;        // failed predicate checks in waits
+
+  void accumulate(const stat_block& other) noexcept;
+  std::uint64_t aborts_total() const noexcept {
+    return abort_war + abort_waw_past_running + abort_waw_signalled + abort_cm +
+           abort_validation + abort_tx_inter + abort_fence;
+  }
+};
+
+/// Pretty one-block-per-line dump for harness logs.
+std::string to_string(const stat_block& s);
+std::ostream& operator<<(std::ostream& os, const stat_block& s);
+
+}  // namespace tlstm::util

@@ -1,0 +1,100 @@
+// Virtual time — the hardware substitution layer (DESIGN.md §5).
+//
+// The paper's testbeds give every worker its own hardware thread (≤ 64).
+// This repository may run on a single core, so performance figures are
+// reported in *virtual time*: each worker carries a Lamport clock advanced
+// by a calibrated cost model, and every happens-before edge in the runtime
+// is a `stamped_atomic` whose readers max-join their clock with the writer's
+// publication stamp. The resulting per-worker final clocks describe a
+// causally valid schedule on one-core-per-worker hardware; the makespan
+// (max final clock) plays the role of wall-clock time in the paper.
+//
+// Soundness note: the writer stores the stamp *before* the value with a
+// release store on the value; an acquire read of the value therefore
+// observes a stamp at least as large as the one paired with that value, so
+// joins can only be conservative (never claim impossible parallelism).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tlstm::vt {
+
+using vtime = std::uint64_t;
+
+/// Per-worker virtual clock. Workers are single-owner, so `now` is plain;
+/// publication happens through stamped_atomic stores.
+struct worker_clock {
+  vtime now = 0;
+
+  void advance(vtime cycles) noexcept { now += cycles; }
+  void join(vtime other) noexcept {
+    if (other > now) now = other;
+  }
+};
+
+/// An atomic value paired with the virtual timestamp of its last store.
+/// All runtime-level shared state (lock words, counters, the commit clock)
+/// goes through this wrapper so that causality joins happen automatically.
+template <typename T>
+class stamped_atomic {
+ public:
+  stamped_atomic() = default;
+  explicit stamped_atomic(T v) : value_(v) {}
+
+  /// Release-publishes `v` stamped with the caller's clock.
+  void store(T v, worker_clock& clk) noexcept {
+    stamp_.store(clk.now, std::memory_order_relaxed);
+    value_.store(v, std::memory_order_release);
+  }
+
+  /// Acquire-reads the value and joins the caller's clock with its stamp.
+  T load(worker_clock& clk) noexcept {
+    T v = value_.load(std::memory_order_acquire);
+    clk.join(stamp_.load(std::memory_order_relaxed));
+    return v;
+  }
+
+  /// Read without a causality join — for assertions and reporting only.
+  T load_unstamped(std::memory_order mo = std::memory_order_acquire) const noexcept {
+    return value_.load(mo);
+  }
+  vtime stamp() const noexcept { return stamp_.load(std::memory_order_relaxed); }
+
+  /// CAS that stamps only on success (stamping first would clobber the
+  /// current holder's stamp on failure). Readers racing into the tiny window
+  /// between the CAS and the stamp store may join a slightly older stamp;
+  /// this only affects measurement precision, never runtime correctness, and
+  /// the bound is one operation's cost. On failure the caller joins with the
+  /// winner's publication stamp.
+  bool compare_exchange(T& expected, T desired, worker_clock& clk) noexcept {
+    if (value_.compare_exchange_strong(expected, desired, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      stamp_.store(clk.now, std::memory_order_relaxed);
+      return true;
+    }
+    clk.join(stamp_.load(std::memory_order_relaxed));
+    return false;
+  }
+
+  /// Fetch-add with a causal join against the previous publisher
+  /// (increments of the global commit clock are causal edges). Racing
+  /// incrementers may interleave stamp stores; the drift is bounded by one
+  /// operation's cost and affects measurement only.
+  T fetch_add(T d, worker_clock& clk) noexcept {
+    clk.join(stamp_.load(std::memory_order_relaxed));
+    stamp_.store(clk.now, std::memory_order_relaxed);
+    return value_.fetch_add(d, std::memory_order_acq_rel);
+  }
+
+  void store_relaxed_init(T v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    stamp_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<T> value_{};
+  std::atomic<vtime> stamp_{0};
+};
+
+}  // namespace tlstm::vt

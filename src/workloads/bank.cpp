@@ -1,0 +1,15 @@
+#include "workloads/bank.hpp"
+
+namespace tlstm::wl {
+
+bank::bank(std::size_t n_accounts, std::uint64_t initial_balance)
+    : accounts_(n_accounts, initial_balance),
+      expected_total_(n_accounts * initial_balance) {}
+
+std::uint64_t bank::total_unsafe() const {
+  std::uint64_t sum = 0;
+  for (auto v : accounts_) sum += v;
+  return sum;
+}
+
+}  // namespace tlstm::wl

@@ -1,0 +1,54 @@
+// Bank workload: the canonical TM atomicity demo (transfers + audits).
+// Used by examples/bank_transfer.cpp and the integration tests; the audit
+// invariant (total balance constant) catches any isolation violation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace tlstm::wl {
+
+class bank {
+ public:
+  bank(std::size_t n_accounts, std::uint64_t initial_balance);
+
+  std::size_t size() const noexcept { return accounts_.size(); }
+  std::uint64_t expected_total() const noexcept { return expected_total_; }
+
+  /// Moves `amount` from one account to the other (clamped to the source
+  /// balance). Returns the amount actually moved.
+  template <typename Ctx>
+  std::uint64_t transfer(Ctx& ctx, std::size_t from, std::size_t to,
+                         std::uint64_t amount) {
+    const std::uint64_t f = ctx.read(&accounts_[from]);
+    const std::uint64_t moved = f < amount ? f : amount;
+    ctx.write(&accounts_[from], f - moved);
+    ctx.write(&accounts_[to], ctx.read(&accounts_[to]) + moved);
+    return moved;
+  }
+
+  /// Sums account balances in [lo, hi) — a partial audit, designed so a
+  /// full audit splits naturally into TLSTM tasks.
+  template <typename Ctx>
+  std::uint64_t audit_range(Ctx& ctx, std::size_t lo, std::size_t hi) const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = lo; i < hi; ++i) sum += ctx.read(&accounts_[i]);
+    return sum;
+  }
+
+  template <typename Ctx>
+  std::uint64_t audit(Ctx& ctx) const {
+    return audit_range(ctx, 0, accounts_.size());
+  }
+
+  /// Quiesced total (no transaction running).
+  std::uint64_t total_unsafe() const;
+
+ private:
+  std::vector<stm::word> accounts_;
+  std::uint64_t expected_total_;
+};
+
+}  // namespace tlstm::wl

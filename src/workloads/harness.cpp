@@ -1,0 +1,83 @@
+#include "workloads/harness.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cstdio>
+#include <thread>
+
+namespace tlstm::wl {
+
+run_result run_tlstm(const core::config& cfg, std::uint64_t tx_per_thread,
+                     std::uint64_t ops_per_tx, const tx_generator& gen, bool paced) {
+  core::runtime rt(cfg);
+  std::barrier round(static_cast<std::ptrdiff_t>(cfg.num_threads));
+  std::vector<std::thread> drivers;
+  drivers.reserve(cfg.num_threads);
+  for (unsigned t = 0; t < cfg.num_threads; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& th = rt.thread(t);
+      for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
+        if (paced && cfg.num_threads > 1) round.arrive_and_wait();
+        th.submit(gen(t, i));
+      }
+      th.drain();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+
+  run_result r;
+  r.stats = rt.aggregated_stats();
+  r.committed_tx = r.stats.tx_committed;
+  r.committed_ops = r.committed_tx * ops_per_tx;
+  r.makespan = rt.makespan();
+  return r;
+}
+
+run_result run_swiss(const stm::swiss_config& cfg, unsigned n_threads,
+                     std::uint64_t tx_per_thread, std::uint64_t ops_per_tx,
+                     const swiss_tx_body& body, bool paced) {
+  stm::swiss_runtime rt(cfg);
+  std::barrier round(static_cast<std::ptrdiff_t>(n_threads));
+  std::vector<util::stat_block> stats(n_threads);
+  std::vector<vt::vtime> clocks(n_threads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
+        if (paced && n_threads > 1) round.arrive_and_wait();
+        th->run_transaction([&](stm::swiss_thread& tx) { body(t, i, tx); });
+      }
+      stats[t] = th->stats();
+      clocks[t] = th->clock().now;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  run_result r;
+  for (unsigned t = 0; t < n_threads; ++t) {
+    r.stats.accumulate(stats[t]);
+    r.makespan = std::max(r.makespan, clocks[t]);
+  }
+  r.committed_tx = r.stats.tx_committed;
+  r.committed_ops = r.committed_tx * ops_per_tx;
+  return r;
+}
+
+void print_fig_header(const char* fig, const std::vector<const char*>& series) {
+  std::printf("FIG\t%s\tx", fig);
+  for (const char* s : series) std::printf("\t%s", s);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void print_fig_row(const char* fig, double x, const std::vector<double>& values) {
+  std::printf("FIG\t%s\t%.3f", fig, x);
+  for (double v : values) std::printf("\t%.3f", v);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace tlstm::wl

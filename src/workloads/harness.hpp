@@ -1,0 +1,74 @@
+// Benchmark harness: runs a workload under the SwissTM baseline or TLSTM and
+// reports committed work against the virtual makespan (DESIGN.md §5).
+//
+// Throughput units: virtual cycles model a ~1 GHz 2012-era core, so
+// ops/virtual-ms = committed_ops / (makespan / 1e6). Only ratios between
+// configurations are meaningful — exactly how the paper's figures are read.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "util/stats.hpp"
+#include "vt/vclock.hpp"
+
+namespace tlstm::wl {
+
+struct run_result {
+  std::uint64_t committed_tx = 0;
+  std::uint64_t committed_ops = 0;
+  vt::vtime makespan = 0;
+  util::stat_block stats;
+
+  double tx_per_vms() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(committed_tx) /
+                               (static_cast<double>(makespan) / 1e6);
+  }
+  double ops_per_vms() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(committed_ops) /
+                               (static_cast<double>(makespan) / 1e6);
+  }
+};
+
+/// Produces the task decomposition of one user-transaction. Called by the
+/// submitting user-thread; the closures it returns must be re-runnable
+/// (standard TM requirement) and parameter-complete (TLS pipelining).
+using tx_generator =
+    std::function<std::vector<core::task_fn>(unsigned thread, std::uint64_t tx_index)>;
+
+/// Runs `tx_per_thread` transactions on every TLSTM user-thread.
+/// `ops_per_tx` only scales the reported op counts.
+///
+/// `paced` aligns the driver threads at a barrier each round. On the
+/// single-core hosts this repo targets, the OS otherwise runs one thread's
+/// whole workload before the next thread's, which makes later threads'
+/// reads causally depend on the *end* of earlier threads' virtual timelines
+/// — a dependency pattern a real parallel machine would never produce.
+/// Pacing bounds the cross-thread clock skew to one transaction round, so
+/// the virtual schedule approximates genuinely concurrent execution
+/// (DESIGN.md §5).
+run_result run_tlstm(const core::config& cfg, std::uint64_t tx_per_thread,
+                     std::uint64_t ops_per_tx, const tx_generator& gen,
+                     bool paced = true);
+
+/// One SwissTM transaction body (runs inside run_transaction's retry loop).
+using swiss_tx_body =
+    std::function<void(unsigned thread, std::uint64_t tx_index, stm::swiss_thread&)>;
+
+/// Runs `tx_per_thread` transactions on each of `n_threads` SwissTM threads.
+/// See run_tlstm for the `paced` semantics.
+run_result run_swiss(const stm::swiss_config& cfg, unsigned n_threads,
+                     std::uint64_t tx_per_thread, std::uint64_t ops_per_tx,
+                     const swiss_tx_body& body, bool paced = true);
+
+/// Prints one figure row: `label  x  series...` (tab separated, benchmark
+/// logs are grep-friendly: lines start with "FIG").
+void print_fig_header(const char* fig, const std::vector<const char*>& series);
+void print_fig_row(const char* fig, double x, const std::vector<double>& values);
+
+}  // namespace tlstm::wl

@@ -1,0 +1,87 @@
+// Quiesced helpers for the intset workloads.
+#include "workloads/intset.hpp"
+
+namespace tlstm::wl {
+
+namespace {
+
+struct unsafe_ctx {
+  stm::word read(const stm::word* addr) { return *addr; }
+  void write(stm::word* addr, stm::word v) { *addr = v; }
+  void work(std::uint64_t) {}
+  void log_alloc_undo(void*, util::reclaimer::deleter_fn, void*) {}
+  void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
+    fn(obj, ctx);
+  }
+};
+
+}  // namespace
+
+void sorted_list::insert_unsafe(std::uint64_t key) {
+  unsafe_ctx ctx;
+  insert(ctx, key);
+}
+
+std::size_t sorted_list::size_unsafe() const {
+  std::size_t n = 0;
+  for (node* cur = head_->next.unsafe_peek(); cur != tail_; cur = cur->next.unsafe_peek()) {
+    ++n;
+  }
+  return n;
+}
+
+bool sorted_list::check_sorted_unsafe() const {
+  std::uint64_t prev = 0;
+  for (node* cur = head_->next.unsafe_peek(); cur != tail_; cur = cur->next.unsafe_peek()) {
+    const std::uint64_t k = cur->key.unsafe_peek();
+    if (k <= prev) return false;
+    prev = k;
+  }
+  return true;
+}
+
+void skiplist::insert_unsafe(std::uint64_t key) {
+  unsafe_ctx ctx;
+  insert(ctx, key, rng_.next());
+}
+
+std::size_t skiplist::size_unsafe() const {
+  std::size_t n = 0;
+  for (node* cur = head_->next[0].unsafe_peek(); cur != nullptr;
+       cur = cur->next[0].unsafe_peek()) {
+    ++n;
+  }
+  return n;
+}
+
+bool skiplist::check_levels_unsafe() const {
+  // Every level-l list must be a subsequence of level 0 and sorted.
+  for (unsigned lvl = 0; lvl < max_level; ++lvl) {
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (node* cur = head_->next[lvl].unsafe_peek(); cur != nullptr;
+         cur = cur->next[lvl].unsafe_peek()) {
+      const std::uint64_t k = cur->key.unsafe_peek();
+      if (!first && k <= prev) return false;
+      if (cur->level.unsafe_peek() <= lvl) return false;  // linked above its level
+      prev = k;
+      first = false;
+    }
+  }
+  return true;
+}
+
+void hashset::insert_unsafe(std::uint64_t key) {
+  unsafe_ctx ctx;
+  insert(ctx, key);
+}
+
+std::size_t hashset::size_unsafe() const {
+  std::size_t n = 0;
+  for (const auto& b : buckets_) {
+    for (node* cur = b.unsafe_peek(); cur != nullptr; cur = cur->next.unsafe_peek()) ++n;
+  }
+  return n;
+}
+
+}  // namespace tlstm::wl

@@ -1,0 +1,278 @@
+// Integer-set microbenchmarks — the classic STM evaluation family used by
+// TL2/SwissTM-era papers alongside the red-black tree: a sorted linked list
+// (long read chains, high read/write overlap), a skip list (logarithmic
+// search, moderate overlap) and a chained hash set (short transactions).
+// They give the task-decomposition experiments structurally different
+// substrates: list traversals serialize badly under TLS, hash ops split
+// perfectly — bench/abl_structures quantifies exactly that.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/rng.hpp"
+
+namespace tlstm::wl {
+
+/// Sorted singly-linked list with head/tail sentinels. contains/insert/erase
+/// walk from the head, reading every node on the way (the canonical
+/// "long transaction" microbenchmark).
+class sorted_list {
+ public:
+  sorted_list() : pool_(4096) {
+    head_ = pool_.create_unsafe();
+    tail_ = pool_.create_unsafe();
+    head_->key.init(0);
+    head_->next.init(tail_);
+    tail_->key.init(~std::uint64_t{0});
+    tail_->next.init(nullptr);
+  }
+
+  template <typename Ctx>
+  bool contains(Ctx& ctx, std::uint64_t key) const {
+    node* cur = head_->next.get(ctx);
+    while (cur->key.get(ctx) < key) {
+      ctx.work(node_work);
+      cur = cur->next.get(ctx);
+    }
+    return cur->key.get(ctx) == key;
+  }
+
+  template <typename Ctx>
+  bool insert(Ctx& ctx, std::uint64_t key) {
+    node* prev = head_;
+    node* cur = head_->next.get(ctx);
+    while (cur->key.get(ctx) < key) {
+      ctx.work(node_work);
+      prev = cur;
+      cur = cur->next.get(ctx);
+    }
+    if (cur->key.get(ctx) == key) return false;
+    node* n = pool_.create(ctx);
+    n->key.init(key);
+    n->next.init(nullptr);
+    n->next.set(ctx, cur);
+    prev->next.set(ctx, n);
+    return true;
+  }
+
+  template <typename Ctx>
+  bool erase(Ctx& ctx, std::uint64_t key) {
+    node* prev = head_;
+    node* cur = head_->next.get(ctx);
+    while (cur->key.get(ctx) < key) {
+      ctx.work(node_work);
+      prev = cur;
+      cur = cur->next.get(ctx);
+    }
+    if (cur->key.get(ctx) != key) return false;
+    prev->next.set(ctx, cur->next.get(ctx));
+    pool_.destroy(ctx, cur);
+    return true;
+  }
+
+  /// Sum of keys in [lo, hi] — a splittable long read operation.
+  template <typename Ctx>
+  std::uint64_t sum_range(Ctx& ctx, std::uint64_t lo, std::uint64_t hi) const {
+    node* cur = head_->next.get(ctx);
+    std::uint64_t sum = 0;
+    for (std::uint64_t k = cur->key.get(ctx); k <= hi; k = cur->key.get(ctx)) {
+      ctx.work(node_work);
+      if (k >= lo && k <= hi) sum += k;
+      cur = cur->next.get(ctx);
+      if (cur == nullptr) break;
+    }
+    return sum;
+  }
+
+  // Quiesced helpers.
+  void insert_unsafe(std::uint64_t key);
+  std::size_t size_unsafe() const;
+  bool check_sorted_unsafe() const;
+
+ private:
+  struct node {
+    tm_var<std::uint64_t> key;
+    tm_var<node*> next;
+  };
+  static constexpr std::uint64_t node_work = 12;
+  node* head_ = nullptr;
+  node* tail_ = nullptr;
+  tm_pool<node> pool_;
+};
+
+/// Skip list with fixed max level; deterministic per-instance RNG for level
+/// draws (quiesced inserts) and context-passed draws for transactional ones.
+class skiplist {
+ public:
+  static constexpr unsigned max_level = 12;
+
+  explicit skiplist(std::uint64_t seed = 99) : pool_(4096), rng_(seed) {
+    head_ = pool_.create_unsafe();
+    head_->key.init(0);
+    for (auto& n : head_->next) n.init(nullptr);
+    head_->level.init(max_level);
+  }
+
+  template <typename Ctx>
+  bool contains(Ctx& ctx, std::uint64_t key) const {
+    node* cur = head_;
+    for (int lvl = max_level - 1; lvl >= 0; --lvl) {
+      for (node* nxt = cur->next[lvl].get(ctx);
+           nxt != nullptr && nxt->key.get(ctx) < key; nxt = cur->next[lvl].get(ctx)) {
+        ctx.work(node_work);
+        cur = nxt;
+      }
+    }
+    node* candidate = cur->next[0].get(ctx);
+    return candidate != nullptr && candidate->key.get(ctx) == key;
+  }
+
+  /// `level_draw` is caller-provided randomness (re-execution of an aborted
+  /// task must redraw the same level, so the draw is a parameter, not
+  /// internal state). Geometric level distribution via trailing one-bits.
+  template <typename Ctx>
+  bool insert(Ctx& ctx, std::uint64_t key, std::uint64_t level_draw) {
+    node* update[max_level];
+    node* cur = head_;
+    for (int lvl = max_level - 1; lvl >= 0; --lvl) {
+      for (node* nxt = cur->next[lvl].get(ctx);
+           nxt != nullptr && nxt->key.get(ctx) < key; nxt = cur->next[lvl].get(ctx)) {
+        ctx.work(node_work);
+        cur = nxt;
+      }
+      update[lvl] = cur;
+    }
+    node* candidate = cur->next[0].get(ctx);
+    if (candidate != nullptr && candidate->key.get(ctx) == key) return false;
+    const unsigned level = std::min<unsigned>(
+        1 + static_cast<unsigned>(std::countr_one(level_draw)), max_level);
+    node* n = pool_.create(ctx);
+    n->key.init(key);
+    n->level.init(level);
+    for (auto& nn : n->next) nn.init(nullptr);
+    for (unsigned lvl = 0; lvl < level; ++lvl) {
+      n->next[lvl].set(ctx, update[lvl]->next[lvl].get(ctx));
+      update[lvl]->next[lvl].set(ctx, n);
+    }
+    return true;
+  }
+
+  template <typename Ctx>
+  bool erase(Ctx& ctx, std::uint64_t key) {
+    node* update[max_level];
+    node* cur = head_;
+    for (int lvl = max_level - 1; lvl >= 0; --lvl) {
+      for (node* nxt = cur->next[lvl].get(ctx);
+           nxt != nullptr && nxt->key.get(ctx) < key; nxt = cur->next[lvl].get(ctx)) {
+        ctx.work(node_work);
+        cur = nxt;
+      }
+      update[lvl] = cur;
+    }
+    node* victim = cur->next[0].get(ctx);
+    if (victim == nullptr || victim->key.get(ctx) != key) return false;
+    const unsigned level = static_cast<unsigned>(victim->level.get(ctx));
+    for (unsigned lvl = 0; lvl < level; ++lvl) {
+      if (update[lvl]->next[lvl].get(ctx) == victim) {
+        update[lvl]->next[lvl].set(ctx, victim->next[lvl].get(ctx));
+      }
+    }
+    pool_.destroy(ctx, victim);
+    return true;
+  }
+
+  void insert_unsafe(std::uint64_t key);
+  std::size_t size_unsafe() const;
+  bool check_levels_unsafe() const;
+
+ private:
+  struct node {
+    tm_var<std::uint64_t> key;
+    tm_var<std::uint64_t> level;
+    tm_var<node*> next[max_level];
+  };
+  static constexpr std::uint64_t node_work = 12;
+  node* head_ = nullptr;
+  tm_pool<node> pool_;
+  util::xoshiro256 rng_;
+};
+
+/// Chained hash set with a fixed bucket array — the short-transaction end of
+/// the spectrum; operations on different buckets are perfectly disjoint.
+class hashset {
+ public:
+  explicit hashset(std::size_t log2_buckets = 10)
+      : mask_((std::size_t{1} << log2_buckets) - 1),
+        buckets_(std::size_t{1} << log2_buckets),
+        pool_(4096) {
+    for (auto& b : buckets_) b.init(nullptr);
+  }
+
+  template <typename Ctx>
+  bool contains(Ctx& ctx, std::uint64_t key) const {
+    for (node* cur = bucket(key).get(ctx); cur != nullptr; cur = cur->next.get(ctx)) {
+      ctx.work(node_work);
+      if (cur->key.get(ctx) == key) return true;
+    }
+    return false;
+  }
+
+  template <typename Ctx>
+  bool insert(Ctx& ctx, std::uint64_t key) {
+    if (contains(ctx, key)) return false;
+    node* n = pool_.create(ctx);
+    n->key.init(key);
+    n->next.init(nullptr);
+    n->next.set(ctx, bucket(key).get(ctx));
+    bucket(key).set(ctx, n);
+    return true;
+  }
+
+  template <typename Ctx>
+  bool erase(Ctx& ctx, std::uint64_t key) {
+    node* prev = nullptr;
+    for (node* cur = bucket(key).get(ctx); cur != nullptr; cur = cur->next.get(ctx)) {
+      ctx.work(node_work);
+      if (cur->key.get(ctx) == key) {
+        node* nxt = cur->next.get(ctx);
+        if (prev == nullptr) {
+          bucket(key).set(ctx, nxt);
+        } else {
+          prev->next.set(ctx, nxt);
+        }
+        pool_.destroy(ctx, cur);
+        return true;
+      }
+      prev = cur;
+    }
+    return false;
+  }
+
+  void insert_unsafe(std::uint64_t key);
+  std::size_t size_unsafe() const;
+
+ private:
+  struct node {
+    tm_var<std::uint64_t> key;
+    tm_var<node*> next;
+  };
+  static constexpr std::uint64_t node_work = 10;
+
+  tm_var<node*>& bucket(std::uint64_t key) noexcept {
+    return buckets_[(key * 0x9e3779b97f4a7c15ULL >> 32) & mask_];
+  }
+  const tm_var<node*>& bucket(std::uint64_t key) const noexcept {
+    return buckets_[(key * 0x9e3779b97f4a7c15ULL >> 32) & mask_];
+  }
+
+  std::size_t mask_;
+  std::vector<tm_var<node*>> buckets_;
+  tm_pool<node> pool_;
+};
+
+}  // namespace tlstm::wl

@@ -1,0 +1,52 @@
+#include "workloads/kmeans.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace tlstm::wl {
+
+std::uint64_t kmeans::recenter_unsafe() {
+  std::uint64_t moved = 0;
+  for (unsigned c = 0; c < k_; ++c) {
+    const std::int64_t n = counts_[c].unsafe_peek();
+    if (n == 0) continue;
+    for (unsigned d = 0; d < dims_; ++d) {
+      auto& cell = centroids_[c * dims_ + d];
+      const std::int64_t mean = sums_[c * dims_ + d].unsafe_peek() / n;
+      moved += static_cast<std::uint64_t>(std::llabs(mean - cell.unsafe_peek()));
+      cell.init(mean);
+    }
+  }
+  for (auto& s : sums_) s.init(0);
+  for (auto& c : counts_) c.init(0);
+  return moved;
+}
+
+std::int64_t kmeans::total_count_unsafe() const {
+  std::int64_t total = 0;
+  for (unsigned c = 0; c < k_; ++c) total += counts_[c].unsafe_peek();
+  return total;
+}
+
+std::vector<std::int64_t> make_clustered_points(unsigned n, unsigned k, unsigned dims,
+                                                std::uint64_t seed) {
+  util::xoshiro256 rng(seed, 17);
+  std::vector<std::int64_t> pts(std::size_t{n} * dims);
+  // Cluster centers on a coarse grid, points jittered tightly around them so
+  // the clustering is well-defined (assignments stable across epochs).
+  constexpr std::int64_t grid = 10000;
+  constexpr std::int64_t jitter = 500;
+  std::vector<std::int64_t> centers(std::size_t{k} * dims);
+  for (auto& c : centers) c = static_cast<std::int64_t>(rng.next_below(8)) * grid;
+  for (unsigned p = 0; p < n; ++p) {
+    const unsigned c = p % k;
+    for (unsigned d = 0; d < dims; ++d) {
+      pts[std::size_t{p} * dims + d] =
+          centers[std::size_t{c} * dims + d] +
+          static_cast<std::int64_t>(rng.next_below(2 * jitter)) - jitter;
+    }
+  }
+  return pts;
+}
+
+}  // namespace tlstm::wl

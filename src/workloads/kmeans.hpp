@@ -1,0 +1,126 @@
+// K-means clustering in the STAMP style — the paper's negative result made
+// runnable. §4: "most of STAMP's applications had either very small
+// transactions or no further parallelization potential"; kmeans is the
+// canonical small-transaction member of that suite (one transaction per
+// point assignment, touching one centroid's accumulators). TLSTM cannot win
+// here: the transactions are too small to amortize task management, and the
+// natural two-task split (classify / update) forwards the chosen centroid
+// through the speculative path on every single transaction.
+// bench/fig_smalltx quantifies exactly that.
+//
+// Arithmetic is integer fixed-point so results are exactly reproducible
+// across runtimes and runs (distance comparisons never tie-break on
+// floating-point noise).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/rng.hpp"
+
+namespace tlstm::wl {
+
+/// Shared clustering state: K centroids of D dimensions plus per-centroid
+/// accumulators (sum per dimension + member count) updated transactionally
+/// by point-assignment transactions, exactly like STAMP kmeans' shared
+/// new_centers table.
+class kmeans {
+ public:
+  kmeans(unsigned k, unsigned dims) : k_(k), dims_(dims) {
+    centroids_.resize(std::size_t{k} * dims);
+    sums_.resize(std::size_t{k} * dims);
+    counts_.resize(k);
+    for (auto& c : centroids_) c.init(0);
+    for (auto& s : sums_) s.init(0);
+    for (auto& c : counts_) c.init(0);
+  }
+
+  unsigned k() const noexcept { return k_; }
+  unsigned dims() const noexcept { return dims_; }
+
+  /// Quiesced centroid seeding (e.g. from the first K points).
+  void seed_unsafe(unsigned centroid, const std::vector<std::int64_t>& coords) {
+    for (unsigned d = 0; d < dims_; ++d) {
+      centroids_[centroid * dims_ + d].init(coords[d]);
+    }
+  }
+
+  /// Transactional read of one centroid coordinate.
+  template <typename Ctx>
+  std::int64_t centroid(Ctx& ctx, unsigned c, unsigned d) const {
+    return centroids_[c * dims_ + d].get(ctx);
+  }
+
+  /// Classify: nearest centroid by squared L2 distance (reads K*D words).
+  template <typename Ctx>
+  unsigned nearest(Ctx& ctx, const std::int64_t* point) const {
+    unsigned best = 0;
+    std::int64_t best_d2 = distance2(ctx, 0, point);
+    for (unsigned c = 1; c < k_; ++c) {
+      const std::int64_t d2 = distance2(ctx, c, point);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  /// Accumulate: add the point to a centroid's accumulators (writes D+1
+  /// words). The write half of STAMP kmeans' per-point transaction.
+  template <typename Ctx>
+  void accumulate(Ctx& ctx, unsigned c, const std::int64_t* point) {
+    for (unsigned d = 0; d < dims_; ++d) {
+      auto& cell = sums_[c * dims_ + d];
+      cell.set(ctx, cell.get(ctx) + point[d]);
+    }
+    counts_[c].set(ctx, counts_[c].get(ctx) + 1);
+  }
+
+  /// The whole per-point transaction body (classify + accumulate), for
+  /// single-task runs and the SwissTM baseline.
+  template <typename Ctx>
+  unsigned assign_point(Ctx& ctx, const std::int64_t* point) {
+    const unsigned c = nearest(ctx, point);
+    accumulate(ctx, c, point);
+    return c;
+  }
+
+  /// Quiesced epoch step: move centroids to the accumulated means and clear
+  /// the accumulators. Returns the total displacement (L1) for convergence
+  /// checks.
+  std::uint64_t recenter_unsafe();
+
+  /// Quiesced accumulator totals, for conservation checks.
+  std::int64_t total_count_unsafe() const;
+  std::int64_t sum_unsafe(unsigned c, unsigned d) const {
+    return sums_[c * dims_ + d].unsafe_peek();
+  }
+  std::int64_t count_unsafe(unsigned c) const { return counts_[c].unsafe_peek(); }
+
+ private:
+  template <typename Ctx>
+  std::int64_t distance2(Ctx& ctx, unsigned c, const std::int64_t* point) const {
+    std::int64_t acc = 0;
+    for (unsigned d = 0; d < dims_; ++d) {
+      const std::int64_t delta = centroids_[c * dims_ + d].get(ctx) - point[d];
+      acc += delta * delta;
+    }
+    return acc;
+  }
+
+  unsigned k_;
+  unsigned dims_;
+  std::vector<tm_var<std::int64_t>> centroids_;
+  std::vector<tm_var<std::int64_t>> sums_;    // k * dims accumulator
+  std::vector<tm_var<std::int64_t>> counts_;  // k member counts
+};
+
+/// Deterministic synthetic dataset: `n` points in `dims` dimensions drawn
+/// around `k` well-separated cluster centers (the substitute for STAMP's
+/// random input files; DESIGN.md §7).
+std::vector<std::int64_t> make_clustered_points(unsigned n, unsigned k, unsigned dims,
+                                                std::uint64_t seed);
+
+}  // namespace tlstm::wl

@@ -1,0 +1,104 @@
+// Quiesced (non-transactional) red-black tree operations: setup seeding and
+// the structural invariant checker used by tests after every stress run.
+#include "workloads/rbtree.hpp"
+
+#include <cstddef>
+#include <functional>
+
+namespace tlstm::wl {
+
+namespace {
+
+/// Non-transactional context for quiesced access: satisfies the same duck
+/// type as swiss_thread/task_ctx but reads and writes memory directly. Only
+/// valid while no transaction is running anywhere.
+struct unsafe_ctx {
+  stm::word read(const stm::word* addr) { return *addr; }
+  void write(stm::word* addr, stm::word v) { *addr = v; }
+  void work(std::uint64_t) {}
+  void log_alloc_undo(void*, util::reclaimer::deleter_fn, void*) {}
+  void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
+    fn(obj, ctx);  // quiesced: free immediately
+  }
+};
+
+}  // namespace
+
+void rbtree::insert_unsafe(std::uint64_t key, std::uint64_t value) {
+  unsafe_ctx ctx;
+  insert(ctx, key, value);
+}
+
+std::size_t rbtree::size_unsafe() const {
+  std::size_t n = 0;
+  std::function<void(rb_node*)> walk = [&](rb_node* node) {
+    if (node == nullptr) return;
+    ++n;
+    walk(node->left.unsafe_peek());
+    walk(node->right.unsafe_peek());
+  };
+  walk(root_.unsafe_peek());
+  return n;
+}
+
+void rbtree::for_each_unsafe(
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  std::function<void(rb_node*)> walk = [&](rb_node* node) {
+    if (node == nullptr) return;
+    walk(node->left.unsafe_peek());
+    fn(node->key.unsafe_peek(), node->value.unsafe_peek());
+    walk(node->right.unsafe_peek());
+  };
+  walk(root_.unsafe_peek());
+}
+
+bool rbtree::check_invariants(const char** why) const {
+  const char* reason = nullptr;
+  // Returns the black-height of the subtree, or -1 on violation.
+  std::function<int(rb_node*, rb_node*, std::uint64_t, bool, std::uint64_t, bool)> walk =
+      [&](rb_node* n, rb_node* expected_parent, std::uint64_t lo, bool has_lo,
+          std::uint64_t hi, bool has_hi) -> int {
+    if (n == nullptr) return 1;  // leaves are black
+    const std::uint64_t k = n->key.unsafe_peek();
+    if (has_lo && k <= lo) {
+      reason = "BST order violated (left bound)";
+      return -1;
+    }
+    if (has_hi && k >= hi) {
+      reason = "BST order violated (right bound)";
+      return -1;
+    }
+    if (n->parent.unsafe_peek() != expected_parent) {
+      reason = "parent pointer inconsistent";
+      return -1;
+    }
+    const bool red = n->red.unsafe_peek();
+    rb_node* l = n->left.unsafe_peek();
+    rb_node* r = n->right.unsafe_peek();
+    if (red && ((l != nullptr && l->red.unsafe_peek()) ||
+                (r != nullptr && r->red.unsafe_peek()))) {
+      reason = "red node with red child";
+      return -1;
+    }
+    const int bl = walk(l, n, lo, has_lo, k, true);
+    if (bl < 0) return -1;
+    const int br = walk(r, n, k, true, hi, has_hi);
+    if (br < 0) return -1;
+    if (bl != br) {
+      reason = "black-height mismatch";
+      return -1;
+    }
+    return bl + (red ? 0 : 1);
+  };
+
+  rb_node* root = root_.unsafe_peek();
+  if (root != nullptr && root->red.unsafe_peek()) {
+    reason = "root is red";
+  } else {
+    (void)walk(root, nullptr, 0, false, 0, false);
+  }
+  if (why != nullptr) *why = reason;
+  return reason == nullptr;
+}
+
+}  // namespace tlstm::wl

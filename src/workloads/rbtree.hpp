@@ -1,0 +1,339 @@
+// Transactional red-black tree — the paper's microbenchmark substrate
+// (Fig. 1a) and the table index of the Vacation workload (Fig. 1b), mirroring
+// how STAMP builds its maps on an RB-tree.
+//
+// All structural reads/writes go through the transactional context, so the
+// tree is linearizable under both the SwissTM baseline and TLSTM. Operations
+// are templates over the context type (swiss_thread or task_ctx).
+//
+// Deletion uses the successor-splice formulation with an explicit parent
+// cursor instead of a shared nil sentinel: a sentinel's parent field would be
+// written by every erase and would serialize unrelated transactions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/api.hpp"
+
+namespace tlstm::wl {
+
+struct rb_node {
+  tm_var<std::uint64_t> key;
+  tm_var<std::uint64_t> value;
+  tm_var<rb_node*> left;
+  tm_var<rb_node*> right;
+  tm_var<rb_node*> parent;
+  tm_var<bool> red;
+};
+
+class rbtree {
+ public:
+  rbtree() : root_(nullptr), pool_(4096) {}
+
+  /// Transactional lookup; models a fixed amount of per-node user work so
+  /// task-size experiments (Fig. 1a) have a compute component.
+  template <typename Ctx>
+  std::optional<std::uint64_t> lookup(Ctx& ctx, std::uint64_t key) const {
+    rb_node* n = root_.get(ctx);
+    while (n != nullptr) {
+      const std::uint64_t k = n->key.get(ctx);
+      ctx.work(node_visit_work);
+      if (key == k) return n->value.get(ctx);
+      n = (key < k) ? n->left.get(ctx) : n->right.get(ctx);
+    }
+    return std::nullopt;
+  }
+
+  template <typename Ctx>
+  bool contains(Ctx& ctx, std::uint64_t key) const {
+    return lookup(ctx, key).has_value();
+  }
+
+  /// Inserts (key, value); returns false (and updates nothing) if present.
+  template <typename Ctx>
+  bool insert(Ctx& ctx, std::uint64_t key, std::uint64_t value) {
+    rb_node* parent = nullptr;
+    rb_node* n = root_.get(ctx);
+    while (n != nullptr) {
+      const std::uint64_t k = n->key.get(ctx);
+      ctx.work(node_visit_work);
+      if (key == k) return false;
+      parent = n;
+      n = (key < k) ? n->left.get(ctx) : n->right.get(ctx);
+    }
+    rb_node* node = pool_.create(ctx);
+    // Fresh node: fields may be initialized non-transactionally because its
+    // address is published only by the transactional link-in below.
+    node->key.init(key);
+    node->value.init(value);
+    node->left.init(nullptr);
+    node->right.init(nullptr);
+    node->parent.init(parent);
+    node->red.init(true);
+    if (parent == nullptr) {
+      root_.set(ctx, node);
+    } else if (key < parent->key.get(ctx)) {
+      parent->left.set(ctx, node);
+    } else {
+      parent->right.set(ctx, node);
+    }
+    insert_fixup(ctx, node);
+    return true;
+  }
+
+  /// Updates the value of an existing key; returns false if absent.
+  template <typename Ctx>
+  bool update(Ctx& ctx, std::uint64_t key, std::uint64_t value) {
+    rb_node* n = root_.get(ctx);
+    while (n != nullptr) {
+      const std::uint64_t k = n->key.get(ctx);
+      ctx.work(node_visit_work);
+      if (key == k) {
+        n->value.set(ctx, value);
+        return true;
+      }
+      n = (key < k) ? n->left.get(ctx) : n->right.get(ctx);
+    }
+    return false;
+  }
+
+  /// Removes key; returns false if absent. The removed node is reclaimed
+  /// through the epoch grace period.
+  template <typename Ctx>
+  bool erase(Ctx& ctx, std::uint64_t key) {
+    rb_node* z = root_.get(ctx);
+    while (z != nullptr) {
+      const std::uint64_t k = z->key.get(ctx);
+      ctx.work(node_visit_work);
+      if (key == k) break;
+      z = (key < k) ? z->left.get(ctx) : z->right.get(ctx);
+    }
+    if (z == nullptr) return false;
+
+    // If z has two children, splice its in-order successor instead and move
+    // the successor's payload into z.
+    rb_node* victim = z;
+    if (z->left.get(ctx) != nullptr && z->right.get(ctx) != nullptr) {
+      victim = z->right.get(ctx);
+      for (rb_node* l = victim->left.get(ctx); l != nullptr; l = victim->left.get(ctx)) {
+        victim = l;
+      }
+      z->key.set(ctx, victim->key.get(ctx));
+      z->value.set(ctx, victim->value.get(ctx));
+    }
+    // victim has at most one child.
+    rb_node* child = victim->left.get(ctx) != nullptr ? victim->left.get(ctx)
+                                                      : victim->right.get(ctx);
+    rb_node* vparent = victim->parent.get(ctx);
+    if (child != nullptr) child->parent.set(ctx, vparent);
+    if (vparent == nullptr) {
+      root_.set(ctx, child);
+    } else if (vparent->left.get(ctx) == victim) {
+      vparent->left.set(ctx, child);
+    } else {
+      vparent->right.set(ctx, child);
+    }
+    if (!victim->red.get(ctx)) erase_fixup(ctx, child, vparent);
+    pool_.destroy(ctx, victim);
+    return true;
+  }
+
+  /// Transactional range count in [lo, hi] — used by the long-traversal
+  /// style tests and benchmarks.
+  template <typename Ctx>
+  std::uint64_t count_range(Ctx& ctx, std::uint64_t lo, std::uint64_t hi) const {
+    return count_range_rec(ctx, root_.get(ctx), lo, hi);
+  }
+
+  // --- Quiesced (non-transactional) interface for setup and verification. ---
+  void insert_unsafe(std::uint64_t key, std::uint64_t value);
+  std::size_t size_unsafe() const;
+  /// In-order enumeration of (key, value); quiesced only.
+  void for_each_unsafe(const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
+  /// Checks BST order, red-red absence, black-height balance and parent
+  /// links. Returns false (and reports via *why) on any violation.
+  bool check_invariants(const char** why = nullptr) const;
+
+ private:
+  static constexpr std::uint64_t node_visit_work = 20;
+
+  template <typename Ctx>
+  rb_node* get_parent(Ctx& ctx, rb_node* n) const {
+    return n != nullptr ? n->parent.get(ctx) : nullptr;
+  }
+  template <typename Ctx>
+  bool is_red(Ctx& ctx, rb_node* n) const {
+    return n != nullptr && n->red.get(ctx);
+  }
+
+  template <typename Ctx>
+  void rotate_left(Ctx& ctx, rb_node* x) {
+    rb_node* y = x->right.get(ctx);
+    rb_node* yl = y->left.get(ctx);
+    x->right.set(ctx, yl);
+    if (yl != nullptr) yl->parent.set(ctx, x);
+    rb_node* xp = x->parent.get(ctx);
+    y->parent.set(ctx, xp);
+    if (xp == nullptr) {
+      root_.set(ctx, y);
+    } else if (xp->left.get(ctx) == x) {
+      xp->left.set(ctx, y);
+    } else {
+      xp->right.set(ctx, y);
+    }
+    y->left.set(ctx, x);
+    x->parent.set(ctx, y);
+  }
+
+  template <typename Ctx>
+  void rotate_right(Ctx& ctx, rb_node* x) {
+    rb_node* y = x->left.get(ctx);
+    rb_node* yr = y->right.get(ctx);
+    x->left.set(ctx, yr);
+    if (yr != nullptr) yr->parent.set(ctx, x);
+    rb_node* xp = x->parent.get(ctx);
+    y->parent.set(ctx, xp);
+    if (xp == nullptr) {
+      root_.set(ctx, y);
+    } else if (xp->right.get(ctx) == x) {
+      xp->right.set(ctx, y);
+    } else {
+      xp->left.set(ctx, y);
+    }
+    y->right.set(ctx, x);
+    x->parent.set(ctx, y);
+  }
+
+  template <typename Ctx>
+  void insert_fixup(Ctx& ctx, rb_node* z) {
+    while (true) {
+      rb_node* p = z->parent.get(ctx);
+      if (p == nullptr || !p->red.get(ctx)) break;
+      rb_node* g = p->parent.get(ctx);  // grandparent exists: p is red ⇒ not root
+      if (g->left.get(ctx) == p) {
+        rb_node* uncle = g->right.get(ctx);
+        if (is_red(ctx, uncle)) {
+          p->red.set(ctx, false);
+          uncle->red.set(ctx, false);
+          g->red.set(ctx, true);
+          z = g;
+        } else {
+          if (p->right.get(ctx) == z) {
+            z = p;
+            rotate_left(ctx, z);
+            p = z->parent.get(ctx);
+            g = p->parent.get(ctx);
+          }
+          p->red.set(ctx, false);
+          g->red.set(ctx, true);
+          rotate_right(ctx, g);
+        }
+      } else {
+        rb_node* uncle = g->left.get(ctx);
+        if (is_red(ctx, uncle)) {
+          p->red.set(ctx, false);
+          uncle->red.set(ctx, false);
+          g->red.set(ctx, true);
+          z = g;
+        } else {
+          if (p->left.get(ctx) == z) {
+            z = p;
+            rotate_right(ctx, z);
+            p = z->parent.get(ctx);
+            g = p->parent.get(ctx);
+          }
+          p->red.set(ctx, false);
+          g->red.set(ctx, true);
+          rotate_left(ctx, g);
+        }
+      }
+    }
+    rb_node* r = root_.get(ctx);
+    if (r->red.get(ctx)) r->red.set(ctx, false);
+  }
+
+  /// CLRS delete-fixup with the parent tracked in a local cursor (x may be
+  /// null where CLRS would use the nil sentinel).
+  template <typename Ctx>
+  void erase_fixup(Ctx& ctx, rb_node* x, rb_node* xparent) {
+    while (x != root_.get(ctx) && !is_red(ctx, x)) {
+      if (xparent->left.get(ctx) == x) {
+        rb_node* w = xparent->right.get(ctx);
+        if (is_red(ctx, w)) {
+          w->red.set(ctx, false);
+          xparent->red.set(ctx, true);
+          rotate_left(ctx, xparent);
+          w = xparent->right.get(ctx);
+        }
+        if (!is_red(ctx, w->left.get(ctx)) && !is_red(ctx, w->right.get(ctx))) {
+          w->red.set(ctx, true);
+          x = xparent;
+          xparent = x->parent.get(ctx);
+        } else {
+          if (!is_red(ctx, w->right.get(ctx))) {
+            rb_node* wl = w->left.get(ctx);
+            if (wl != nullptr) wl->red.set(ctx, false);
+            w->red.set(ctx, true);
+            rotate_right(ctx, w);
+            w = xparent->right.get(ctx);
+          }
+          w->red.set(ctx, xparent->red.get(ctx));
+          xparent->red.set(ctx, false);
+          rb_node* wr = w->right.get(ctx);
+          if (wr != nullptr) wr->red.set(ctx, false);
+          rotate_left(ctx, xparent);
+          x = root_.get(ctx);
+          xparent = nullptr;
+        }
+      } else {
+        rb_node* w = xparent->left.get(ctx);
+        if (is_red(ctx, w)) {
+          w->red.set(ctx, false);
+          xparent->red.set(ctx, true);
+          rotate_right(ctx, xparent);
+          w = xparent->left.get(ctx);
+        }
+        if (!is_red(ctx, w->right.get(ctx)) && !is_red(ctx, w->left.get(ctx))) {
+          w->red.set(ctx, true);
+          x = xparent;
+          xparent = x->parent.get(ctx);
+        } else {
+          if (!is_red(ctx, w->left.get(ctx))) {
+            rb_node* wr = w->right.get(ctx);
+            if (wr != nullptr) wr->red.set(ctx, false);
+            w->red.set(ctx, true);
+            rotate_left(ctx, w);
+            w = xparent->left.get(ctx);
+          }
+          w->red.set(ctx, xparent->red.get(ctx));
+          xparent->red.set(ctx, false);
+          rb_node* wl = w->left.get(ctx);
+          if (wl != nullptr) wl->red.set(ctx, false);
+          rotate_right(ctx, xparent);
+          x = root_.get(ctx);
+          xparent = nullptr;
+        }
+      }
+    }
+    if (x != nullptr) x->red.set(ctx, false);
+  }
+
+  template <typename Ctx>
+  std::uint64_t count_range_rec(Ctx& ctx, rb_node* n, std::uint64_t lo,
+                                std::uint64_t hi) const {
+    if (n == nullptr) return 0;
+    const std::uint64_t k = n->key.get(ctx);
+    ctx.work(node_visit_work);
+    std::uint64_t c = (k >= lo && k <= hi) ? 1 : 0;
+    if (k > lo) c += count_range_rec(ctx, n->left.get(ctx), lo, hi);
+    if (k < hi) c += count_range_rec(ctx, n->right.get(ctx), lo, hi);
+    return c;
+  }
+
+  tm_var<rb_node*> root_;
+  tm_pool<rb_node> pool_;
+};
+
+}  // namespace tlstm::wl

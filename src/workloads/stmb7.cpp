@@ -1,0 +1,136 @@
+// STMBench7 structure builder, task decomposition, invariant checking.
+#include "workloads/stmb7.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace tlstm::wl::stmb7 {
+
+namespace {
+
+struct unsafe_ctx {
+  stm::word read(const stm::word* addr) { return *addr; }
+  void write(stm::word* addr, stm::word v) { *addr = v; }
+  void work(std::uint64_t) {}
+  void log_alloc_undo(void*, util::reclaimer::deleter_fn, void*) {}
+  void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
+    fn(obj, ctx);
+  }
+};
+
+}  // namespace
+
+benchmark::benchmark(const config& cfg) : cfg_(cfg) {
+  if (cfg_.levels < 3 || cfg_.fanout < 1 || cfg_.parts_per_composite < 1 ||
+      cfg_.composite_pool < 1) {
+    throw std::invalid_argument("stmb7: degenerate configuration");
+  }
+  util::xoshiro256 rng(cfg_.seed);
+  unsafe_ctx ctx;
+
+  // Shared composite-part pool. Part ids are globally unique and congruent
+  // to their local index mod parts_per_composite (the DFS bitmap key).
+  composite_pool_.reserve(cfg_.composite_pool);
+  for (unsigned c = 0; c < cfg_.composite_pool; ++c) {
+    auto cp = std::make_unique<composite_part>();
+    cp->id = c;
+    cp->doc.title_id.init(c);
+    cp->doc.text_checksum.init(0);
+    cp->parts.reserve(cfg_.parts_per_composite);
+    for (unsigned i = 0; i < cfg_.parts_per_composite; ++i) {
+      auto p = std::make_unique<atomic_part>();
+      const std::uint64_t id =
+          static_cast<std::uint64_t>(c) * cfg_.parts_per_composite + i;
+      p->id.init(id);
+      p->x.init(0);
+      p->y.init(0);
+      p->build_date.init(0);
+      part_index_.insert(ctx, id, reinterpret_cast<std::uint64_t>(p.get()));
+      cp->parts.push_back(std::move(p));
+      ++total_parts_;
+    }
+    // Connection graph: a ring (guarantees the DFS reaches every part from
+    // parts[0]) plus random chords up to connections_per_part.
+    const unsigned n = cfg_.parts_per_composite;
+    for (unsigned i = 0; i < n; ++i) {
+      atomic_part* p = cp->parts[i].get();
+      p->connections.push_back(cp->parts[(i + 1) % n].get());
+      while (p->connections.size() < cfg_.connections_per_part) {
+        p->connections.push_back(cp->parts[rng.next_below(n)].get());
+      }
+    }
+    composite_pool_.push_back(std::move(cp));
+  }
+
+  // Complex-assembly tree: `levels` levels of `fanout` branches; the bottom
+  // level holds base assemblies that reference pool composites.
+  // `levels` counts like STMBench7's NumAssmLevels: the bottom level holds
+  // the base assemblies, so base count = fanout^(levels-1).
+  std::uint64_t next_assembly_id = 1;
+  std::function<std::unique_ptr<complex_assembly>(unsigned)> build =
+      [&](unsigned level) {
+        auto ca = std::make_unique<complex_assembly>();
+        ca->id = next_assembly_id++;
+        if (level + 2 == cfg_.levels) {
+          for (unsigned b = 0; b < cfg_.fanout; ++b) {
+            auto ba = std::make_unique<base_assembly>();
+            ba->id = next_assembly_id++;
+            ba->components.resize(cfg_.comps_per_base);
+            for (unsigned k = 0; k < cfg_.comps_per_base; ++k) {
+              ba->components[k].init(
+                  composite_pool_[rng.next_below(cfg_.composite_pool)].get());
+            }
+            bases_.push_back(ba.get());
+            ++n_base_;
+            ca->base_assemblies.push_back(std::move(ba));
+          }
+        } else {
+          for (unsigned s = 0; s < cfg_.fanout; ++s) {
+            ca->sub_assemblies.push_back(build(level + 1));
+          }
+        }
+        return ca;
+      };
+  root_ = build(0);
+}
+
+std::vector<complex_assembly*> benchmark::split_roots(unsigned n_tasks) {
+  std::vector<complex_assembly*> roots;
+  if (n_tasks == 1) {
+    roots.push_back(root_.get());
+    return roots;
+  }
+  if (n_tasks == cfg_.fanout && cfg_.levels >= 3) {
+    for (auto& s : root_->sub_assemblies) roots.push_back(s.get());
+    return roots;
+  }
+  if (n_tasks == cfg_.fanout * cfg_.fanout && cfg_.levels >= 4) {
+    for (auto& s : root_->sub_assemblies) {
+      for (auto& s2 : s->sub_assemblies) roots.push_back(s2.get());
+    }
+    return roots;
+  }
+  throw std::invalid_argument(
+      "stmb7: traversals split only into 1, fanout, or fanout^2 tasks");
+}
+
+bool benchmark::check_invariants(const char** why) const {
+  const char* reason = nullptr;
+  for (const auto& cp : composite_pool_) {
+    for (const auto& p : cp->parts) {
+      if (p->x.unsafe_peek() != p->y.unsafe_peek()) {
+        reason = "atomic part x != y (torn write traversal)";
+        break;
+      }
+      if (p->connections.size() != cfg_.connections_per_part) {
+        reason = "connection count corrupted";
+        break;
+      }
+    }
+    if (reason != nullptr) break;
+  }
+  if (why != nullptr) *why = reason;
+  return reason == nullptr;
+}
+
+}  // namespace tlstm::wl::stmb7

@@ -1,0 +1,239 @@
+// STMBench7 workload — reimplementation of the benchmark's data structure
+// and its "Long Traversals" operation class (Guerraoui, Kapałka, Vitek,
+// SIGOPS OSR'07; derived from OO7), which is the only operation set the
+// paper evaluates (Figs. 2a/2b).
+//
+// Structure (per STMBench7/OO7):
+//   module
+//     └─ complex-assembly tree: three branches from the root, `levels` deep
+//          └─ base assemblies (leaves), each referencing `comps_per_base`
+//             composite parts drawn from a *shared pool*
+//                └─ per-composite graph of atomic parts (x, y, build_date,
+//                   ring+chord connections) plus a document
+//
+// The shared composite pool is what gives write traversals their high
+// intra-thread conflict rate: tasks traversing disjoint assembly subtrees
+// still reach the same composite parts (paper §4: "several tasks writing to
+// the same location").
+//
+// Long traversals split into 1, 3 or 9 tasks along the first one or two
+// assembly levels ("it made sense to split the Long Traversals … in
+// multiples of three tasks").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/rng.hpp"
+#include "workloads/rbtree.hpp"
+
+namespace tlstm::wl::stmb7 {
+
+struct atomic_part {
+  tm_var<std::uint64_t> id;
+  tm_var<std::uint64_t> x;
+  tm_var<std::uint64_t> y;
+  tm_var<std::uint64_t> build_date;
+  std::vector<atomic_part*> connections;  // immutable after build
+};
+
+struct document {
+  tm_var<std::uint64_t> title_id;
+  tm_var<std::uint64_t> text_checksum;
+};
+
+struct composite_part {
+  std::uint64_t id = 0;
+  document doc;
+  std::vector<std::unique_ptr<atomic_part>> parts;  // parts[0] is the root
+};
+
+struct base_assembly {
+  std::uint64_t id = 0;
+  /// Shared-pool references, transactionally mutable: STMBench7's structural
+  /// modifications (SM class) swap these links while traversals chase them.
+  std::vector<tm_var<composite_part*>> components;
+};
+
+struct complex_assembly {
+  std::uint64_t id = 0;
+  std::vector<std::unique_ptr<complex_assembly>> sub_assemblies;
+  std::vector<std::unique_ptr<base_assembly>> base_assemblies;  // leaves only
+};
+
+struct config {
+  unsigned levels = 4;           ///< complex-assembly levels (STMBench7: 7)
+  unsigned fanout = 3;           ///< assemblies per assembly (STMBench7: 3)
+  unsigned comps_per_base = 3;   ///< composite parts per base assembly
+  unsigned composite_pool = 32;  ///< shared composite-part pool size (500)
+  unsigned parts_per_composite = 12;  ///< atomic parts per composite (200)
+  unsigned connections_per_part = 3;  ///< outgoing connections (3)
+  std::uint64_t seed = 7;
+};
+
+/// The benchmark structure plus its operations. Build is quiesced; all
+/// operations are templates over the transactional context.
+class benchmark {
+ public:
+  explicit benchmark(const config& cfg);
+
+  const config& cfg() const noexcept { return cfg_; }
+  complex_assembly* design_root() noexcept { return root_.get(); }
+
+  /// Subtree roots that partition the design for task decomposition.
+  /// n_tasks must be 1, or fanout, or fanout² (1, 3, 9 by default).
+  std::vector<complex_assembly*> split_roots(unsigned n_tasks);
+
+  /// Long read traversal (T1): full DFS below `root`, visiting every atomic
+  /// part graph; returns the number of parts visited (checksum folds reads).
+  template <typename Ctx>
+  std::uint64_t traverse_read(Ctx& ctx, complex_assembly* root) const {
+    std::uint64_t visited = 0;
+    walk_assemblies(root, [&](base_assembly* ba) {
+      for (const auto& link : ba->components) {
+        visited += scan_composite_read(ctx, link.get(ctx));
+      }
+    });
+    return visited;
+  }
+
+  /// Long write traversal (T2): like T1 but updates every atomic part,
+  /// maintaining the x == y invariant the checker verifies, and stamping
+  /// build_date.
+  template <typename Ctx>
+  std::uint64_t traverse_write(Ctx& ctx, complex_assembly* root,
+                               std::uint64_t stamp) {
+    std::uint64_t updated = 0;
+    walk_assemblies(root, [&](base_assembly* ba) {
+      for (const auto& link : ba->components) {
+        updated += scan_composite_write(ctx, link.get(ctx), stamp);
+      }
+    });
+    return updated;
+  }
+
+  /// Short traversal (ST class): walk one base assembly's first composite
+  /// without descending the whole design.
+  template <typename Ctx>
+  std::uint64_t short_traversal(Ctx& ctx, std::uint64_t base_idx) const {
+    base_assembly* ba = bases_[base_idx % bases_.size()];
+    return scan_composite_read(ctx, ba->components[0].get(ctx));
+  }
+
+  /// Structural modification (SM class): relink one component reference of a
+  /// base assembly to a different pool composite. Concurrent traversals chase
+  /// these links transactionally, so relinks are atomic with respect to them.
+  template <typename Ctx>
+  void swap_component(Ctx& ctx, std::uint64_t base_idx, unsigned comp_slot,
+                      std::uint64_t pool_idx) {
+    base_assembly* ba = bases_[base_idx % bases_.size()];
+    auto& link = ba->components[comp_slot % ba->components.size()];
+    link.set(ctx, composite_pool_[pool_idx % composite_pool_.size()].get());
+  }
+
+  /// Short operation: read one atomic part through the id index (ST-style).
+  template <typename Ctx>
+  std::uint64_t short_read(Ctx& ctx, std::uint64_t part_id) const {
+    auto v = part_index_.lookup(ctx, part_id);
+    if (!v) return 0;
+    auto* p = reinterpret_cast<atomic_part*>(*v);
+    return p->x.get(ctx) + p->build_date.get(ctx);
+  }
+
+  /// Short operation: update one atomic part (OP-style), preserving x == y.
+  template <typename Ctx>
+  bool short_write(Ctx& ctx, std::uint64_t part_id, std::uint64_t stamp) {
+    auto v = part_index_.lookup(ctx, part_id);
+    if (!v) return false;
+    auto* p = reinterpret_cast<atomic_part*>(*v);
+    const std::uint64_t nx = p->x.get(ctx) + 1;
+    p->x.set(ctx, nx);
+    p->y.set(ctx, nx);
+    p->build_date.set(ctx, stamp);
+    return true;
+  }
+
+  std::uint64_t total_parts() const noexcept { return total_parts_; }
+  std::uint64_t base_assembly_count() const noexcept { return n_base_; }
+  std::size_t composite_pool_size() const noexcept { return composite_pool_.size(); }
+
+  /// Quiesced invariant check: x == y on every atomic part (atomicity of
+  /// write traversals), graph shape intact.
+  bool check_invariants(const char** why = nullptr) const;
+
+ private:
+  template <typename Fn>
+  void walk_assemblies(complex_assembly* ca, Fn&& fn) const {
+    for (auto& ba : ca->base_assemblies) fn(ba.get());
+    for (auto& sub : ca->sub_assemblies) walk_assemblies(sub.get(), fn);
+  }
+
+  /// Per-worker DFS scratch, exactly like STMBench7's traversals keep their
+  /// visited sets in thread-local state (a shared bitmap would race between
+  /// the tasks of one traversal running on different workers).
+  static std::vector<bool>& visited_scratch(std::size_t size) {
+    static thread_local std::vector<bool> scratch;
+    scratch.assign(size, false);
+    return scratch;
+  }
+
+  template <typename Ctx>
+  std::uint64_t scan_composite_read(Ctx& ctx, composite_part* cp) const {
+    auto& visited = visited_scratch(cp->parts.size());
+    (void)cp->doc.title_id.get(ctx);
+    return dfs_read(ctx, cp, cp->parts[0].get(), visited);
+  }
+
+  template <typename Ctx>
+  std::uint64_t dfs_read(Ctx& ctx, composite_part* cp, atomic_part* p,
+                         std::vector<bool>& visited) const {
+    const std::uint64_t idx = p->id.unsafe_peek() % cp->parts.size();
+    if (visited[idx]) return 0;
+    visited[idx] = true;
+    // Read payload; the checksum keeps the reads alive.
+    std::uint64_t sum = p->x.get(ctx) + p->y.get(ctx);
+    ctx.work(part_work);
+    std::uint64_t n = 1;
+    for (atomic_part* c : p->connections) n += dfs_read(ctx, cp, c, visited);
+    (void)sum;
+    return n;
+  }
+
+  template <typename Ctx>
+  std::uint64_t scan_composite_write(Ctx& ctx, composite_part* cp,
+                                     std::uint64_t stamp) {
+    auto& visited = visited_scratch(cp->parts.size());
+    cp->doc.text_checksum.set(ctx, cp->doc.text_checksum.get(ctx) + 1);
+    return dfs_write(ctx, cp, cp->parts[0].get(), stamp, visited);
+  }
+
+  template <typename Ctx>
+  std::uint64_t dfs_write(Ctx& ctx, composite_part* cp, atomic_part* p,
+                          std::uint64_t stamp, std::vector<bool>& visited) {
+    const std::uint64_t idx = p->id.unsafe_peek() % cp->parts.size();
+    if (visited[idx]) return 0;
+    visited[idx] = true;
+    const std::uint64_t nx = p->x.get(ctx) + 1;
+    p->x.set(ctx, nx);
+    p->y.set(ctx, nx);
+    p->build_date.set(ctx, stamp);
+    ctx.work(part_work);
+    std::uint64_t n = 1;
+    for (atomic_part* c : p->connections) n += dfs_write(ctx, cp, c, stamp, visited);
+    return n;
+  }
+
+  static constexpr std::uint64_t part_work = 30;
+
+  config cfg_;
+  std::unique_ptr<complex_assembly> root_;
+  std::vector<std::unique_ptr<composite_part>> composite_pool_;
+  std::vector<base_assembly*> bases_;  // flat view for short ops / SMs
+  rbtree part_index_;  // id → atomic_part*
+  std::uint64_t total_parts_ = 0;
+  std::uint64_t n_base_ = 0;
+};
+
+}  // namespace tlstm::wl::stmb7

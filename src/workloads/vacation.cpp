@@ -1,0 +1,120 @@
+// Vacation workload: quiesced seeding, global invariant checking, and the
+// STAMP-style client batch generator.
+#include "workloads/vacation.hpp"
+
+#include <map>
+
+namespace tlstm::wl::vacation {
+
+namespace {
+
+struct unsafe_ctx {
+  stm::word read(const stm::word* addr) { return *addr; }
+  void write(stm::word* addr, stm::word v) { *addr = v; }
+  void work(std::uint64_t) {}
+  void log_alloc_undo(void*, util::reclaimer::deleter_fn, void*) {}
+  void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
+    fn(obj, ctx);
+  }
+};
+
+}  // namespace
+
+void manager::seed(std::size_t n_relations, std::size_t n_customers,
+                   std::uint64_t capacity, std::uint64_t seed) {
+  unsafe_ctx ctx;
+  util::xoshiro256 rng(seed);
+  for (std::size_t t = 0; t < n_res_types; ++t) {
+    for (std::size_t id = 0; id < n_relations; ++id) {
+      reservation* res = res_pool_.create_unsafe();
+      res->total.init(capacity);
+      res->used.init(0);
+      res->price.init(50 + rng.next_below(450));  // STAMP price range
+      tables_[t].insert(ctx, id, detail::ptr_to_val(res));
+    }
+  }
+  for (std::size_t id = 0; id < n_customers; ++id) {
+    customer* cust = cust_pool_.create_unsafe();
+    cust->head.init(nullptr);
+    customers_.insert(ctx, id, detail::ptr_to_val(cust));
+  }
+}
+
+std::size_t manager::relations_per_table_unsafe() const {
+  return tables_[0].size_unsafe();
+}
+
+bool manager::check_invariants(const char** why) const {
+  const char* reason = nullptr;
+
+  // Aggregate held items per (type, id) across all customers, then compare
+  // against each reservation's used count.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> held_counts;
+  bool ok = true;
+  customers_.for_each_unsafe([&](std::uint64_t, std::uint64_t cust_val) {
+    const auto* cust = detail::val_to_ptr<customer>(cust_val);
+    for (held_item* it = cust->head.unsafe_peek(); it != nullptr;
+         it = it->next.unsafe_peek()) {
+      held_counts[{it->type.unsafe_peek(), it->id.unsafe_peek()}]++;
+    }
+  });
+
+  std::uint64_t used_total = 0;
+  for (std::size_t t = 0; t < n_res_types && ok; ++t) {
+    tables_[t].for_each_unsafe([&](std::uint64_t id, std::uint64_t res_val) {
+      const auto* res = detail::val_to_ptr<reservation>(res_val);
+      const std::uint64_t used = res->used.unsafe_peek();
+      const std::uint64_t total = res->total.unsafe_peek();
+      if (used > total) {
+        reason = "reservation used > total";
+        ok = false;
+      }
+      used_total += used;
+      const auto itc = held_counts.find({t, id});
+      const std::uint64_t held = itc == held_counts.end() ? 0 : itc->second;
+      if (held != used) {
+        reason = "customer-held count != reservation used";
+        ok = false;
+      }
+      held_counts.erase({t, id});
+    });
+  }
+  // Any leftover held entries reference relations not in the tables.
+  if (ok && !held_counts.empty()) {
+    reason = "customer holds reservation for missing relation";
+    ok = false;
+  }
+  if (why != nullptr) *why = reason;
+  return ok;
+}
+
+std::vector<op> client::next_batch() {
+  std::vector<op> batch;
+  batch.reserve(cfg_.ops_per_tx);
+  const std::uint64_t span =
+      std::max<std::uint64_t>(1, cfg_.n_relations * cfg_.query_span_pct / 100);
+  for (unsigned i = 0; i < cfg_.ops_per_tx; ++i) {
+    op o{};
+    o.type = static_cast<res_type>(rng_.next_below(n_res_types));
+    o.id = rng_.next_below(span);
+    o.customer = rng_.next_below(cfg_.n_customers);
+    o.amount = 1 + rng_.next_below(4);
+    if (rng_.next_percent(cfg_.pct_user)) {
+      // Make-reservation flavour: mostly queries, some actual bookings —
+      // mirrors STAMP where a reservation action first queries relations.
+      const auto r = rng_.next_below(4);
+      o.k = r == 0   ? op::kind::reserve
+            : r == 1 ? op::kind::query_free
+                     : op::kind::query_price;
+    } else {
+      const auto r = rng_.next_below(4);
+      o.k = r == 0   ? op::kind::delete_customer
+            : r <= 2 ? op::kind::add_capacity
+                     : op::kind::remove_capacity;
+    }
+    batch.push_back(o);
+  }
+  return batch;
+}
+
+}  // namespace tlstm::wl::vacation

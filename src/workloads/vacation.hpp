@@ -1,0 +1,257 @@
+// Vacation workload — a reimplementation of STAMP's travel-reservation OLTP
+// system (Cao Minh et al., IISWC'08) with the paper's modification (§4):
+// each client issues *eight* operations per transaction, which splits
+// naturally into TLSTM tasks (two tasks of four operations in Fig. 1b).
+//
+// Tables (cars / flights / rooms / customers) are transactional red-black
+// trees, exactly like STAMP builds its maps. Reservations keep the
+// used + free == total invariant; customers keep linked lists of held items
+// whose per-reservation counts must globally match the tables — the
+// invariant checker in tests validates both.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/rng.hpp"
+#include "workloads/rbtree.hpp"
+
+namespace tlstm::wl::vacation {
+
+enum class res_type : std::uint8_t { car = 0, flight = 1, room = 2 };
+inline constexpr std::size_t n_res_types = 3;
+
+struct reservation {
+  tm_var<std::uint64_t> total;
+  tm_var<std::uint64_t> used;
+  tm_var<std::uint64_t> price;
+};
+
+/// One entry of a customer's held-reservations list.
+struct held_item {
+  tm_var<std::uint64_t> type;  // res_type
+  tm_var<std::uint64_t> id;
+  tm_var<std::uint64_t> price;
+  tm_var<held_item*> next;
+};
+
+struct customer {
+  tm_var<held_item*> head;
+};
+
+namespace detail {
+template <typename T>
+std::uint64_t ptr_to_val(T* p) noexcept {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+template <typename T>
+T* val_to_ptr(std::uint64_t v) noexcept {
+  return reinterpret_cast<T*>(v);
+}
+}  // namespace detail
+
+/// The reservation system: four RB-tree tables plus record pools.
+class manager {
+ public:
+  manager() : res_pool_(4096), item_pool_(4096), cust_pool_(1024) {}
+
+  /// Quiesced setup: relations [0, n) in every table with the given
+  /// capacity, prices seeded deterministically; customers [0, n_customers).
+  void seed(std::size_t n_relations, std::size_t n_customers, std::uint64_t capacity,
+            std::uint64_t seed);
+
+  /// Reserves one unit of (type, id) for the customer. Returns false if the
+  /// relation is missing, full, or the customer is missing.
+  template <typename Ctx>
+  bool reserve(Ctx& ctx, res_type type, std::uint64_t customer_id, std::uint64_t id) {
+    auto res_val = table(type).lookup(ctx, id);
+    if (!res_val) return false;
+    auto* res = detail::val_to_ptr<reservation>(*res_val);
+    const std::uint64_t used = res->used.get(ctx);
+    if (used >= res->total.get(ctx)) return false;
+    auto cust_val = customers_.lookup(ctx, customer_id);
+    if (!cust_val) return false;
+    auto* cust = detail::val_to_ptr<customer>(*cust_val);
+    res->used.set(ctx, used + 1);
+    held_item* item = item_pool_.create(ctx);
+    item->type.init(static_cast<std::uint64_t>(type));
+    item->id.init(id);
+    item->price.init(res->price.get(ctx));
+    item->next.init(nullptr);
+    // Push-front: publish the node by linking it transactionally.
+    item->next.set(ctx, cust->head.get(ctx));
+    cust->head.set(ctx, item);
+    return true;
+  }
+
+  /// Price query (read-only).
+  template <typename Ctx>
+  std::int64_t query_price(Ctx& ctx, res_type type, std::uint64_t id) const {
+    auto res_val = table(type).lookup(ctx, id);
+    if (!res_val) return -1;
+    return static_cast<std::int64_t>(
+        detail::val_to_ptr<reservation>(*res_val)->price.get(ctx));
+  }
+
+  /// Free-capacity query (read-only).
+  template <typename Ctx>
+  std::int64_t query_free(Ctx& ctx, res_type type, std::uint64_t id) const {
+    auto res_val = table(type).lookup(ctx, id);
+    if (!res_val) return -1;
+    auto* res = detail::val_to_ptr<reservation>(*res_val);
+    return static_cast<std::int64_t>(res->total.get(ctx) - res->used.get(ctx));
+  }
+
+  /// Adds capacity to (or creates) a relation — STAMP's update-tables grow.
+  template <typename Ctx>
+  bool add_reservation(Ctx& ctx, res_type type, std::uint64_t id, std::uint64_t n,
+                       std::uint64_t price) {
+    auto res_val = table(type).lookup(ctx, id);
+    if (res_val) {
+      auto* res = detail::val_to_ptr<reservation>(*res_val);
+      res->total.set(ctx, res->total.get(ctx) + n);
+      res->price.set(ctx, price);
+      return true;
+    }
+    reservation* res = res_pool_.create(ctx);
+    res->total.init(n);
+    res->used.init(0);
+    res->price.init(price);
+    return table(type).insert(ctx, id, detail::ptr_to_val(res));
+  }
+
+  /// Shrinks a relation's spare capacity — STAMP's update-tables reduce.
+  /// Never cuts below the used count (capacity invariant preserved).
+  template <typename Ctx>
+  bool remove_capacity(Ctx& ctx, res_type type, std::uint64_t id, std::uint64_t n) {
+    auto res_val = table(type).lookup(ctx, id);
+    if (!res_val) return false;
+    auto* res = detail::val_to_ptr<reservation>(*res_val);
+    const std::uint64_t total = res->total.get(ctx);
+    const std::uint64_t used = res->used.get(ctx);
+    if (total - used < n) return false;
+    res->total.set(ctx, total - n);
+    return true;
+  }
+
+  /// Releases every reservation the customer holds and removes the customer
+  /// record (STAMP's delete-customer). Returns the total released price or
+  /// -1 when absent.
+  template <typename Ctx>
+  std::int64_t delete_customer(Ctx& ctx, std::uint64_t customer_id) {
+    auto cust_val = customers_.lookup(ctx, customer_id);
+    if (!cust_val) return -1;
+    auto* cust = detail::val_to_ptr<customer>(*cust_val);
+    std::int64_t bill = 0;
+    held_item* item = cust->head.get(ctx);
+    while (item != nullptr) {
+      bill += static_cast<std::int64_t>(item->price.get(ctx));
+      const auto type = static_cast<res_type>(item->type.get(ctx));
+      auto res_val = table(type).lookup(ctx, item->id.get(ctx));
+      if (res_val) {
+        auto* res = detail::val_to_ptr<reservation>(*res_val);
+        res->used.set(ctx, res->used.get(ctx) - 1);
+      }
+      held_item* next = item->next.get(ctx);
+      item_pool_.destroy(ctx, item);
+      item = next;
+    }
+    customers_.erase(ctx, customer_id);
+    cust_pool_.destroy(ctx, cust);
+    return bill;
+  }
+
+  /// (Re-)creates a customer record; false if already present.
+  template <typename Ctx>
+  bool add_customer(Ctx& ctx, std::uint64_t customer_id) {
+    if (customers_.contains(ctx, customer_id)) return false;
+    customer* cust = cust_pool_.create(ctx);
+    cust->head.init(nullptr);
+    return customers_.insert(ctx, customer_id, detail::ptr_to_val(cust));
+  }
+
+  // --- Quiesced verification (tests). ---
+  /// used+free==total per relation, and per-relation used counts equal the
+  /// sum of customer-held items. Returns false and sets *why on violation.
+  bool check_invariants(const char** why = nullptr) const;
+  std::size_t relations_per_table_unsafe() const;
+
+ private:
+  friend class client;
+  rbtree& table(res_type t) noexcept { return tables_[static_cast<std::size_t>(t)]; }
+  const rbtree& table(res_type t) const noexcept {
+    return tables_[static_cast<std::size_t>(t)];
+  }
+
+  std::array<rbtree, n_res_types> tables_;
+  rbtree customers_;
+  tm_pool<reservation> res_pool_;
+  tm_pool<held_item> item_pool_;
+  tm_pool<customer> cust_pool_;
+};
+
+/// One primitive operation of a client batch. Parameters are fixed at
+/// generation time so a batch can be re-executed on abort and pipelined
+/// speculatively (the STAMP driver precomputes its choices the same way).
+struct op {
+  enum class kind : std::uint8_t {
+    query_price,       // read-only
+    query_free,        // read-only
+    reserve,           // customer books one unit
+    delete_customer,   // release everything a customer holds
+    add_capacity,      // update-tables grow/price change
+    remove_capacity,   // update-tables shrink
+  };
+  kind k;
+  res_type type;
+  std::uint64_t id;
+  std::uint64_t customer;
+  std::uint64_t amount;
+};
+
+/// Executes one op; the return value folds into a checksum so reads are not
+/// dead code.
+template <typename Ctx>
+std::int64_t run_op(Ctx& ctx, manager& mgr, const op& o) {
+  switch (o.k) {
+    case op::kind::query_price: return mgr.query_price(ctx, o.type, o.id);
+    case op::kind::query_free: return mgr.query_free(ctx, o.type, o.id);
+    case op::kind::reserve: return mgr.reserve(ctx, o.type, o.customer, o.id) ? 1 : 0;
+    case op::kind::delete_customer: return mgr.delete_customer(ctx, o.customer);
+    case op::kind::add_capacity:
+      return mgr.add_reservation(ctx, o.type, o.id, o.amount, 50 + o.amount % 100) ? 1 : 0;
+    case op::kind::remove_capacity:
+      return mgr.remove_capacity(ctx, o.type, o.id, o.amount) ? 1 : 0;
+  }
+  return 0;
+}
+
+/// Client batch generator mirroring STAMP's knobs. `query_span_pct` bounds
+/// the id range ops touch (STAMP -q); `pct_user` is the share of
+/// make-reservation style ops vs table updates / customer deletes
+/// (STAMP -u); low contention ≈ (span 90, user 98), high ≈ (span 60, user 90).
+struct client_config {
+  std::size_t n_relations = 1 << 12;
+  std::size_t n_customers = 1 << 10;
+  unsigned query_span_pct = 90;
+  unsigned pct_user = 98;
+  unsigned ops_per_tx = 8;  // the paper's modified Vacation client
+  std::uint64_t seed = 1;
+};
+
+class client {
+ public:
+  client(const client_config& cfg, std::uint32_t client_id)
+      : cfg_(cfg), rng_(cfg.seed, client_id) {}
+
+  /// Generates the next transaction's operation batch.
+  std::vector<op> next_batch();
+
+ private:
+  client_config cfg_;
+  util::xoshiro256 rng_;
+};
+
+}  // namespace tlstm::wl::vacation

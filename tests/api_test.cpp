@@ -1,0 +1,163 @@
+// Tests for the typed public API layer: tm_var packing across types,
+// tm_pool lifecycle (commit/abort paths, unsafe paths), word helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/api.hpp"
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+
+namespace {
+
+using namespace tlstm;
+
+core::config one_by_two() {
+  core::config c;
+  c.num_threads = 1;
+  c.spec_depth = 2;
+  c.log2_table = 14;
+  return c;
+}
+
+TEST(TmVar, PacksAndUnpacksEveryWordCompatibleType) {
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  tm_var<bool> vb(true);
+  tm_var<char> vc('z');
+  tm_var<std::int8_t> v8(-8);
+  tm_var<std::uint16_t> v16(65535);
+  tm_var<std::int32_t> v32(-123456);
+  tm_var<float> vf(3.5f);
+  tm_var<double> vd(-2.25);
+  tm_var<std::uint64_t> v64(~0ull);
+  enum class color : std::uint8_t { red = 2, blue = 7 };
+  tm_var<color> ve(color::blue);
+
+  th->run_transaction([&](stm::swiss_thread& tx) {
+    EXPECT_EQ(vb.get(tx), true);
+    EXPECT_EQ(vc.get(tx), 'z');
+    EXPECT_EQ(v8.get(tx), -8);
+    EXPECT_EQ(v16.get(tx), 65535);
+    EXPECT_EQ(v32.get(tx), -123456);
+    EXPECT_FLOAT_EQ(vf.get(tx), 3.5f);
+    EXPECT_DOUBLE_EQ(vd.get(tx), -2.25);
+    EXPECT_EQ(v64.get(tx), ~0ull);
+    EXPECT_EQ(ve.get(tx), color::blue);
+    vb.set(tx, false);
+    v32.set(tx, 42);
+    ve.set(tx, color::red);
+  });
+  EXPECT_EQ(vb.unsafe_peek(), false);
+  EXPECT_EQ(v32.unsafe_peek(), 42);
+  EXPECT_EQ(ve.unsafe_peek(), color::red);
+}
+
+TEST(TmVar, DefaultConstructedIsZero) {
+  tm_var<int> v;
+  EXPECT_EQ(v.unsafe_peek(), 0);
+}
+
+TEST(TmWordHelpers, TypedFreeFunctions) {
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  alignas(8) stm::word raw = 0;
+  th->run_transaction([&](stm::swiss_thread& tx) {
+    tm_write<stm::swiss_thread, std::int64_t>(tx, &raw, -99);
+    EXPECT_EQ((tm_read<stm::swiss_thread, std::int64_t>(tx, &raw)), -99);
+  });
+  EXPECT_EQ(static_cast<std::int64_t>(raw), -99);
+}
+
+struct counted {
+  static inline std::atomic<int> ctor{0};
+  static inline std::atomic<int> dtor{0};
+  int payload;
+  explicit counted(int p = 0) : payload(p) { ctor.fetch_add(1); }
+  ~counted() { dtor.fetch_add(1); }
+};
+
+TEST(TmPool, UnsafeCreateDestroyBalances) {
+  counted::ctor = 0;
+  counted::dtor = 0;
+  tm_pool<counted> pool(8);
+  auto* a = pool.create_unsafe(5);
+  EXPECT_EQ(a->payload, 5);
+  pool.destroy_unsafe(a);
+  EXPECT_EQ(counted::ctor.load(), 1);
+  EXPECT_EQ(counted::dtor.load(), 1);
+  // Recycled storage.
+  auto* b = pool.create_unsafe(6);
+  EXPECT_EQ(static_cast<void*>(b), static_cast<void*>(a));
+  pool.destroy_unsafe(b);
+}
+
+TEST(TmPool, CommittedDestroyHappensAfterGrace) {
+  counted::ctor = 0;
+  counted::dtor = 0;
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  tm_pool<counted> pool(8);
+  counted* obj = pool.create_unsafe(1);
+  th->run_transaction([&](stm::swiss_thread& tx) { pool.destroy(tx, obj); });
+  // The retire sits in the thread's limbo until a grace period elapses.
+  th->reclaimer().flush_all();
+  EXPECT_EQ(counted::dtor.load(), 1);
+}
+
+TEST(TmPool, AbortedCreateIsReclaimed) {
+  counted::ctor = 0;
+  counted::dtor = 0;
+  std::atomic<int> runs{0};
+  {
+    // The pool must outlive the runtime: worker reclaimers flush their limbo
+    // lists (which reference the pool) during runtime destruction.
+    tm_pool<counted> pool(8);
+    core::runtime rt(one_by_two());
+    rt.thread(0).execute({[&](core::task_ctx& c) {
+      pool.create(c, 3);
+      if (runs.fetch_add(1) == 0) c.abort_self();
+    }});
+    rt.stop();
+    // Worker reclaimers flush their limbo lists when the runtime (and then
+    // the pool) is destroyed at end of scope.
+  }
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_EQ(counted::ctor.load(), 2);
+  EXPECT_EQ(counted::dtor.load(), 1);  // aborted incarnation's node reclaimed
+}
+
+TEST(TmPool, CreateVisibleToLaterTasks) {
+  core::runtime rt(one_by_two());
+  tm_pool<counted> pool(8);
+  tm_var<counted*> slot(nullptr);
+  int seen = -1;
+  rt.thread(0).execute({
+      [&](core::task_ctx& c) {
+        counted* n = pool.create(c, 77);
+        slot.set(c, n);
+      },
+      [&](core::task_ctx& c) {
+        counted* n = slot.get(c);
+        ASSERT_NE(n, nullptr);
+        seen = n->payload;  // plain field of a node created this tx: the
+                            // pointer was forwarded through the chain, the
+                            // payload is plain (immutable after create)
+      },
+  });
+  rt.stop();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(ApiConcepts, WordCompatibleGate) {
+  static_assert(tm_word_compatible<int>);
+  static_assert(tm_word_compatible<double>);
+  static_assert(tm_word_compatible<void*>);
+  struct two_words {
+    std::uint64_t a, b;
+  };
+  static_assert(!tm_word_compatible<two_words>);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Unit tests for the TLSTM core building blocks: restart fence semantics,
+// the stamped mutex, thread_state counters, slot mapping, and config
+// validation — exercised directly, without going through full workloads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/thread_state.hpp"
+
+namespace {
+
+using namespace tlstm;
+using core::task_phase;
+using core::thread_state;
+
+TEST(ThreadState, SlotMappingIsModularByDepth) {
+  thread_state thr(0, 3);
+  EXPECT_EQ(&thr.slot_for(1), &thr.owners[0]);
+  EXPECT_EQ(&thr.slot_for(2), &thr.owners[1]);
+  EXPECT_EQ(&thr.slot_for(3), &thr.owners[2]);
+  EXPECT_EQ(&thr.slot_for(4), &thr.owners[0]);  // wraps
+  EXPECT_EQ(&thr.slot_for(7), &thr.owners[0]);
+}
+
+TEST(ThreadState, FenceStartsInactive) {
+  thread_state thr(0, 2);
+  vt::worker_clock clk;
+  EXPECT_FALSE(thr.fence_active_unstamped());
+  EXPECT_FALSE(thr.fence_covers(5, clk));
+  EXPECT_FALSE(thr.fence_covers_unstamped(5));
+}
+
+TEST(ThreadState, RaiseFenceLowersMonotonically) {
+  thread_state thr(0, 2);
+  vt::worker_clock clk;
+  EXPECT_TRUE(thr.raise_fence(10, clk));
+  EXPECT_TRUE(thr.fence_covers(10, clk));
+  EXPECT_FALSE(thr.fence_covers(9, clk));
+  // Raising to a higher serial is a no-op (already covered by nothing).
+  EXPECT_FALSE(thr.raise_fence(15, clk));
+  EXPECT_EQ(thr.fence.load_unstamped(), 10u);
+  // Lowering succeeds.
+  EXPECT_TRUE(thr.raise_fence(4, clk));
+  EXPECT_EQ(thr.fence.load_unstamped(), 4u);
+}
+
+TEST(ThreadState, RaiseFenceRefusesCommittedSerials) {
+  thread_state thr(0, 2);
+  vt::worker_clock clk;
+  thr.committed_task.store(7, clk);
+  EXPECT_FALSE(thr.raise_fence(5, clk));  // tx already committed — too late
+  EXPECT_FALSE(thr.fence_active_unstamped());
+  EXPECT_TRUE(thr.raise_fence(8, clk));
+}
+
+TEST(ThreadState, FenceJoinCarriesCoordinatorClock) {
+  thread_state thr(0, 2);
+  vt::worker_clock raiser, observer;
+  raiser.advance(5000);
+  thr.raise_fence(3, raiser);
+  EXPECT_TRUE(thr.fence_covers(3, observer));
+  EXPECT_GE(observer.now, 5000u);  // stamped probe joins the raiser
+}
+
+TEST(StampedMutex, MutualExclusionUnderContention) {
+  core::stamped_mutex mu;
+  int shared = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      vt::worker_clock clk;
+      for (int i = 0; i < 5000; ++i) {
+        mu.lock(clk);
+        ++shared;  // data race iff exclusion is broken (run under stress)
+        mu.unlock(clk);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(shared, 20000);
+}
+
+TEST(StampedMutex, ContendedHandoffJoinsHolderClock) {
+  // Uncontended acquisition does not join (no wait happened — the CAS wins
+  // immediately); a *contended* acquisition must join the holder's release
+  // stamp, because the waiter physically serialized behind the holder.
+  core::stamped_mutex mu;
+  vt::worker_clock a, b;
+  std::atomic<bool> about_to_lock{false};
+  a.advance(999);
+  mu.lock(a);
+  std::thread waiter([&] {
+    about_to_lock.store(true);
+    mu.lock(b);  // spins until a releases → joins a's stamp
+    mu.unlock(b);
+  });
+  while (!about_to_lock.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock(a);
+  waiter.join();
+  EXPECT_GE(b.now, 999u);
+}
+
+TEST(TaskPhase, StampedTransitionsRoundTrip) {
+  core::task_slot slot;
+  vt::worker_clock clk;
+  EXPECT_EQ(slot.load_phase(clk), task_phase::free);
+  clk.advance(10);
+  slot.store_phase(task_phase::ready, clk);
+  vt::worker_clock other;
+  EXPECT_EQ(slot.load_phase(other), task_phase::ready);
+  EXPECT_GE(other.now, 10u);
+}
+
+TEST(Runtime, WorkerClockCountMatchesTopology) {
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 3;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  rt.thread(0).execute({[](core::task_ctx&) {}});
+  rt.stop();
+  EXPECT_EQ(rt.worker_clocks().size(), 6u);
+}
+
+TEST(Runtime, DumpStateMentionsEveryThread) {
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  rt.thread(1).execute({[](core::task_ctx&) {}});
+  const auto dump = rt.dump_state();
+  EXPECT_NE(dump.find("thread 0"), std::string::npos);
+  EXPECT_NE(dump.find("thread 1"), std::string::npos);
+  EXPECT_NE(dump.find("fence=-1"), std::string::npos);  // no_fence prints as -1
+}
+
+TEST(Runtime, StopIsIdempotent) {
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 1;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  rt.thread(0).execute({[](core::task_ctx&) {}});
+  rt.stop();
+  rt.stop();  // second stop must be a no-op
+  EXPECT_EQ(rt.aggregated_stats().tx_committed, 1u);
+}
+
+TEST(Runtime, DrainWithNothingSubmittedReturnsImmediately) {
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  rt.thread(0).drain();  // must not block
+  rt.stop();
+  SUCCEED();
+}
+
+TEST(Runtime, SubmittedSerialsTracksWindowedSubmission) {
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  auto& th = rt.thread(0);
+  EXPECT_EQ(th.submitted_serials(), 0u);
+  th.submit({[](core::task_ctx&) {}, [](core::task_ctx&) {}});
+  EXPECT_EQ(th.submitted_serials(), 2u);
+  th.drain();
+  rt.stop();
+}
+
+}  // namespace

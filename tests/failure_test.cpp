@@ -1,0 +1,259 @@
+// Failure injection and adversarial scenarios: forced aborts at every task
+// position, the paper's §3.2 inter-thread deadlock construction, contention
+// manager behaviour, periodic validation, and fence storms.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/runtime.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+core::config make_cfg(unsigned threads, unsigned depth) {
+  core::config c;
+  c.num_threads = threads;
+  c.spec_depth = depth;
+  c.log2_table = 14;
+  return c;
+}
+
+TEST(Failure, AbortInFirstTaskRestartsWholePipelineCorrectly) {
+  core::runtime rt(make_cfg(1, 3));
+  alignas(8) word x = 0;
+  std::atomic<int> first_runs{0};
+  rt.thread(0).execute({
+      [&](core::task_ctx& c) {
+        if (first_runs.fetch_add(1) == 0) c.abort_self();
+        c.write(&x, 1);
+      },
+      [&](core::task_ctx& c) { c.write(&x, c.read(&x) + 10); },
+      [&](core::task_ctx& c) { c.write(&x, c.read(&x) * 2); },
+  });
+  rt.stop();
+  EXPECT_EQ(x, 22u);  // (1 + 10) * 2 regardless of restarts
+  EXPECT_GE(first_runs.load(), 2);
+}
+
+TEST(Failure, AbortInMiddleTaskPreservesSequentialResult) {
+  core::runtime rt(make_cfg(1, 3));
+  alignas(8) word x = 0;
+  std::atomic<int> mid_runs{0};
+  rt.thread(0).execute({
+      [&](core::task_ctx& c) { c.write(&x, 5); },
+      [&](core::task_ctx& c) {
+        if (mid_runs.fetch_add(1) < 2) c.abort_self();  // abort twice
+        c.write(&x, c.read(&x) + 1);
+      },
+      [&](core::task_ctx& c) { c.write(&x, c.read(&x) * 3); },
+  });
+  rt.stop();
+  EXPECT_EQ(x, 18u);
+  EXPECT_GE(mid_runs.load(), 3);
+}
+
+TEST(Failure, AbortInCommitTaskRetriesCommit) {
+  core::runtime rt(make_cfg(1, 2));
+  alignas(8) word x = 0;
+  std::atomic<int> runs{0};
+  rt.thread(0).execute({
+      [&](core::task_ctx& c) { c.write(&x, 7); },
+      [&](core::task_ctx& c) {
+        c.write(&x, c.read(&x) + 1);
+        if (runs.fetch_add(1) == 0) c.abort_self();
+      },
+  });
+  rt.stop();
+  EXPECT_EQ(x, 8u);
+}
+
+TEST(Failure, EveryTaskAbortsOnceChaos) {
+  core::runtime rt(make_cfg(1, 4));
+  alignas(8) word x = 0;
+  std::array<std::atomic<int>, 4> runs{};
+  std::vector<core::task_fn> tasks;
+  for (unsigned k = 0; k < 4; ++k) {
+    tasks.push_back([&, k](core::task_ctx& c) {
+      c.write(&x, c.read(&x) + 1);
+      if (runs[k].fetch_add(1) == 0) c.abort_self();
+    });
+  }
+  rt.thread(0).execute(std::move(tasks));
+  rt.stop();
+  EXPECT_EQ(x, 4u);
+}
+
+TEST(Failure, PaperDeadlockScenarioResolves) {
+  // Paper §3.2: thread A's task 2 holds X's lock, thread B's task 2 holds
+  // Y's; then A task 1 wants Y and B task 1 wants X. A task-oblivious CM
+  // waits forever; TLSTM's task-aware CM must resolve it. We approximate the
+  // timing with real work so the locks are typically held when the crossing
+  // writes arrive; any interleaving must terminate with the correct sums.
+  for (int round = 0; round < 10; ++round) {
+    core::runtime rt(make_cfg(2, 2));
+    alignas(8) word x = 0, y = 0;
+    auto driver = [&](unsigned tid) {
+      auto& th = rt.thread(tid);
+      word* own = tid == 0 ? &x : &y;
+      word* other = tid == 0 ? &y : &x;
+      th.submit({
+          [&, other](core::task_ctx& c) {
+            c.work(500);
+            c.write(other, c.read(other) + 1);
+          },
+          [&, own](core::task_ctx& c) { c.write(own, c.read(own) + 100); },
+      });
+      th.drain();
+    };
+    std::thread t0(driver, 0), t1(driver, 1);
+    t0.join();
+    t1.join();
+    rt.stop();
+    EXPECT_EQ(x, 101u) << "round " << round;
+    EXPECT_EQ(y, 101u) << "round " << round;
+  }
+}
+
+TEST(Failure, NaiveCmStillCorrectJustSlower) {
+  // cm_task_aware=false falls back to pure greedy: correctness must hold.
+  core::config cfg = make_cfg(2, 2);
+  cfg.cm_task_aware = false;
+  core::runtime rt(cfg);
+  alignas(8) word x = 0;
+  auto driver = [&](unsigned tid) {
+    auto& th = rt.thread(tid);
+    for (int i = 0; i < 100; ++i) {
+      th.submit({
+          [&](core::task_ctx& c) { c.write(&x, c.read(&x) + 1); },
+          [&](core::task_ctx& c) { c.write(&x, c.read(&x) + 1); },
+      });
+    }
+    th.drain();
+  };
+  std::thread t0(driver, 0), t1(driver, 1);
+  t0.join();
+  t1.join();
+  rt.stop();
+  EXPECT_EQ(x, 400u);
+}
+
+TEST(Failure, PeriodicValidationPreservesResults) {
+  core::config cfg = make_cfg(1, 3);
+  cfg.validate_every_n_reads = 2;  // aggressive period
+  core::runtime rt(cfg);
+  std::vector<word> mem(64, 0);
+  auto& th = rt.thread(0);
+  for (int i = 0; i < 30; ++i) {
+    th.submit({
+        [&](core::task_ctx& c) {
+          for (int j = 0; j < 8; ++j) c.write(&mem[j], c.read(&mem[j]) + 1);
+        },
+        [&](core::task_ctx& c) {
+          for (int j = 0; j < 8; ++j) c.write(&mem[j + 8], c.read(&mem[j]) + 1);
+        },
+        [&](core::task_ctx& c) {
+          for (int j = 0; j < 16; ++j) (void)c.read(&mem[j]);
+        },
+    });
+  }
+  th.drain();
+  rt.stop();
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_EQ(mem[j], 30u);
+    EXPECT_EQ(mem[j + 8], 31u);  // reads task-1's value of round 30 (+1)
+  }
+  EXPECT_GT(rt.aggregated_stats().task_validations, 0u);
+}
+
+TEST(Failure, ExplicitValidateCallIsSafeAnywhere) {
+  core::runtime rt(make_cfg(1, 2));
+  alignas(8) word x = 0;
+  rt.thread(0).execute({
+      [&](core::task_ctx& c) {
+        c.validate();
+        c.write(&x, 1);
+        c.validate();
+      },
+      [&](core::task_ctx& c) {
+        (void)c.read(&x);
+        c.validate();
+      },
+  });
+  rt.stop();
+  EXPECT_EQ(x, 1u);
+}
+
+TEST(Failure, WawStormConverges) {
+  // Every task of every transaction increments the same word with real
+  // compute in between — the worst-case intra-thread WAW storm, with two
+  // threads adding inter-thread contention on top.
+  core::runtime rt(make_cfg(2, 3));
+  alignas(8) word x = 0;
+  auto driver = [&](unsigned tid) {
+    auto& th = rt.thread(tid);
+    for (int i = 0; i < 40; ++i) {
+      std::vector<core::task_fn> tasks;
+      for (int k = 0; k < 3; ++k) {
+        tasks.push_back([&](core::task_ctx& c) {
+          c.work(100);
+          c.write(&x, c.read(&x) + 1);
+        });
+      }
+      th.submit(std::move(tasks));
+    }
+    th.drain();
+  };
+  std::thread t0(driver, 0), t1(driver, 1);
+  t0.join();
+  t1.join();
+  rt.stop();
+  EXPECT_EQ(x, 240u);
+}
+
+TEST(Failure, ReadOnlyAndWriterTransactionsInterleave) {
+  core::runtime rt(make_cfg(1, 4));
+  std::vector<word> mem(16, 0);
+  auto& th = rt.thread(0);
+  std::atomic<std::uint64_t> bad_snapshots{0};
+  for (int i = 0; i < 50; ++i) {
+    if (i % 2 == 0) {
+      th.submit({
+          [&](core::task_ctx& c) {
+            for (int j = 0; j < 8; ++j) c.write(&mem[j], c.read(&mem[j]) + 1);
+          },
+          [&](core::task_ctx& c) {
+            for (int j = 8; j < 16; ++j) c.write(&mem[j], c.read(&mem[j]) + 1);
+          },
+      });
+    } else {
+      th.submit({
+          [&](core::task_ctx& c) {
+            // All cells must carry the identical round count.
+            const word v0 = c.read(&mem[0]);
+            for (int j = 1; j < 8; ++j) {
+              if (c.read(&mem[j]) != v0) bad_snapshots.fetch_add(1);
+            }
+          },
+          [&](core::task_ctx& c) {
+            const word v8 = c.read(&mem[8]);
+            for (int j = 9; j < 16; ++j) {
+              if (c.read(&mem[j]) != v8) bad_snapshots.fetch_add(1);
+            }
+          },
+      });
+    }
+  }
+  th.drain();
+  rt.stop();
+  EXPECT_EQ(bad_snapshots.load(), 0u);
+  EXPECT_EQ(mem[0], 25u);
+  EXPECT_EQ(mem[15], 25u);
+}
+
+}  // namespace

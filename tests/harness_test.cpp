@@ -1,0 +1,124 @@
+// Tests for the benchmark harness: result accounting, virtual-time
+// throughput math, pacing, and the bank workload under both runners.
+#include <gtest/gtest.h>
+
+#include "workloads/bank.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+using namespace tlstm;
+
+TEST(RunResult, ThroughputMath) {
+  wl::run_result r;
+  r.committed_tx = 100;
+  r.committed_ops = 800;
+  r.makespan = 2'000'000;  // 2 virtual ms
+  EXPECT_DOUBLE_EQ(r.tx_per_vms(), 50.0);
+  EXPECT_DOUBLE_EQ(r.ops_per_vms(), 400.0);
+}
+
+TEST(RunResult, ZeroMakespanIsSafe) {
+  wl::run_result r;
+  r.committed_tx = 5;
+  EXPECT_DOUBLE_EQ(r.tx_per_vms(), 0.0);
+  EXPECT_DOUBLE_EQ(r.ops_per_vms(), 0.0);
+}
+
+TEST(Harness, SwissRunnerCountsWork) {
+  wl::bank bank(64, 100);
+  auto r = wl::run_swiss(stm::swiss_config{}, 2, 50, 1,
+                         [&](unsigned t, std::uint64_t i, stm::swiss_thread& tx) {
+                           bank.transfer(tx, (t + i) % 64, (t + i + 1) % 64, 1);
+                         });
+  EXPECT_EQ(r.committed_tx, 100u);
+  EXPECT_EQ(r.committed_ops, 100u);
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_EQ(bank.total_unsafe(), bank.expected_total());
+}
+
+TEST(Harness, TlstmRunnerCountsWork) {
+  wl::bank bank(64, 100);
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  auto r = wl::run_tlstm(cfg, 50, 2, [&](unsigned t, std::uint64_t i) {
+    std::vector<core::task_fn> tasks;
+    for (unsigned k = 0; k < 2; ++k) {
+      const std::size_t from = (t * 31 + i * 7 + k) % 64;
+      const std::size_t to = (from + 1) % 64;
+      tasks.push_back([&bank, from, to](core::task_ctx& c) {
+        bank.transfer(c, from, to, 1);
+      });
+    }
+    return tasks;
+  });
+  EXPECT_EQ(r.committed_tx, 100u);
+  EXPECT_EQ(r.committed_ops, 200u);
+  EXPECT_EQ(bank.total_unsafe(), bank.expected_total());
+}
+
+TEST(Harness, UnpacedRunStillCorrect) {
+  wl::bank bank(32, 50);
+  auto r = wl::run_swiss(
+      stm::swiss_config{}, 3, 40, 1,
+      [&](unsigned t, std::uint64_t i, stm::swiss_thread& tx) {
+        bank.transfer(tx, (t * 11 + i) % 32, (t * 11 + i + 5) % 32, 2);
+      },
+      /*paced=*/false);
+  EXPECT_EQ(r.committed_tx, 120u);
+  EXPECT_EQ(bank.total_unsafe(), bank.expected_total());
+}
+
+TEST(Harness, PacingKeepsVirtualScaling) {
+  // N threads doing identical independent work should take roughly the same
+  // virtual makespan as one thread (each has its own virtual core). Allow
+  // generous slack for round skew on the single-core host.
+  std::vector<stm::word> mem1(1024, 0), mem4(1024, 0);
+  auto body = [](std::vector<stm::word>& mem, unsigned t, std::uint64_t i,
+                 stm::swiss_thread& tx) {
+    const std::size_t base = (t * 256 + i * 13) % 768;
+    for (int j = 0; j < 32; ++j) (void)tx.read(&mem[base + j]);
+    tx.write(&mem[base], tx.read(&mem[base]) + 1);
+  };
+  auto r1 = wl::run_swiss(stm::swiss_config{}, 1, 100, 1,
+                          [&](unsigned t, std::uint64_t i, stm::swiss_thread& tx) {
+                            body(mem1, t, i, tx);
+                          });
+  auto r4 = wl::run_swiss(stm::swiss_config{}, 4, 100, 1,
+                          [&](unsigned t, std::uint64_t i, stm::swiss_thread& tx) {
+                            body(mem4, t, i, tx);
+                          });
+  // 4 threads do 4x the transactions; virtual makespan must stay within ~2x
+  // of the single-thread run (ideal: equal).
+  EXPECT_LT(r4.makespan, r1.makespan * 2);
+  EXPECT_GT(r4.committed_tx, r1.committed_tx * 3);
+}
+
+TEST(Harness, BankAuditRangesCompose) {
+  wl::bank bank(100, 10);
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  std::uint64_t total = 0;
+  th->run_transaction([&](stm::swiss_thread& tx) {
+    total = bank.audit_range(tx, 0, 50) + bank.audit_range(tx, 50, 100);
+  });
+  EXPECT_EQ(total, 1000u);
+  std::uint64_t full = 0;
+  th->run_transaction([&](stm::swiss_thread& tx) { full = bank.audit(tx); });
+  EXPECT_EQ(full, 1000u);
+}
+
+TEST(Harness, TransferClampsToBalance) {
+  wl::bank bank(4, 10);
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  std::uint64_t moved = 0;
+  th->run_transaction(
+      [&](stm::swiss_thread& tx) { moved = bank.transfer(tx, 0, 1, 25); });
+  EXPECT_EQ(moved, 10u);  // clamped to the source balance
+  EXPECT_EQ(bank.total_unsafe(), bank.expected_total());
+}
+
+}  // namespace

@@ -1,0 +1,300 @@
+// Integer-set workload tests: functional correctness against std::set,
+// structural invariants, and concurrent stress on both runtimes for all
+// three structures (sorted list, skip list, hash set).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "util/rng.hpp"
+#include "workloads/intset.hpp"
+
+namespace {
+
+using namespace tlstm;
+
+struct seq {
+  stm::swiss_runtime rt;
+  std::unique_ptr<stm::swiss_thread> th = rt.make_thread();
+  template <typename Fn>
+  auto run(Fn&& fn) {
+    decltype(fn(*th)) r{};
+    th->run_transaction([&](stm::swiss_thread& tx) { r = fn(tx); });
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// sorted_list
+// ---------------------------------------------------------------------------
+
+TEST(SortedList, Basics) {
+  wl::sorted_list l;
+  seq d;
+  EXPECT_FALSE(d.run([&](auto& tx) { return l.contains(tx, 5); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return l.insert(tx, 5); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return l.insert(tx, 5); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return l.contains(tx, 5); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return l.erase(tx, 5); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return l.erase(tx, 5); }));
+  EXPECT_TRUE(l.check_sorted_unsafe());
+}
+
+TEST(SortedList, MatchesStdSet) {
+  wl::sorted_list l;
+  seq d;
+  std::set<std::uint64_t> model;
+  util::xoshiro256 rng(321);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = 1 + rng.next_below(200);
+    if (rng.next_percent(55)) {
+      EXPECT_EQ(d.run([&](auto& tx) { return l.insert(tx, k); }), model.insert(k).second);
+    } else {
+      EXPECT_EQ(d.run([&](auto& tx) { return l.erase(tx, k); }), model.erase(k) > 0);
+    }
+  }
+  EXPECT_TRUE(l.check_sorted_unsafe());
+  EXPECT_EQ(l.size_unsafe(), model.size());
+}
+
+TEST(SortedList, SumRange) {
+  wl::sorted_list l;
+  for (std::uint64_t k = 1; k <= 20; ++k) l.insert_unsafe(k);
+  seq d;
+  EXPECT_EQ(d.run([&](auto& tx) { return l.sum_range(tx, 5, 10); }),
+            5u + 6 + 7 + 8 + 9 + 10);
+  EXPECT_EQ(d.run([&](auto& tx) { return l.sum_range(tx, 1, 20); }), 210u);
+  EXPECT_EQ(d.run([&](auto& tx) { return l.sum_range(tx, 25, 30); }), 0u);
+}
+
+TEST(SortedList, ConcurrentSwissStress) {
+  wl::sorted_list l;
+  for (std::uint64_t k = 2; k <= 128; k += 2) l.insert_unsafe(k);
+  stm::swiss_runtime rt;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t) {
+    ts.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      util::xoshiro256 rng(7, t);
+      for (int i = 0; i < 400; ++i) {
+        const std::uint64_t k = 1 + rng.next_below(128);
+        const auto a = rng.next_below(10);
+        th->run_transaction([&](stm::swiss_thread& tx) {
+          if (a < 6) {
+            (void)l.contains(tx, k);
+          } else if (a < 8) {
+            (void)l.insert(tx, k);
+          } else {
+            (void)l.erase(tx, k);
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_TRUE(l.check_sorted_unsafe());
+}
+
+TEST(SortedList, TlstmRangeSumSplitAcrossTasks) {
+  wl::sorted_list l;
+  for (std::uint64_t k = 1; k <= 90; ++k) l.insert_unsafe(k);
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 3;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  std::array<std::uint64_t, 3> part{};
+  rt.thread(0).execute({
+      [&](core::task_ctx& c) { part[0] = l.sum_range(c, 1, 30); },
+      [&](core::task_ctx& c) { part[1] = l.sum_range(c, 31, 60); },
+      [&](core::task_ctx& c) { part[2] = l.sum_range(c, 61, 90); },
+  });
+  rt.stop();
+  EXPECT_EQ(part[0] + part[1] + part[2], 90u * 91 / 2);
+}
+
+// ---------------------------------------------------------------------------
+// skiplist
+// ---------------------------------------------------------------------------
+
+TEST(SkipList, Basics) {
+  wl::skiplist s;
+  seq d;
+  EXPECT_FALSE(d.run([&](auto& tx) { return s.contains(tx, 9); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return s.insert(tx, 9, 0b0111); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return s.insert(tx, 9, 0); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return s.contains(tx, 9); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return s.erase(tx, 9); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return s.contains(tx, 9); }));
+  EXPECT_TRUE(s.check_levels_unsafe());
+}
+
+TEST(SkipList, MatchesStdSet) {
+  wl::skiplist s;
+  seq d;
+  std::set<std::uint64_t> model;
+  util::xoshiro256 rng(111);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = 1 + rng.next_below(300);
+    if (rng.next_percent(55)) {
+      EXPECT_EQ(d.run([&](auto& tx) { return s.insert(tx, k, rng.next()); }),
+                model.insert(k).second);
+    } else {
+      EXPECT_EQ(d.run([&](auto& tx) { return s.erase(tx, k); }), model.erase(k) > 0);
+    }
+    if (i % 500 == 0) ASSERT_TRUE(s.check_levels_unsafe()) << "step " << i;
+  }
+  EXPECT_TRUE(s.check_levels_unsafe());
+  EXPECT_EQ(s.size_unsafe(), model.size());
+  for (std::uint64_t k = 1; k <= 300; ++k) {
+    EXPECT_EQ(d.run([&](auto& tx) { return s.contains(tx, k); }), model.count(k) == 1);
+  }
+}
+
+TEST(SkipList, TallLevelsLinkedCorrectly) {
+  wl::skiplist s;
+  seq d;
+  // All-ones draw → max level; zero draw → level 1.
+  EXPECT_TRUE(d.run([&](auto& tx) { return s.insert(tx, 10, ~0ull); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return s.insert(tx, 20, 0ull); }));
+  EXPECT_TRUE(s.check_levels_unsafe());
+  EXPECT_TRUE(d.run([&](auto& tx) { return s.erase(tx, 10); }));
+  EXPECT_TRUE(s.check_levels_unsafe());
+  EXPECT_TRUE(d.run([&](auto& tx) { return s.contains(tx, 20); }));
+}
+
+TEST(SkipList, ConcurrentTlstmStress) {
+  wl::skiplist s;
+  for (std::uint64_t k = 2; k <= 200; k += 2) s.insert_unsafe(k);
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  std::vector<std::thread> drivers;
+  for (unsigned t = 0; t < 2; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& th = rt.thread(t);
+      util::xoshiro256 rng(13, t);
+      for (int i = 0; i < 200; ++i) {
+        const std::uint64_t k1 = 1 + rng.next_below(200);
+        const std::uint64_t k2 = 1 + rng.next_below(200);
+        const std::uint64_t draw = rng.next();
+        const auto a = rng.next_below(10);
+        th.submit({
+            [&s, k1, a, draw](core::task_ctx& c) {
+              if (a < 5) {
+                (void)s.contains(c, k1);
+              } else if (a < 8) {
+                (void)s.insert(c, k1, draw);
+              } else {
+                (void)s.erase(c, k1);
+              }
+            },
+            [&s, k2](core::task_ctx& c) { (void)s.contains(c, k2); },
+        });
+      }
+      th.drain();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+  EXPECT_TRUE(s.check_levels_unsafe());
+}
+
+// ---------------------------------------------------------------------------
+// hashset
+// ---------------------------------------------------------------------------
+
+TEST(HashSet, Basics) {
+  wl::hashset h(4);
+  seq d;
+  EXPECT_FALSE(d.run([&](auto& tx) { return h.contains(tx, 42); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return h.insert(tx, 42); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return h.insert(tx, 42); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return h.contains(tx, 42); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return h.erase(tx, 42); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return h.erase(tx, 42); }));
+  EXPECT_EQ(h.size_unsafe(), 0u);
+}
+
+TEST(HashSet, CollisionChainsWork) {
+  wl::hashset h(1);  // two buckets → guaranteed chains
+  seq d;
+  for (std::uint64_t k = 1; k <= 32; ++k) {
+    EXPECT_TRUE(d.run([&](auto& tx) { return h.insert(tx, k); }));
+  }
+  EXPECT_EQ(h.size_unsafe(), 32u);
+  for (std::uint64_t k = 1; k <= 32; ++k) {
+    EXPECT_TRUE(d.run([&](auto& tx) { return h.contains(tx, k); }));
+  }
+  for (std::uint64_t k = 2; k <= 32; k += 2) {
+    EXPECT_TRUE(d.run([&](auto& tx) { return h.erase(tx, k); }));
+  }
+  EXPECT_EQ(h.size_unsafe(), 16u);
+  for (std::uint64_t k = 1; k <= 32; ++k) {
+    EXPECT_EQ(d.run([&](auto& tx) { return h.contains(tx, k); }), k % 2 == 1);
+  }
+}
+
+TEST(HashSet, MatchesStdSet) {
+  wl::hashset h(6);
+  seq d;
+  std::set<std::uint64_t> model;
+  util::xoshiro256 rng(555);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = rng.next_below(500);
+    if (rng.next_percent(60)) {
+      EXPECT_EQ(d.run([&](auto& tx) { return h.insert(tx, k); }), model.insert(k).second);
+    } else {
+      EXPECT_EQ(d.run([&](auto& tx) { return h.erase(tx, k); }), model.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(h.size_unsafe(), model.size());
+}
+
+TEST(HashSet, ConcurrentMixedRuntimes) {
+  // SwissTM threads and a TLSTM runtime must not coexist on one structure
+  // (different lock tables!), so this stresses TLSTM only, multi-threaded.
+  wl::hashset h(8);
+  for (std::uint64_t k = 0; k < 256; k += 2) h.insert_unsafe(k);
+  core::config cfg;
+  cfg.num_threads = 3;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  core::runtime rt(cfg);
+  std::vector<std::thread> drivers;
+  for (unsigned t = 0; t < 3; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& th = rt.thread(t);
+      util::xoshiro256 rng(31, t);
+      for (int i = 0; i < 250; ++i) {
+        const std::uint64_t k1 = rng.next_below(256);
+        const std::uint64_t k2 = rng.next_below(256);
+        const auto a = rng.next_below(4);
+        th.submit({
+            [&h, k1, a](core::task_ctx& c) {
+              if (a == 0) {
+                (void)h.insert(c, k1);
+              } else if (a == 1) {
+                (void)h.erase(c, k1);
+              } else {
+                (void)h.contains(c, k1);
+              }
+            },
+            [&h, k2](core::task_ctx& c) { (void)h.contains(c, k2); },
+        });
+      }
+      th.drain();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+  SUCCEED();  // invariant: no crash/hang; size consistency needs a model —
+              // covered by MatchesStdSet; here we exercise concurrency.
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// K-means workload tests: classification correctness against a plain
+// sequential oracle, accumulator conservation under concurrency, identical
+// results across runtimes, and convergence of the epoch loop.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "workloads/kmeans.hpp"
+
+namespace {
+
+using namespace tlstm;
+
+// Plain (non-transactional) oracle for nearest-centroid.
+unsigned oracle_nearest(const std::vector<std::int64_t>& centroids, unsigned k,
+                        unsigned dims, const std::int64_t* p) {
+  unsigned best = 0;
+  std::int64_t best_d2 = 0;
+  for (unsigned c = 0; c < k; ++c) {
+    std::int64_t d2 = 0;
+    for (unsigned d = 0; d < dims; ++d) {
+      const std::int64_t delta = centroids[c * dims + d] - p[d];
+      d2 += delta * delta;
+    }
+    if (c == 0 || d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+TEST(Kmeans, DatasetIsDeterministicPerSeed) {
+  const auto a = wl::make_clustered_points(64, 4, 3, 7);
+  const auto b = wl::make_clustered_points(64, 4, 3, 7);
+  const auto c = wl::make_clustered_points(64, 4, 3, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Kmeans, NearestMatchesOracle) {
+  constexpr unsigned k = 4, dims = 3;
+  wl::kmeans km(k, dims);
+  std::vector<std::int64_t> cents = {0, 0, 0, 100, 0, 0, 0, 100, 0, 50, 50, 50};
+  for (unsigned c = 0; c < k; ++c) {
+    km.seed_unsafe(c, {cents[c * dims], cents[c * dims + 1], cents[c * dims + 2]});
+  }
+  const auto pts = wl::make_clustered_points(48, k, dims, 3);
+
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  for (unsigned p = 0; p < 48; ++p) {
+    const std::int64_t* pt = &pts[p * dims];
+    unsigned got = ~0u;
+    th->run_transaction([&](stm::swiss_thread& tx) { got = km.nearest(tx, pt); });
+    EXPECT_EQ(got, oracle_nearest(cents, k, dims, pt)) << "point " << p;
+  }
+}
+
+TEST(Kmeans, AccumulatorsConserveUnderConcurrentAssignment) {
+  constexpr unsigned k = 3, dims = 2, n = 120;
+  wl::kmeans km(k, dims);
+  for (unsigned c = 0; c < k; ++c) {
+    km.seed_unsafe(c, {static_cast<std::int64_t>(c) * 1000,
+                       static_cast<std::int64_t>(c) * 1000});
+  }
+  const auto pts = wl::make_clustered_points(n, k, dims, 11);
+
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  core::runtime rt(cfg);
+  std::vector<std::thread> drivers;
+  for (unsigned t = 0; t < 2; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& th = rt.thread(t);
+      for (unsigned p = t; p < n; p += 2) {
+        const std::int64_t* pt = &pts[p * dims];
+        th.submit({[&km, pt](core::task_ctx& c) { (void)km.assign_point(c, pt); }});
+      }
+      th.drain();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+
+  // Every point landed in exactly one centroid's accumulators.
+  EXPECT_EQ(km.total_count_unsafe(), static_cast<std::int64_t>(n));
+  std::int64_t sum_d0 = 0, expect_d0 = 0;
+  for (unsigned c = 0; c < k; ++c) sum_d0 += km.sum_unsafe(c, 0);
+  for (unsigned p = 0; p < n; ++p) expect_d0 += pts[p * dims];
+  EXPECT_EQ(sum_d0, expect_d0);
+}
+
+TEST(Kmeans, SplitClassifyUpdateTransactionConserves) {
+  // The TLSTM two-task decomposition: task 1 classifies (reads), task 2
+  // updates the accumulators (writes), with the chosen centroid forwarded
+  // through a transactional cell — the speculative read-from-past path on
+  // every transaction.
+  constexpr unsigned k = 3, dims = 2, n = 90;
+  wl::kmeans km(k, dims);
+  for (unsigned c = 0; c < k; ++c) {
+    km.seed_unsafe(c, {static_cast<std::int64_t>(c) * 800,
+                       static_cast<std::int64_t>(c) * 800});
+  }
+  const auto pts = wl::make_clustered_points(n, k, dims, 23);
+
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 2;
+  core::runtime rt(cfg);
+  auto& th = rt.thread(0);
+  auto chosen = std::make_shared<tm_var<std::uint64_t>>(0);
+  for (unsigned p = 0; p < n; ++p) {
+    const std::int64_t* pt = &pts[p * dims];
+    th.submit({
+        [&km, pt, chosen](core::task_ctx& c) {
+          chosen->set(c, km.nearest(c, pt));
+        },
+        [&km, pt, chosen](core::task_ctx& c) {
+          km.accumulate(c, static_cast<unsigned>(chosen->get(c)), pt);
+        },
+    });
+  }
+  th.drain();
+  const auto stats = rt.aggregated_stats();
+  rt.stop();
+  EXPECT_EQ(km.total_count_unsafe(), static_cast<std::int64_t>(n));
+  EXPECT_GT(stats.reads_speculative, 0u) << "split must exercise value forwarding";
+}
+
+TEST(Kmeans, EpochLoopConvergesOnSeparatedClusters) {
+  constexpr unsigned k = 4, dims = 2, n = 160;
+  wl::kmeans km(k, dims);
+  const auto pts = wl::make_clustered_points(n, k, dims, 31);
+  // Seed from the first k points (standard kmeans initialization).
+  for (unsigned c = 0; c < k; ++c) {
+    km.seed_unsafe(c, {pts[c * dims], pts[c * dims + 1]});
+  }
+
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  std::uint64_t last_moved = ~0ull;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    for (unsigned p = 0; p < n; ++p) {
+      const std::int64_t* pt = &pts[p * dims];
+      th->run_transaction([&](stm::swiss_thread& tx) { (void)km.assign_point(tx, pt); });
+    }
+    last_moved = km.recenter_unsafe();
+    if (last_moved == 0) break;
+  }
+  EXPECT_EQ(last_moved, 0u) << "well-separated clusters must converge in 12 epochs";
+}
+
+TEST(Kmeans, SwissAndTlstmProduceIdenticalAccumulators) {
+  constexpr unsigned k = 3, dims = 3, n = 60;
+  const auto pts = wl::make_clustered_points(n, k, dims, 5);
+
+  auto run_swiss = [&](wl::kmeans& km) {
+    stm::swiss_runtime rt;
+    auto th = rt.make_thread();
+    for (unsigned p = 0; p < n; ++p) {
+      const std::int64_t* pt = &pts[p * dims];
+      th->run_transaction([&](stm::swiss_thread& tx) { (void)km.assign_point(tx, pt); });
+    }
+  };
+  auto run_tlstm = [&](wl::kmeans& km) {
+    core::config cfg;
+    cfg.num_threads = 1;
+    cfg.spec_depth = 3;
+    core::runtime rt(cfg);
+    auto& th = rt.thread(0);
+    for (unsigned p = 0; p < n; ++p) {
+      const std::int64_t* pt = &pts[p * dims];
+      th.submit({[&km, pt](core::task_ctx& c) { (void)km.assign_point(c, pt); }});
+    }
+    th.drain();
+    rt.stop();
+  };
+
+  wl::kmeans km_a(k, dims), km_b(k, dims);
+  for (unsigned c = 0; c < k; ++c) {
+    std::vector<std::int64_t> seed(dims);
+    for (unsigned d = 0; d < dims; ++d) seed[d] = pts[c * dims + d];
+    km_a.seed_unsafe(c, seed);
+    km_b.seed_unsafe(c, seed);
+  }
+  run_swiss(km_a);
+  run_tlstm(km_b);
+  for (unsigned c = 0; c < k; ++c) {
+    EXPECT_EQ(km_a.count_unsafe(c), km_b.count_unsafe(c)) << c;
+    for (unsigned d = 0; d < dims; ++d) {
+      EXPECT_EQ(km_a.sum_unsafe(c, d), km_b.sum_unsafe(c, d)) << c << "," << d;
+    }
+  }
+}
+
+}  // namespace

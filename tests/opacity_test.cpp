@@ -1,0 +1,223 @@
+// Opacity tests (paper §2: "user-transactional correctness (more
+// concretely, the opacity criteria) is preserved across user-transactions,
+// even when user-transactions are actually executed by multiple tasks
+// running out of order").
+//
+// The instrument is the classic x == y invariant: writers keep two words
+// equal in every committed state; any observer — live or committed, single-
+// task or task-split — that sees x != y has witnessed a non-opaque
+// snapshot.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "stm/tl2.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+constexpr int writer_rounds = 150;
+constexpr int reader_rounds = 300;
+
+// ---------------------------------------------------------------------------
+// Live-transaction opacity on the flat baselines: a read of y that has
+// moved past the snapshot must revalidate (SwissTM extend) or abort (TL2) —
+// never return a value inconsistent with the x already read.
+// ---------------------------------------------------------------------------
+
+template <typename Runtime, typename Ctx>
+void run_flat_opacity() {
+  Runtime rt;
+  alignas(64) word x = 0;
+  alignas(64) word y = 0;
+  std::atomic<bool> torn{false};
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    auto th = rt.make_thread();
+    for (int i = 0; i < writer_rounds; ++i) {
+      th->run_transaction([&](Ctx& tx) {
+        tx.write(&x, tx.read(&x) + 1);
+        tx.work(20);
+        tx.write(&y, tx.read(&y) + 1);
+      });
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    auto th = rt.make_thread();
+    while (!stop.load()) {
+      th->run_transaction([&](Ctx& tx) {
+        const word a = tx.read(&x);
+        tx.work(50);  // widen the window for a racing commit
+        const word b = tx.read(&y);
+        // Inside a live transaction: opacity demands a == b here, even if
+        // this transaction later aborts.
+        if (a != b) torn.store(true);
+      });
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(x, static_cast<word>(writer_rounds));
+  EXPECT_EQ(y, static_cast<word>(writer_rounds));
+}
+
+TEST(OpacityFlat, SwissLiveReadersNeverSeeTornPairs) {
+  run_flat_opacity<stm::swiss_runtime, stm::swiss_thread>();
+}
+
+TEST(OpacityFlat, Tl2LiveReadersNeverSeeTornPairs) {
+  run_flat_opacity<stm::tl2_runtime, stm::tl2_thread>();
+}
+
+// ---------------------------------------------------------------------------
+// TLSTM: the invariant is maintained and observed by *task-split*
+// transactions — the writer updates x in task 1 and y in task 2, the reader
+// reads x in task 1 and y in task 2. Intermediate task states must never
+// escape the transaction (paper §2's whole point).
+// ---------------------------------------------------------------------------
+
+TEST(OpacityTlstm, TaskSplitWritersAndReadersPreserveThePair) {
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  core::runtime rt(cfg);
+  alignas(64) word x = 0;
+  alignas(64) word y = 0;
+
+  // Per-reader-transaction observation slots. Plain memory is safe: each
+  // slot is written only by its transaction's tasks (re-executions
+  // overwrite) and read after drain().
+  std::vector<word> seen_x(reader_rounds, 0);
+  std::vector<word> seen_y(reader_rounds, 0);
+
+  std::thread writer([&] {
+    auto& th = rt.thread(0);
+    for (int i = 0; i < writer_rounds; ++i) {
+      th.submit({
+          [&x](core::task_ctx& c) { c.write(&x, c.read(&x) + 1); },
+          [&y](core::task_ctx& c) { c.write(&y, c.read(&y) + 1); },
+      });
+    }
+    th.drain();
+  });
+  std::thread reader([&] {
+    auto& th = rt.thread(1);
+    for (int i = 0; i < reader_rounds; ++i) {
+      word* sx = &seen_x[i];
+      word* sy = &seen_y[i];
+      th.submit({
+          [&x, sx](core::task_ctx& c) { *sx = c.read(&x); },
+          [&y, sy](core::task_ctx& c) { *sy = c.read(&y); },
+      });
+    }
+    th.drain();
+  });
+  writer.join();
+  reader.join();
+  rt.stop();
+
+  EXPECT_EQ(x, static_cast<word>(writer_rounds));
+  EXPECT_EQ(y, static_cast<word>(writer_rounds));
+  for (int i = 0; i < reader_rounds; ++i) {
+    EXPECT_EQ(seen_x[i], seen_y[i]) << "reader tx " << i << " saw a torn pair";
+  }
+  // Monotonicity: commits of the reader are in program order, so observed
+  // snapshots never go backwards.
+  for (int i = 1; i < reader_rounds; ++i) {
+    EXPECT_LE(seen_x[i - 1], seen_x[i]) << "snapshot regressed at tx " << i;
+  }
+}
+
+TEST(OpacityTlstm, SingleTaskLiveReaderNeverSeesTornPair) {
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  core::runtime rt(cfg);
+  alignas(64) word x = 0;
+  alignas(64) word y = 0;
+  std::atomic<bool> torn{false};
+
+  std::thread writer([&] {
+    auto& th = rt.thread(0);
+    for (int i = 0; i < writer_rounds; ++i) {
+      th.submit({
+          [&x](core::task_ctx& c) { c.write(&x, c.read(&x) + 1); },
+          [&y](core::task_ctx& c) { c.write(&y, c.read(&y) + 1); },
+      });
+    }
+    th.drain();
+  });
+  std::thread reader([&] {
+    auto& th = rt.thread(1);
+    for (int i = 0; i < reader_rounds; ++i) {
+      th.submit({[&x, &y, &torn](core::task_ctx& c) {
+        const word a = c.read(&x);
+        c.work(50);
+        const word b = c.read(&y);
+        if (a != b) torn.store(true);  // live-read opacity within one task
+      }});
+    }
+    th.drain();
+  });
+  writer.join();
+  reader.join();
+  rt.stop();
+  EXPECT_FALSE(torn.load());
+}
+
+// Cross-thread atomicity of *whole transactions*: a reader transaction must
+// never observe the writer's x-update without its y-update even when both
+// sides interleave arbitrarily many transactions.
+TEST(OpacityTlstm, DepthThreePipelinesKeepTransactionsAtomic) {
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 3;
+  core::runtime rt(cfg);
+  alignas(64) word x = 0;
+  alignas(64) word y = 0;
+  alignas(64) word z = 0;
+  std::vector<std::array<word, 3>> seen(reader_rounds);
+
+  std::thread writer([&] {
+    auto& th = rt.thread(0);
+    for (int i = 0; i < writer_rounds; ++i) {
+      th.submit({
+          [&x](core::task_ctx& c) { c.write(&x, c.read(&x) + 1); },
+          [&y](core::task_ctx& c) { c.write(&y, c.read(&y) + 1); },
+          [&z](core::task_ctx& c) { c.write(&z, c.read(&z) + 1); },
+      });
+    }
+    th.drain();
+  });
+  std::thread reader([&] {
+    auto& th = rt.thread(1);
+    for (int i = 0; i < reader_rounds; ++i) {
+      auto* slot = &seen[i];
+      th.submit({
+          [&x, slot](core::task_ctx& c) { (*slot)[0] = c.read(&x); },
+          [&y, slot](core::task_ctx& c) { (*slot)[1] = c.read(&y); },
+          [&z, slot](core::task_ctx& c) { (*slot)[2] = c.read(&z); },
+      });
+    }
+    th.drain();
+  });
+  writer.join();
+  reader.join();
+  rt.stop();
+  for (int i = 0; i < reader_rounds; ++i) {
+    EXPECT_EQ(seen[i][0], seen[i][1]) << i;
+    EXPECT_EQ(seen[i][1], seen[i][2]) << i;
+  }
+}
+
+}  // namespace

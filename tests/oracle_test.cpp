@@ -1,0 +1,194 @@
+// Serializability oracle (DESIGN.md §6): random multi-threaded, multi-task
+// programs over a word array run under TLSTM; the recorded global commit
+// order is replayed sequentially and the final memory must match exactly.
+// Additionally the per-thread commit order must equal program order (the
+// TLS sequential-semantics constraint).
+//
+// Parameterized over (user-threads, spec-depth, tasks-per-transaction) to
+// sweep the configuration space the paper evaluates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+struct oracle_op {
+  enum class kind : std::uint8_t { add, set, mix };
+  kind k;
+  unsigned i;
+  unsigned j;
+  std::uint64_t c;
+};
+
+constexpr unsigned ops_per_task = 6;
+
+/// Deterministically generates the ops of (thread, tx, task) over a word
+/// array of `n_words` cells (small arrays = hot contention).
+std::vector<oracle_op> gen_ops(std::uint64_t seed, unsigned thread, std::uint64_t tx,
+                               unsigned task, unsigned n_words) {
+  util::xoshiro256 rng(seed ^ (thread * 7919), tx * 31 + task);
+  std::vector<oracle_op> ops;
+  ops.reserve(ops_per_task);
+  for (unsigned i = 0; i < ops_per_task; ++i) {
+    oracle_op o{};
+    const auto r = rng.next_below(3);
+    o.k = r == 0 ? oracle_op::kind::add : r == 1 ? oracle_op::kind::set
+                                                 : oracle_op::kind::mix;
+    o.i = static_cast<unsigned>(rng.next_below(n_words));
+    o.j = static_cast<unsigned>(rng.next_below(n_words));
+    o.c = rng.next_below(1000);
+    ops.push_back(o);
+  }
+  return ops;
+}
+
+/// Applies one op through any read/write interface.
+template <typename ReadFn, typename WriteFn>
+void apply_op(const oracle_op& o, ReadFn&& rd, WriteFn&& wr) {
+  switch (o.k) {
+    case oracle_op::kind::add:
+      wr(o.i, rd(o.i) + rd(o.j) + 1);
+      break;
+    case oracle_op::kind::set:
+      wr(o.i, o.c);
+      break;
+    case oracle_op::kind::mix:
+      wr(o.i, rd(o.i) * 3 + rd(o.j));
+      break;
+  }
+}
+
+struct oracle_params {
+  unsigned threads;
+  unsigned depth;
+  unsigned tasks_per_tx;
+  std::uint64_t txs_per_thread;
+  unsigned words = 48;      // small values create hot-word contention storms
+  unsigned log2_table = 16; // tiny tables force stripe-collision paths
+};
+
+class OracleTest : public ::testing::TestWithParam<oracle_params> {};
+
+TEST_P(OracleTest, CommitOrderReplayMatchesMemory) {
+  const auto p = GetParam();
+  const unsigned n_words = p.words;
+  const std::uint64_t seed =
+      0xabcdef12u + p.threads * 131 + p.depth * 17 + p.words * 3;
+
+  core::config cfg;
+  cfg.num_threads = p.threads;
+  cfg.spec_depth = p.depth;
+  cfg.log2_table = p.log2_table;
+  cfg.record_commits = true;
+
+  std::vector<word> mem(n_words, 0);
+  std::vector<std::vector<core::commit_record>> journals(p.threads);
+  {
+    core::runtime rt(cfg);
+    std::vector<std::thread> drivers;
+    for (unsigned t = 0; t < p.threads; ++t) {
+      drivers.emplace_back([&, t] {
+        auto& th = rt.thread(t);
+        for (std::uint64_t tx = 0; tx < p.txs_per_thread; ++tx) {
+          std::vector<core::task_fn> tasks;
+          for (unsigned task = 0; task < p.tasks_per_tx; ++task) {
+            tasks.push_back([&mem, seed, t, tx, task, n_words](core::task_ctx& c) {
+              for (const auto& o : gen_ops(seed, t, tx, task, n_words)) {
+                apply_op(
+                    o, [&](unsigned i) { return c.read(&mem[i]); },
+                    [&](unsigned i, word v) { c.write(&mem[i], v); });
+              }
+            });
+          }
+          th.submit(std::move(tasks));
+        }
+        th.drain();
+        journals[t] = th.journal();
+      });
+    }
+    for (auto& d : drivers) d.join();
+    rt.stop();
+  }
+
+  // 1. Per-thread: exactly txs_per_thread commits, in program order, with
+  //    strictly increasing commit timestamps (TLS constraint).
+  struct committed_tx {
+    word ts;
+    unsigned thread;
+    std::uint64_t tx_index;
+  };
+  std::vector<committed_tx> order;
+  for (unsigned t = 0; t < p.threads; ++t) {
+    ASSERT_EQ(journals[t].size(), p.txs_per_thread) << "thread " << t;
+    for (std::uint64_t i = 0; i < journals[t].size(); ++i) {
+      const auto& rec = journals[t][i];
+      ASSERT_NE(rec.commit_ts, 0u) << "every oracle tx writes";
+      if (i > 0) {
+        EXPECT_LT(journals[t][i - 1].commit_ts, rec.commit_ts)
+            << "per-thread commit order must follow program order";
+        EXPECT_LT(journals[t][i - 1].tx_commit_serial, rec.tx_start_serial);
+      }
+      order.push_back({rec.commit_ts, t, i});
+    }
+  }
+
+  // 2. Commit timestamps are globally unique.
+  std::sort(order.begin(), order.end(),
+            [](const committed_tx& a, const committed_tx& b) { return a.ts < b.ts; });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    ASSERT_NE(order[i - 1].ts, order[i].ts) << "duplicate commit timestamp";
+  }
+
+  // 3. Sequential replay in global commit order must reproduce memory.
+  std::vector<word> model(n_words, 0);
+  for (const auto& ct : order) {
+    for (unsigned task = 0; task < p.tasks_per_tx; ++task) {
+      for (const auto& o : gen_ops(seed, ct.thread, ct.tx_index, task, n_words)) {
+        apply_op(
+            o, [&](unsigned i) { return model[i]; },
+            [&](unsigned i, word v) { model[i] = v; });
+      }
+    }
+  }
+  for (unsigned i = 0; i < n_words; ++i) {
+    EXPECT_EQ(mem[i], model[i]) << "word " << i << " diverged from serial replay";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OracleTest,
+    ::testing::Values(
+        oracle_params{1, 1, 1, 60},  // degenerate: plain STM
+        oracle_params{1, 2, 2, 60},  // one thread, paired tasks
+        oracle_params{1, 4, 4, 40},  // deep intra-thread speculation
+        oracle_params{1, 4, 2, 40},  // speculative future transactions
+        oracle_params{2, 2, 2, 40},  // TM × TLS
+        oracle_params{2, 3, 3, 30},  // the paper's 3-task shape
+        oracle_params{3, 2, 2, 25},  // wider TM dimension
+        oracle_params{2, 4, 2, 30},  // pipelining under contention
+        oracle_params{1, 3, 3, 40, 4},   // hot words: intra-thread WAW storm
+        oracle_params{2, 2, 2, 30, 4},   // hot words across threads
+        oracle_params{3, 3, 3, 20, 6},   // hot words, full cross product
+        // Tiny lock tables: every transaction crosses colliding stripes, so
+        // the address-refined validation paths (DESIGN.md §4.3a) carry the
+        // whole load. Serializability must be collision-blind.
+        oracle_params{1, 3, 3, 30, 24, 2},
+        oracle_params{2, 2, 2, 25, 24, 2},
+        oracle_params{2, 3, 3, 20, 24, 0}),  // single stripe for everything
+    [](const ::testing::TestParamInfo<oracle_params>& info) {
+      const auto& p = info.param;
+      return "t" + std::to_string(p.threads) + "_d" + std::to_string(p.depth) +
+             "_k" + std::to_string(p.tasks_per_tx) + "_w" + std::to_string(p.words) +
+             "_L" + std::to_string(p.log2_table);
+    });
+
+}  // namespace

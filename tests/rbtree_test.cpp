@@ -1,0 +1,242 @@
+// Red-black tree tests: functional correctness under a sequential context,
+// structural invariants after randomized workloads, and linearizability
+// under concurrent SwissTM / TLSTM execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "util/rng.hpp"
+#include "workloads/rbtree.hpp"
+
+namespace {
+
+using namespace tlstm;
+using wl::rbtree;
+
+/// Sequential driver: runs every operation in its own SwissTM transaction on
+/// one thread — exercises the full transactional code path deterministically.
+struct seq_driver {
+  stm::swiss_runtime rt;
+  std::unique_ptr<stm::swiss_thread> th = rt.make_thread();
+
+  bool insert(rbtree& t, std::uint64_t k, std::uint64_t v) {
+    bool r = false;
+    th->run_transaction([&](stm::swiss_thread& tx) { r = t.insert(tx, k, v); });
+    return r;
+  }
+  bool erase(rbtree& t, std::uint64_t k) {
+    bool r = false;
+    th->run_transaction([&](stm::swiss_thread& tx) { r = t.erase(tx, k); });
+    return r;
+  }
+  std::optional<std::uint64_t> lookup(rbtree& t, std::uint64_t k) {
+    std::optional<std::uint64_t> r;
+    th->run_transaction([&](stm::swiss_thread& tx) { r = t.lookup(tx, k); });
+    return r;
+  }
+  bool update(rbtree& t, std::uint64_t k, std::uint64_t v) {
+    bool r = false;
+    th->run_transaction([&](stm::swiss_thread& tx) { r = t.update(tx, k, v); });
+    return r;
+  }
+  std::uint64_t count_range(rbtree& t, std::uint64_t lo, std::uint64_t hi) {
+    std::uint64_t r = 0;
+    th->run_transaction([&](stm::swiss_thread& tx) { r = t.count_range(tx, lo, hi); });
+    return r;
+  }
+};
+
+TEST(RbTree, InsertLookupEraseBasics) {
+  rbtree t;
+  seq_driver d;
+  EXPECT_FALSE(d.lookup(t, 5).has_value());
+  EXPECT_TRUE(d.insert(t, 5, 50));
+  EXPECT_FALSE(d.insert(t, 5, 51));  // duplicate rejected
+  EXPECT_EQ(d.lookup(t, 5), std::optional<std::uint64_t>(50));
+  EXPECT_TRUE(d.update(t, 5, 55));
+  EXPECT_EQ(d.lookup(t, 5), std::optional<std::uint64_t>(55));
+  EXPECT_TRUE(d.erase(t, 5));
+  EXPECT_FALSE(d.erase(t, 5));
+  EXPECT_FALSE(d.lookup(t, 5).has_value());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(RbTree, AscendingInsertionStaysBalanced) {
+  rbtree t;
+  seq_driver d;
+  for (std::uint64_t k = 0; k < 512; ++k) EXPECT_TRUE(d.insert(t, k, k * 2));
+  const char* why = nullptr;
+  EXPECT_TRUE(t.check_invariants(&why)) << why;
+  EXPECT_EQ(t.size_unsafe(), 512u);
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    EXPECT_EQ(d.lookup(t, k), std::optional<std::uint64_t>(k * 2));
+  }
+}
+
+TEST(RbTree, DescendingInsertionStaysBalanced) {
+  rbtree t;
+  seq_driver d;
+  for (std::uint64_t k = 512; k > 0; --k) EXPECT_TRUE(d.insert(t, k, k));
+  const char* why = nullptr;
+  EXPECT_TRUE(t.check_invariants(&why)) << why;
+  EXPECT_EQ(t.size_unsafe(), 512u);
+}
+
+TEST(RbTree, RandomInsertEraseMatchesStdSet) {
+  rbtree t;
+  seq_driver d;
+  std::set<std::uint64_t> model;
+  util::xoshiro256 rng(2024);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t k = rng.next_below(600);
+    if (rng.next_percent(60)) {
+      EXPECT_EQ(d.insert(t, k, k), model.insert(k).second);
+    } else {
+      EXPECT_EQ(d.erase(t, k), model.erase(k) > 0);
+    }
+    if (i % 512 == 0) {
+      const char* why = nullptr;
+      ASSERT_TRUE(t.check_invariants(&why)) << why << " at step " << i;
+    }
+  }
+  const char* why = nullptr;
+  ASSERT_TRUE(t.check_invariants(&why)) << why;
+  EXPECT_EQ(t.size_unsafe(), model.size());
+  for (std::uint64_t k = 0; k < 600; ++k) {
+    EXPECT_EQ(d.lookup(t, k).has_value(), model.count(k) == 1) << "key " << k;
+  }
+}
+
+TEST(RbTree, CountRange) {
+  rbtree t;
+  seq_driver d;
+  for (std::uint64_t k = 0; k < 100; k += 2) d.insert(t, k, k);
+  EXPECT_EQ(d.count_range(t, 0, 99), 50u);
+  EXPECT_EQ(d.count_range(t, 10, 19), 5u);  // 10,12,14,16,18
+  EXPECT_EQ(d.count_range(t, 51, 51), 0u);
+  EXPECT_EQ(d.count_range(t, 50, 50), 1u);
+}
+
+TEST(RbTree, UnsafeSeedThenTransactionalUse) {
+  rbtree t;
+  for (std::uint64_t k = 0; k < 128; ++k) t.insert_unsafe(k, k + 1);
+  EXPECT_TRUE(t.check_invariants());
+  seq_driver d;
+  EXPECT_EQ(d.lookup(t, 64), std::optional<std::uint64_t>(65));
+}
+
+TEST(RbTree, ConcurrentSwissTMStress) {
+  rbtree t;
+  for (std::uint64_t k = 0; k < 256; k += 2) t.insert_unsafe(k, k);
+  stm::swiss_runtime rt;
+  constexpr int n_threads = 4;
+  constexpr int ops = 1500;
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < n_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      auto th = rt.make_thread();
+      util::xoshiro256 rng(55, tid);
+      for (int i = 0; i < ops; ++i) {
+        const std::uint64_t k = rng.next_below(256);
+        const auto action = rng.next_below(10);
+        th->run_transaction([&](stm::swiss_thread& tx) {
+          if (action < 5) {
+            (void)t.lookup(tx, k);
+          } else if (action < 8) {
+            (void)t.insert(tx, k, k);
+          } else {
+            (void)t.erase(tx, k);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const char* why = nullptr;
+  EXPECT_TRUE(t.check_invariants(&why)) << why;
+}
+
+TEST(RbTree, ConcurrentTlstmStress) {
+  rbtree t;
+  for (std::uint64_t k = 0; k < 128; k += 2) t.insert_unsafe(k, k);
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 16;
+  core::runtime rt(cfg);
+  std::vector<std::thread> drivers;
+  for (unsigned tid = 0; tid < cfg.num_threads; ++tid) {
+    drivers.emplace_back([&, tid] {
+      auto& th = rt.thread(tid);
+      util::xoshiro256 rng(77, tid);
+      for (int i = 0; i < 300; ++i) {
+        // Two-task transaction: each task does an independent operation on
+        // its own key (the paper's multi-op transaction split).
+        const std::uint64_t k1 = rng.next_below(128);
+        const std::uint64_t k2 = rng.next_below(128);
+        const auto a1 = rng.next_below(10);
+        const auto a2 = rng.next_below(10);
+        auto make_op = [&t](std::uint64_t key, std::uint64_t action) {
+          return [&t, key, action](core::task_ctx& c) {
+            if (action < 6) {
+              (void)t.lookup(c, key);
+            } else if (action < 8) {
+              (void)t.insert(c, key, key);
+            } else {
+              (void)t.erase(c, key);
+            }
+          };
+        };
+        th.submit({make_op(k1, a1), make_op(k2, a2)});
+      }
+      th.drain();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+  const char* why = nullptr;
+  EXPECT_TRUE(t.check_invariants(&why)) << why;
+}
+
+TEST(RbTree, MultiLookupTransactionSplitIntoTasks) {
+  // The Fig. 1a shape: one transaction of N lookups split into k tasks of
+  // N/k lookups each; all tasks read-only.
+  rbtree t;
+  for (std::uint64_t k = 0; k < 512; ++k) t.insert_unsafe(k, k * 3);
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 4;
+  cfg.log2_table = 16;
+  core::runtime rt(cfg);
+  // Per-task result slots: idempotent across task re-execution.
+  std::array<std::uint64_t, 4> results{};
+  std::vector<core::task_fn> tasks;
+  for (unsigned task = 0; task < 4; ++task) {
+    tasks.push_back([&, task](core::task_ctx& c) {
+      std::uint64_t local = 0;
+      for (std::uint64_t i = 0; i < 16; ++i) {
+        const std::uint64_t key = task * 16 + i;
+        auto v = t.lookup(c, key);
+        ASSERT_TRUE(v.has_value());
+        local += *v;
+      }
+      results[task] = local;
+    });
+  }
+  rt.thread(0).execute(std::move(tasks));
+  rt.stop();
+  std::uint64_t expect = 0;
+  for (std::uint64_t key = 0; key < 64; ++key) expect += key * 3;
+  std::uint64_t sum = 0;
+  for (auto r : results) sum += r;
+  EXPECT_EQ(sum, expect);
+  EXPECT_EQ(rt.aggregated_stats().tx_read_only, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// STMBench7 workload tests: structure shape, traversal completeness, task
+// decomposition coverage, and the x==y atomicity invariant under concurrent
+// long traversals on both runtimes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/stmb7.hpp"
+
+namespace {
+
+using namespace tlstm;
+namespace s7 = wl::stmb7;
+
+s7::config small_cfg() {
+  s7::config c;
+  c.levels = 4;  // 3^(4-1) = 27 base assemblies; split into 1/3/9 tasks
+  c.fanout = 3;
+  c.comps_per_base = 2;
+  c.composite_pool = 8;
+  c.parts_per_composite = 6;
+  return c;
+}
+
+TEST(Stmb7, BuildShape) {
+  // STMBench7 semantics: `levels` includes the base-assembly level, so base
+  // count = fanout^(levels-1) (the real benchmark: 3^6 = 729 at levels=7).
+  s7::config c3 = small_cfg();
+  c3.levels = 3;
+  s7::benchmark b3(c3);
+  EXPECT_EQ(b3.base_assembly_count(), 9u);
+  EXPECT_EQ(b3.total_parts(), 8u * 6u);
+  s7::benchmark b4(small_cfg());
+  EXPECT_EQ(b4.base_assembly_count(), 27u);
+  const char* why = nullptr;
+  EXPECT_TRUE(b4.check_invariants(&why)) << why;
+}
+
+TEST(Stmb7, RejectsDegenerateConfig) {
+  s7::config c = small_cfg();
+  c.levels = 2;
+  EXPECT_THROW(s7::benchmark b(c), std::invalid_argument);
+}
+
+TEST(Stmb7, SplitRootsPartitionTheTree) {
+  s7::benchmark b(small_cfg());
+  auto r1 = b.split_roots(1);
+  auto r3 = b.split_roots(3);
+  auto r9 = b.split_roots(9);
+  EXPECT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r3.size(), 3u);
+  EXPECT_EQ(r9.size(), 9u);
+  EXPECT_THROW(b.split_roots(2), std::invalid_argument);
+  EXPECT_THROW(b.split_roots(27), std::invalid_argument);  // levels too few
+  std::set<const s7::complex_assembly*> distinct(r9.begin(), r9.end());
+  EXPECT_EQ(distinct.size(), 9u);
+  // A 3-level design only has the root's children to split on.
+  s7::config c3 = small_cfg();
+  c3.levels = 3;
+  s7::benchmark b3(c3);
+  EXPECT_EQ(b3.split_roots(3).size(), 3u);
+  EXPECT_THROW(b3.split_roots(9), std::invalid_argument);
+}
+
+TEST(Stmb7, ReadTraversalVisitsEveryReachablePart) {
+  s7::benchmark b(small_cfg());
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  std::uint64_t visited_full = 0;
+  th->run_transaction([&](stm::swiss_thread& tx) {
+    visited_full = b.traverse_read(tx, b.design_root());
+  });
+  // Every base assembly visits comps_per_base composites fully (parts are
+  // ring-connected, so the DFS covers each composite's whole graph).
+  EXPECT_EQ(visited_full, b.base_assembly_count() * small_cfg().comps_per_base *
+                              small_cfg().parts_per_composite);
+}
+
+TEST(Stmb7, SplitTraversalsCoverSameWorkAsFull) {
+  s7::benchmark b(small_cfg());
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  std::uint64_t full = 0, split_sum = 0;
+  th->run_transaction(
+      [&](stm::swiss_thread& tx) { full = b.traverse_read(tx, b.design_root()); });
+  for (auto* root : b.split_roots(3)) {
+    th->run_transaction(
+        [&](stm::swiss_thread& tx) { split_sum += b.traverse_read(tx, root); });
+  }
+  EXPECT_EQ(full, split_sum);
+}
+
+TEST(Stmb7, WriteTraversalMaintainsXYInvariant) {
+  s7::benchmark b(small_cfg());
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  std::uint64_t updated = 0;
+  th->run_transaction([&](stm::swiss_thread& tx) {
+    updated = b.traverse_write(tx, b.design_root(), 123);
+  });
+  EXPECT_EQ(updated, b.base_assembly_count() * small_cfg().comps_per_base *
+                         small_cfg().parts_per_composite);
+  const char* why = nullptr;
+  EXPECT_TRUE(b.check_invariants(&why)) << why;
+}
+
+TEST(Stmb7, ShortOps) {
+  s7::benchmark b(small_cfg());
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  bool ok = false;
+  th->run_transaction([&](stm::swiss_thread& tx) { ok = b.short_write(tx, 5, 99); });
+  EXPECT_TRUE(ok);
+  std::uint64_t v = 0;
+  th->run_transaction([&](stm::swiss_thread& tx) { v = b.short_read(tx, 5); });
+  EXPECT_EQ(v, 1u + 99u);  // x + build_date
+  th->run_transaction([&](stm::swiss_thread& tx) { ok = b.short_write(tx, 1 << 20, 0); });
+  EXPECT_FALSE(ok);
+  const char* why = nullptr;
+  EXPECT_TRUE(b.check_invariants(&why)) << why;
+}
+
+TEST(Stmb7, ShortTraversalVisitsOneComposite) {
+  s7::benchmark b(small_cfg());
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  std::uint64_t visited = 0;
+  th->run_transaction(
+      [&](stm::swiss_thread& tx) { visited = b.short_traversal(tx, 5); });
+  EXPECT_EQ(visited, small_cfg().parts_per_composite);
+}
+
+TEST(Stmb7, SwapComponentRelinksAtomically) {
+  s7::benchmark b(small_cfg());
+  stm::swiss_runtime rt;
+  auto th = rt.make_thread();
+  // Force base 0's slot 0 to point at pool composite 3, then at 5; short
+  // traversal must follow the current link each time.
+  th->run_transaction([&](stm::swiss_thread& tx) { b.swap_component(tx, 0, 0, 3); });
+  std::uint64_t v1 = 0;
+  th->run_transaction([&](stm::swiss_thread& tx) { v1 = b.short_traversal(tx, 0); });
+  EXPECT_EQ(v1, small_cfg().parts_per_composite);
+  th->run_transaction([&](stm::swiss_thread& tx) { b.swap_component(tx, 0, 0, 5); });
+  const char* why = nullptr;
+  EXPECT_TRUE(b.check_invariants(&why)) << why;
+}
+
+TEST(Stmb7, StructuralModsUnderConcurrentTraversals) {
+  // SM operations relink components while long traversals run — the
+  // traversals must never fault or observe torn structure (x==y holds, the
+  // traversal count always equals a whole number of composites).
+  s7::benchmark b(small_cfg());
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 3;
+  cfg.log2_table = 16;
+  core::runtime rt(cfg);
+  std::atomic<bool> bad_count{false};
+  std::vector<std::thread> drivers;
+  for (unsigned t = 0; t < 2; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& th = rt.thread(t);
+      util::xoshiro256 rng(19, t);
+      for (int i = 0; i < 30; ++i) {
+        if (t == 0) {
+          auto roots = b.split_roots(3);
+          std::vector<core::task_fn> tasks;
+          for (auto* root : roots) {
+            tasks.push_back([&b, root, &bad_count](core::task_ctx& c) {
+              const std::uint64_t n = b.traverse_read(c, root);
+              if (n % b.cfg().parts_per_composite != 0) bad_count = true;
+            });
+          }
+          th.submit(std::move(tasks));
+        } else {
+          const auto base = rng.next_below(27);
+          const auto slot = static_cast<unsigned>(rng.next_below(2));
+          const auto pool = rng.next_below(8);
+          th.submit({[&b, base, slot, pool](core::task_ctx& c) {
+            b.swap_component(c, base, slot, pool);
+          }});
+        }
+      }
+      th.drain();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+  EXPECT_FALSE(bad_count.load());
+  const char* why = nullptr;
+  EXPECT_TRUE(b.check_invariants(&why)) << why;
+}
+
+TEST(Stmb7, ConcurrentSwissWriteTraversalsStayAtomic) {
+  s7::benchmark b(small_cfg());
+  stm::swiss_runtime rt;
+  constexpr int n_threads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      for (int i = 0; i < 15; ++i) {
+        th->run_transaction([&](stm::swiss_thread& tx) {
+          if (i % 3 == 0) {
+            (void)b.traverse_read(tx, b.design_root());
+          } else {
+            (void)b.traverse_write(tx, b.design_root(), t * 1000 + i);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const char* why = nullptr;
+  EXPECT_TRUE(b.check_invariants(&why)) << why;
+}
+
+TEST(Stmb7, TlstmThreeTaskTraversalsStayAtomic) {
+  // The paper's Fig. 2 shape: long traversals split into 3 tasks (one per
+  // top-level branch), read and write mixes, concurrent user-threads.
+  s7::benchmark b(small_cfg());
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 3;
+  cfg.log2_table = 16;
+  auto roots = b.split_roots(3);
+  auto result = wl::run_tlstm(
+      cfg, /*tx_per_thread=*/25, /*ops_per_tx=*/1, [&](unsigned t, std::uint64_t i) {
+        const bool write = (i % 2) == static_cast<std::uint64_t>(t % 2);
+        std::vector<core::task_fn> tasks;
+        for (auto* root : roots) {
+          if (write) {
+            tasks.push_back([&b, root, t, i](core::task_ctx& c) {
+              (void)b.traverse_write(c, root, t * 10000 + i);
+            });
+          } else {
+            tasks.push_back(
+                [&b, root](core::task_ctx& c) { (void)b.traverse_read(c, root); });
+          }
+        }
+        return tasks;
+      });
+  EXPECT_EQ(result.committed_tx, 50u);
+  const char* why = nullptr;
+  EXPECT_TRUE(b.check_invariants(&why)) << why;
+  // Tasks of one write traversal hit the same shared composites, so later
+  // tasks must observe earlier tasks' uncommitted writes through the
+  // redo-log chains. (Abort counts depend on scheduler-dependent temporal
+  // overlap and can legitimately be zero on one core.)
+  EXPECT_GT(result.stats.reads_speculative, 0u);
+}
+
+}  // namespace

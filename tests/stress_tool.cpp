@@ -1,0 +1,59 @@
+// Standalone stress/diagnosis tool (not a ctest target): repeats the
+// intra-thread WAW scenario with a watchdog that dumps the runtime state if
+// progress stalls. Usage: stress_tool [iterations] [depth] [txs]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+using namespace tlstm;
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 100;
+  const unsigned depth = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4;
+  const int n_tx = argc > 3 ? std::atoi(argv[3]) : 30;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    core::config cfg;
+    cfg.num_threads = 1;
+    cfg.spec_depth = depth;
+    cfg.log2_table = 14;
+    core::runtime rt(cfg);
+    alignas(8) stm::word x = 0;
+
+    std::atomic<bool> done{false};
+    std::thread watchdog([&] {
+      for (int i = 0; i < 100; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (done.load()) return;
+      }
+      std::fprintf(stderr, "=== HANG at iteration %d (depth %u) ===\n%s\n", iter,
+                   depth, rt.dump_state().c_str());
+      std::fflush(stderr);
+      std::_Exit(2);
+    });
+
+    auto& th = rt.thread(0);
+    for (int i = 0; i < n_tx; ++i) {
+      std::vector<core::task_fn> tasks;
+      for (unsigned k = 0; k < depth; ++k) {
+        tasks.push_back([&](core::task_ctx& c) { c.write(&x, c.read(&x) + 1); });
+      }
+      th.submit(std::move(tasks));
+    }
+    th.drain();
+    done = true;
+    watchdog.join();
+    if (x != static_cast<stm::word>(n_tx * static_cast<int>(depth))) {
+      std::fprintf(stderr, "WRONG RESULT at iteration %d: %llu\n", iter,
+                   static_cast<unsigned long long>(x));
+      return 1;
+    }
+  }
+  std::puts("stress ok");
+  return 0;
+}

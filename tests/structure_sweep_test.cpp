@@ -1,0 +1,299 @@
+// Parameterized sweeps of the transactional data structures under TLSTM:
+// differential testing against std::set with task-split transactions,
+// partitioned multi-thread runs with invariant checks, and allocation churn
+// that stresses the epoch-based reclamation under speculation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/rng.hpp"
+#include "workloads/intset.hpp"
+#include "workloads/rbtree.hpp"
+
+namespace {
+
+using namespace tlstm;
+
+enum class structure { list, skip, hash, rb };
+
+const char* structure_name(structure s) {
+  switch (s) {
+    case structure::list: return "list";
+    case structure::skip: return "skip";
+    case structure::hash: return "hash";
+    case structure::rb: return "rb";
+  }
+  return "?";
+}
+
+/// Uniform facade so the sweep code is generic over the four structures.
+struct any_set {
+  explicit any_set(structure s) : kind(s) {
+    switch (kind) {
+      case structure::list: list = std::make_unique<wl::sorted_list>(); break;
+      case structure::skip: skip = std::make_unique<wl::skiplist>(); break;
+      case structure::hash: hash = std::make_unique<wl::hashset>(6); break;
+      case structure::rb: rb = std::make_unique<wl::rbtree>(); break;
+    }
+  }
+
+  bool insert(core::task_ctx& c, std::uint64_t k, std::uint64_t draw) {
+    switch (kind) {
+      case structure::list: return list->insert(c, k);
+      case structure::skip: return skip->insert(c, k, draw);
+      case structure::hash: return hash->insert(c, k);
+      case structure::rb: return rb->insert(c, k, k);
+    }
+    return false;
+  }
+  bool erase(core::task_ctx& c, std::uint64_t k) {
+    switch (kind) {
+      case structure::list: return list->erase(c, k);
+      case structure::skip: return skip->erase(c, k);
+      case structure::hash: return hash->erase(c, k);
+      case structure::rb: return rb->erase(c, k);
+    }
+    return false;
+  }
+  bool contains(core::task_ctx& c, std::uint64_t k) {
+    switch (kind) {
+      case structure::list: return list->contains(c, k);
+      case structure::skip: return skip->contains(c, k);
+      case structure::hash: return hash->contains(c, k);
+      case structure::rb: return rb->contains(c, k);
+    }
+    return false;
+  }
+  bool check_invariants(const char** why) const {
+    switch (kind) {
+      case structure::list:
+        if (!list->check_sorted_unsafe()) { *why = "list unsorted"; return false; }
+        return true;
+      case structure::skip:
+        if (!skip->check_levels_unsafe()) { *why = "skip levels broken"; return false; }
+        return true;
+      case structure::hash:
+        return true;  // bucket chains carry no ordering invariant
+      case structure::rb:
+        return rb->check_invariants(why);
+    }
+    return false;
+  }
+
+  structure kind;
+  std::unique_ptr<wl::sorted_list> list;
+  std::unique_ptr<wl::skiplist> skip;
+  std::unique_ptr<wl::hashset> hash;
+  std::unique_ptr<wl::rbtree> rb;
+};
+
+// ---------------------------------------------------------------------------
+// Differential: task-split transactions vs std::set, exact equality
+// ---------------------------------------------------------------------------
+
+class StructureDifferential
+    : public ::testing::TestWithParam<std::tuple<structure, unsigned>> {};
+
+TEST_P(StructureDifferential, RandomOpsMatchStdSet) {
+  const auto [kind, depth] = GetParam();
+  const std::uint64_t key_space = 64;
+
+  // Pools must outlive the runtime (DESIGN rule: declare pools first).
+  any_set s(kind);
+  std::set<std::uint64_t> oracle;
+
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = depth;
+  cfg.log2_table = 14;
+  {
+    core::runtime rt(cfg);
+    auto& th = rt.thread(0);
+    util::xoshiro256 rng(kind == structure::list ? 1u : 2u, depth);
+
+    for (int round = 0; round < 150; ++round) {
+      // One transaction of `depth` tasks, each performing one random op.
+      // Results must equal applying the ops in program order to std::set.
+      std::vector<std::uint64_t> keys, draws, actions;
+      for (unsigned i = 0; i < depth; ++i) {
+        keys.push_back(rng.next_below(key_space));
+        draws.push_back(rng.next());
+        actions.push_back(rng.next_below(3));
+      }
+      std::vector<core::task_fn> fns;
+      for (unsigned i = 0; i < depth; ++i) {
+        const auto k = keys[i];
+        const auto draw = draws[i];
+        const auto a = actions[i];
+        fns.push_back([&s, k, draw, a](core::task_ctx& c) {
+          switch (a) {
+            case 0: (void)s.insert(c, k, draw); break;
+            case 1: (void)s.erase(c, k); break;
+            default: (void)s.contains(c, k); break;
+          }
+        });
+      }
+      th.execute(std::move(fns));
+      for (unsigned i = 0; i < depth; ++i) {
+        if (actions[i] == 0) oracle.insert(keys[i]);
+        if (actions[i] == 1) oracle.erase(keys[i]);
+      }
+    }
+
+    // Final membership must agree exactly.
+    for (std::uint64_t k = 0; k < key_space; ++k) {
+      bool got = false;
+      th.execute({[&s, &got, k](core::task_ctx& c) { got = s.contains(c, k); }});
+      EXPECT_EQ(got, oracle.count(k) != 0) << structure_name(kind) << " key " << k;
+    }
+    rt.stop();
+  }
+  const char* why = nullptr;
+  EXPECT_TRUE(s.check_invariants(&why)) << (why ? why : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StructureDifferential,
+    ::testing::Combine(::testing::Values(structure::list, structure::skip,
+                                         structure::hash, structure::rb),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::string(structure_name(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Concurrency: per-thread key partitions, invariants + exact final content
+// ---------------------------------------------------------------------------
+
+class StructureConcurrency
+    : public ::testing::TestWithParam<std::tuple<structure, unsigned, unsigned>> {};
+
+TEST_P(StructureConcurrency, PartitionedThreadsConvergeToTheirSets) {
+  const auto [kind, threads, depth] = GetParam();
+  const std::uint64_t keys_per_thread = 24;
+
+  any_set s(kind);
+  std::vector<std::set<std::uint64_t>> oracles(threads);
+
+  core::config cfg;
+  cfg.num_threads = threads;
+  cfg.spec_depth = depth;
+  cfg.log2_table = 14;
+  {
+    core::runtime rt(cfg);
+    std::vector<std::thread> drivers;
+    for (unsigned t = 0; t < threads; ++t) {
+      drivers.emplace_back([&, t] {
+        // Thread t owns keys  t, t+threads, t+2*threads, ... — ops conflict
+        // structurally (shared nodes) but not logically.
+        auto& th = rt.thread(t);
+        util::xoshiro256 rng(kind == structure::rb ? 7u : 8u, t);
+        for (int round = 0; round < 120; ++round) {
+          const std::uint64_t k = t + threads * rng.next_below(keys_per_thread);
+          const auto draw = rng.next();
+          const bool ins = rng.next_below(2) == 0;
+          th.submit({[&s, k, draw, ins](core::task_ctx& c) {
+            if (ins) {
+              (void)s.insert(c, k, draw);
+            } else {
+              (void)s.erase(c, k);
+            }
+          }});
+          if (ins) {
+            oracles[t].insert(k);
+          } else {
+            oracles[t].erase(k);
+          }
+        }
+        th.drain();
+      });
+    }
+    for (auto& d : drivers) d.join();
+
+    // Verify every thread's partition from thread 0's submitter.
+    auto& th = rt.thread(0);
+    for (unsigned t = 0; t < threads; ++t) {
+      for (std::uint64_t i = 0; i < keys_per_thread; ++i) {
+        const std::uint64_t k = t + threads * i;
+        bool got = false;
+        th.execute({[&s, &got, k](core::task_ctx& c) { got = s.contains(c, k); }});
+        EXPECT_EQ(got, oracles[t].count(k) != 0)
+            << structure_name(kind) << " t" << t << " key " << k;
+      }
+    }
+    rt.stop();
+  }
+  const char* why = nullptr;
+  EXPECT_TRUE(s.check_invariants(&why)) << (why ? why : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StructureConcurrency,
+    ::testing::Combine(::testing::Values(structure::list, structure::skip,
+                                         structure::hash, structure::rb),
+                       ::testing::Values(2u, 3u), ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return std::string(structure_name(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_d" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Reclamation churn: insert/erase the same keys forever — every erase frees
+// a node through the epoch pool while speculative readers may still hold it
+// ---------------------------------------------------------------------------
+
+class StructureChurn : public ::testing::TestWithParam<structure> {};
+
+TEST_P(StructureChurn, EraseInsertChurnWithConcurrentReaders) {
+  const auto kind = GetParam();
+  any_set s(kind);
+
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  {
+    core::runtime rt(cfg);
+    std::thread churner([&] {
+      auto& th = rt.thread(0);
+      util::xoshiro256 rng(13, 0);
+      for (int round = 0; round < 200; ++round) {
+        const std::uint64_t k = rng.next_below(8);  // tiny key space: constant reuse
+        const auto draw = rng.next();
+        th.submit({
+            [&s, k, draw](core::task_ctx& c) { (void)s.insert(c, k, draw); },
+            [&s, k](core::task_ctx& c) { (void)s.erase(c, k); },
+        });
+      }
+      th.drain();
+    });
+    std::thread reader([&] {
+      auto& th = rt.thread(1);
+      util::xoshiro256 rng(14, 1);
+      for (int round = 0; round < 300; ++round) {
+        const std::uint64_t k = rng.next_below(8);
+        th.execute({[&s, k](core::task_ctx& c) { (void)s.contains(c, k); }});
+      }
+    });
+    churner.join();
+    reader.join();
+    rt.stop();
+  }
+  // Every insert was followed by an erase in the same transaction: empty.
+  const char* why = nullptr;
+  EXPECT_TRUE(s.check_invariants(&why)) << (why ? why : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StructureChurn,
+                         ::testing::Values(structure::list, structure::skip,
+                                           structure::hash, structure::rb),
+                         [](const auto& info) { return structure_name(info.param); });
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Configuration-matrix sweep: a mixed read/write workload with full
+// invariant checking, parameterized over (user-threads × spec-depth ×
+// tasks-per-transaction × table size). Complements the oracle (exact replay)
+// with broader structural coverage per configuration.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "util/rng.hpp"
+#include "workloads/bank.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+struct sweep_params {
+  unsigned threads;
+  unsigned depth;
+  unsigned tasks_per_tx;
+  unsigned log2_table;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<sweep_params> {};
+
+TEST_P(ConfigSweep, BankMixedWorkloadConserves) {
+  const auto p = GetParam();
+  constexpr std::size_t n_accounts = 48;
+  constexpr word initial = 200;
+  constexpr int tx_per_thread = 60;
+
+  wl::bank bank(n_accounts, initial);
+  core::config cfg;
+  cfg.num_threads = p.threads;
+  cfg.spec_depth = p.depth;
+  cfg.log2_table = p.log2_table;
+  std::atomic<std::uint64_t> audit_violations{0};
+  {
+    core::runtime rt(cfg);
+    std::vector<std::thread> drivers;
+    for (unsigned t = 0; t < p.threads; ++t) {
+      drivers.emplace_back([&, t] {
+        auto& th = rt.thread(t);
+        util::xoshiro256 rng(p.threads * 100 + p.depth * 10 + t);
+        for (int i = 0; i < tx_per_thread; ++i) {
+          std::vector<core::task_fn> tasks;
+          if (i % 7 == 0) {
+            // Audit split over the tasks.
+            auto partials =
+                std::make_shared<std::vector<std::uint64_t>>(p.tasks_per_tx, 0);
+            const std::size_t stride = n_accounts / p.tasks_per_tx;
+            for (unsigned k = 0; k < p.tasks_per_tx; ++k) {
+              const std::size_t lo = k * stride;
+              const std::size_t hi =
+                  (k + 1 == p.tasks_per_tx) ? n_accounts : lo + stride;
+              tasks.push_back([&bank, partials, k, lo, hi](core::task_ctx& c) {
+                (*partials)[k] = bank.audit_range(c, lo, hi);
+              });
+            }
+            th.submit(std::move(tasks));
+            th.drain();  // read partials only after commit
+            std::uint64_t total = 0;
+            for (auto v : *partials) total += v;
+            if (total != bank.expected_total()) audit_violations.fetch_add(1);
+          } else {
+            for (unsigned k = 0; k < p.tasks_per_tx; ++k) {
+              const std::size_t from = rng.next_below(n_accounts);
+              const std::size_t to = rng.next_below(n_accounts);
+              tasks.push_back([&bank, from, to](core::task_ctx& c) {
+                if (from != to) bank.transfer(c, from, to, 3);
+              });
+            }
+            th.submit(std::move(tasks));
+          }
+        }
+        th.drain();
+      });
+    }
+    for (auto& d : drivers) d.join();
+    rt.stop();
+    const auto stats = rt.aggregated_stats();
+    EXPECT_EQ(stats.tx_committed,
+              static_cast<std::uint64_t>(p.threads) * tx_per_thread);
+  }
+  EXPECT_EQ(audit_violations.load(), 0u);
+  EXPECT_EQ(bank.total_unsafe(), bank.expected_total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigSweep,
+    ::testing::Values(sweep_params{1, 1, 1, 14},   //
+                      sweep_params{1, 2, 2, 14},   //
+                      sweep_params{1, 4, 4, 14},   //
+                      sweep_params{1, 4, 2, 14},   // future-tx pipelining
+                      sweep_params{2, 1, 1, 14},   //
+                      sweep_params{2, 2, 2, 14},   //
+                      sweep_params{2, 3, 3, 14},   //
+                      sweep_params{3, 2, 2, 14},   //
+                      sweep_params{2, 2, 2, 4},    // collision-heavy table
+                      sweep_params{1, 6, 6, 14},   // deep pipeline
+                      sweep_params{1, 6, 3, 14},   // deep window, small txs
+                      sweep_params{4, 2, 2, 12}),  // wide TM dimension
+    [](const ::testing::TestParamInfo<sweep_params>& info) {
+      const auto& p = info.param;
+      return "t" + std::to_string(p.threads) + "_d" + std::to_string(p.depth) +
+             "_k" + std::to_string(p.tasks_per_tx) + "_L" +
+             std::to_string(p.log2_table);
+    });
+
+}  // namespace

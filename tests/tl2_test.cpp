@@ -1,0 +1,235 @@
+// TL2 baseline tests: protocol unit tests (versioned locks, rv/wv rules),
+// atomicity and conservation under concurrency, generic-workload
+// compatibility (the same data structures as SwissTM), and differential
+// equivalence between the two baselines.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "stm/swisstm.hpp"
+#include "stm/tl2.hpp"
+#include "util/rng.hpp"
+#include "workloads/intset.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+TEST(Tl2Lock, PackingRoundTrips) {
+  using T = stm::tl2_lock_table;
+  EXPECT_FALSE(T::is_locked(T::make(41, false)));
+  EXPECT_TRUE(T::is_locked(T::make(41, true)));
+  EXPECT_EQ(T::version_of(T::make(41, false)), 41u);
+  EXPECT_EQ(T::version_of(T::make(41, true)), 41u);
+  EXPECT_EQ(T::version_of(0), 0u);
+}
+
+TEST(Tl2Lock, TableMapsDeterministically) {
+  stm::tl2_lock_table table(4);
+  EXPECT_EQ(table.size(), 16u);
+  word w = 0;
+  EXPECT_EQ(&table.for_addr(&w), &table.for_addr(&w));
+}
+
+TEST(Tl2, ReadYourOwnWrites) {
+  stm::tl2_runtime rt;
+  auto th = rt.make_thread();
+  word x = 1;
+  th->run_transaction([&](stm::tl2_thread& tx) {
+    tx.write(&x, 5);
+    EXPECT_EQ(tx.read(&x), 5u);
+    tx.write(&x, 9);
+    EXPECT_EQ(tx.read(&x), 9u);
+  });
+  EXPECT_EQ(x, 9u);
+}
+
+TEST(Tl2, WritesInvisibleUntilCommit) {
+  stm::tl2_runtime rt;
+  word x = 0;
+  std::atomic<bool> mid_write{false};
+  std::atomic<bool> observed_partial{false};
+  std::atomic<bool> stop{false};
+
+  std::thread observer([&] {
+    auto th = rt.make_thread();
+    while (!stop.load()) {
+      word a = 0, b = 0;
+      th->run_transaction([&](stm::tl2_thread& tx) {
+        a = tx.read(&x);
+        b = tx.read(&x);
+      });
+      if (a != b) observed_partial.store(true);
+      if (a != 0 && a != 7) observed_partial.store(true);
+    }
+  });
+
+  auto th = rt.make_thread();
+  th->run_transaction([&](stm::tl2_thread& tx) {
+    tx.write(&x, 7);
+    mid_write.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  stop.store(true);
+  observer.join();
+  EXPECT_FALSE(observed_partial.load());
+  EXPECT_EQ(x, 7u);
+}
+
+TEST(Tl2, GlobalClockAdvancesPerWriteTx) {
+  stm::tl2_runtime rt;
+  auto th = rt.make_thread();
+  word x = 0;
+  const word gv0 = rt.gv().load();
+  th->run_transaction([&](stm::tl2_thread& tx) { tx.write(&x, 1); });
+  th->run_transaction([&](stm::tl2_thread& tx) { (void)tx.read(&x); });  // read-only
+  th->run_transaction([&](stm::tl2_thread& tx) { tx.write(&x, 2); });
+  EXPECT_EQ(rt.gv().load(), gv0 + 2) << "read-only transactions must not bump GV";
+  EXPECT_EQ(th->stats().tx_read_only, 1u);
+}
+
+TEST(Tl2, BankConservationUnderThreads) {
+  stm::tl2_runtime rt;
+  constexpr int n_accounts = 24;
+  constexpr word initial = 500;
+  std::vector<word> accounts(n_accounts, initial);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      util::xoshiro256 rng(51, t);
+      for (int i = 0; i < 600; ++i) {
+        const auto from = rng.next_below(n_accounts);
+        const auto to = rng.next_below(n_accounts);
+        if (from == to) continue;
+        th->run_transaction([&](stm::tl2_thread& tx) {
+          const word f = tx.read(&accounts[from]);
+          if (f == 0) return;
+          tx.write(&accounts[from], f - 1);
+          tx.write(&accounts[to], tx.read(&accounts[to]) + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  word total = 0;
+  for (auto v : accounts) total += v;
+  EXPECT_EQ(total, initial * n_accounts);
+}
+
+TEST(Tl2, FlatNestingMergesScopes) {
+  stm::tl2_runtime rt;
+  auto th = rt.make_thread();
+  word a = 3, b = 0;
+  th->run_transaction([&](stm::tl2_thread& tx) {
+    tlstm::atomic_scope(tx, [&](stm::tl2_thread& inner) {
+      inner.write(&a, inner.read(&a) - 1);
+      inner.write(&b, inner.read(&b) + 1);
+    });
+  });
+  EXPECT_EQ(a, 2u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(th->stats().tx_committed, 1u);
+  EXPECT_EQ(th->stats().tx_nested, 1u);
+}
+
+// The generic workloads run unchanged over TL2 — the point of the shared
+// context concept.
+TEST(Tl2, SortedListMatchesStdSet) {
+  wl::sorted_list list;
+  std::set<std::uint64_t> oracle;
+  stm::tl2_runtime rt;
+  auto th = rt.make_thread();
+  util::xoshiro256 rng(9, 1);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t k = 1 + rng.next_below(40);
+    const auto action = rng.next_below(3);
+    bool got = false, expect = false;
+    th->run_transaction([&](stm::tl2_thread& tx) {
+      switch (action) {
+        case 0: got = list.insert(tx, k); break;
+        case 1: got = list.erase(tx, k); break;
+        default: got = list.contains(tx, k); break;
+      }
+    });
+    switch (action) {
+      case 0: expect = oracle.insert(k).second; break;
+      case 1: expect = oracle.erase(k) != 0; break;
+      default: expect = oracle.count(k) != 0; break;
+    }
+    EXPECT_EQ(got, expect) << "op " << action << " key " << k << " round " << i;
+  }
+  EXPECT_EQ(list.size_unsafe(), oracle.size());
+  EXPECT_TRUE(list.check_sorted_unsafe());
+}
+
+TEST(Tl2, HashSetConcurrentPartitions) {
+  wl::hashset set(6);
+  stm::tl2_runtime rt;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      for (std::uint64_t i = 0; i < 80; ++i) {
+        const std::uint64_t k = t + 2 * i;
+        th->run_transaction([&](stm::tl2_thread& tx) { (void)set.insert(tx, k); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(set.size_unsafe(), 160u);
+}
+
+// Differential: SwissTM and TL2 drive the same deterministic workload to the
+// same final state (single-threaded — the protocols may order concurrent
+// transactions differently, but sequential runs must agree exactly).
+TEST(Tl2Differential, SameFinalStateAsSwiss) {
+  std::vector<word> mem_swiss(32, 0), mem_tl2(32, 0);
+  {
+    stm::swiss_runtime rt;
+    auto th = rt.make_thread();
+    util::xoshiro256 rng(123, 0);
+    for (int i = 0; i < 200; ++i) {
+      const auto a = rng.next_below(32), b = rng.next_below(32);
+      th->run_transaction([&](stm::swiss_thread& tx) {
+        tx.write(&mem_swiss[a], tx.read(&mem_swiss[a]) + tx.read(&mem_swiss[b]) + 1);
+      });
+    }
+  }
+  {
+    stm::tl2_runtime rt;
+    auto th = rt.make_thread();
+    util::xoshiro256 rng(123, 0);
+    for (int i = 0; i < 200; ++i) {
+      const auto a = rng.next_below(32), b = rng.next_below(32);
+      th->run_transaction([&](stm::tl2_thread& tx) {
+        tx.write(&mem_tl2[a], tx.read(&mem_tl2[a]) + tx.read(&mem_tl2[b]) + 1);
+      });
+    }
+  }
+  EXPECT_EQ(mem_swiss, mem_tl2);
+}
+
+TEST(Tl2, HighContentionCounterExact) {
+  stm::tl2_runtime rt;
+  word counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto th = rt.make_thread();
+      for (int i = 0; i < 250; ++i) {
+        th->run_transaction(
+            [&](stm::tl2_thread& tx) { tx.write(&counter, tx.read(&counter) + 1); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 1000u);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// Vacation workload tests: manager operation semantics, global invariants
+// (used+free==total, held-items == used) under sequential and concurrent
+// execution, and the paper's 8-ops/2-tasks transaction shape.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/swisstm.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/vacation.hpp"
+
+namespace {
+
+using namespace tlstm;
+namespace vac = wl::vacation;
+
+struct seq_driver {
+  stm::swiss_runtime rt;
+  std::unique_ptr<stm::swiss_thread> th = rt.make_thread();
+
+  template <typename Fn>
+  auto run(Fn&& fn) {
+    using result = decltype(fn(*th));
+    result r{};
+    th->run_transaction([&](stm::swiss_thread& tx) { r = fn(tx); });
+    return r;
+  }
+};
+
+TEST(Vacation, SeedPopulatesTables) {
+  vac::manager mgr;
+  mgr.seed(64, 16, 10, 42);
+  EXPECT_EQ(mgr.relations_per_table_unsafe(), 64u);
+  const char* why = nullptr;
+  EXPECT_TRUE(mgr.check_invariants(&why)) << why;
+}
+
+TEST(Vacation, ReserveAndDeleteCustomerRoundTrip) {
+  vac::manager mgr;
+  mgr.seed(8, 4, 2, 42);
+  seq_driver d;
+  // Reserve twice — capacity 2.
+  EXPECT_TRUE(d.run([&](auto& tx) { return mgr.reserve(tx, vac::res_type::car, 1, 3); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return mgr.reserve(tx, vac::res_type::car, 2, 3); }));
+  // Third fails: full.
+  EXPECT_FALSE(d.run([&](auto& tx) { return mgr.reserve(tx, vac::res_type::car, 1, 3); }));
+  EXPECT_EQ(d.run([&](auto& tx) { return mgr.query_free(tx, vac::res_type::car, 3); }), 0);
+  const char* why = nullptr;
+  EXPECT_TRUE(mgr.check_invariants(&why)) << why;
+  // Deleting customer 1 releases one unit.
+  EXPECT_GE(d.run([&](auto& tx) { return mgr.delete_customer(tx, 1); }), 0);
+  EXPECT_EQ(d.run([&](auto& tx) { return mgr.query_free(tx, vac::res_type::car, 3); }), 1);
+  EXPECT_TRUE(mgr.check_invariants(&why)) << why;
+  // Customer 1 is gone.
+  EXPECT_EQ(d.run([&](auto& tx) { return mgr.delete_customer(tx, 1); }), -1);
+  EXPECT_FALSE(d.run([&](auto& tx) { return mgr.reserve(tx, vac::res_type::room, 1, 0); }));
+}
+
+TEST(Vacation, CapacityUpdates) {
+  vac::manager mgr;
+  mgr.seed(8, 4, 5, 42);
+  seq_driver d;
+  EXPECT_TRUE(d.run([&](auto& tx) {
+    return mgr.add_reservation(tx, vac::res_type::flight, 2, 10, 99);
+  }));
+  EXPECT_EQ(d.run([&](auto& tx) { return mgr.query_free(tx, vac::res_type::flight, 2); }),
+            15);
+  EXPECT_EQ(d.run([&](auto& tx) { return mgr.query_price(tx, vac::res_type::flight, 2); }),
+            99);
+  EXPECT_TRUE(d.run([&](auto& tx) {
+    return mgr.remove_capacity(tx, vac::res_type::flight, 2, 15);
+  }));
+  EXPECT_EQ(d.run([&](auto& tx) { return mgr.query_free(tx, vac::res_type::flight, 2); }),
+            0);
+  // Cannot shrink below used.
+  EXPECT_TRUE(d.run([&](auto& tx) { return mgr.reserve(tx, vac::res_type::flight, 0, 3); }));
+  EXPECT_FALSE(d.run([&](auto& tx) {
+    return mgr.remove_capacity(tx, vac::res_type::flight, 3, 5);
+  }));
+  const char* why = nullptr;
+  EXPECT_TRUE(mgr.check_invariants(&why)) << why;
+}
+
+TEST(Vacation, MissingEntitiesHandled) {
+  vac::manager mgr;
+  mgr.seed(4, 2, 1, 42);
+  seq_driver d;
+  EXPECT_EQ(d.run([&](auto& tx) { return mgr.query_price(tx, vac::res_type::car, 999); }),
+            -1);
+  EXPECT_FALSE(d.run([&](auto& tx) { return mgr.reserve(tx, vac::res_type::car, 0, 999); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return mgr.reserve(tx, vac::res_type::car, 999, 0); }));
+  EXPECT_TRUE(d.run([&](auto& tx) { return mgr.add_customer(tx, 1000); }));
+  EXPECT_FALSE(d.run([&](auto& tx) { return mgr.add_customer(tx, 1000); }));
+}
+
+TEST(Vacation, ClientBatchesAreWellFormed) {
+  vac::client_config ccfg;
+  ccfg.n_relations = 128;
+  ccfg.n_customers = 32;
+  ccfg.ops_per_tx = 8;
+  vac::client cl(ccfg, 0);
+  for (int i = 0; i < 50; ++i) {
+    auto batch = cl.next_batch();
+    ASSERT_EQ(batch.size(), 8u);
+    for (const auto& o : batch) {
+      EXPECT_LT(o.id, 128u);
+      EXPECT_LT(o.customer, 32u);
+    }
+  }
+  // Determinism per (seed, client id).
+  vac::client a(ccfg, 3), b(ccfg, 3);
+  auto ba = a.next_batch(), bb = b.next_batch();
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(ba[i].k), static_cast<int>(bb[i].k));
+    EXPECT_EQ(ba[i].id, bb[i].id);
+  }
+}
+
+TEST(Vacation, ConcurrentSwissClientsKeepInvariants) {
+  vac::manager mgr;
+  mgr.seed(256, 64, 5, 7);
+  vac::client_config ccfg;
+  ccfg.n_relations = 256;
+  ccfg.n_customers = 64;
+  constexpr unsigned n_threads = 3;
+  std::vector<std::thread> threads;
+  stm::swiss_runtime rt;
+  for (unsigned t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      vac::client cl(ccfg, t);
+      for (int i = 0; i < 400; ++i) {
+        auto batch = cl.next_batch();
+        th->run_transaction([&](stm::swiss_thread& tx) {
+          for (const auto& o : batch) (void)vac::run_op(tx, mgr, o);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const char* why = nullptr;
+  EXPECT_TRUE(mgr.check_invariants(&why)) << why;
+}
+
+TEST(Vacation, TlstmTwoTaskClientsKeepInvariants) {
+  // The paper's Fig. 1b shape: 8 ops per transaction, split into 2 tasks of
+  // 4 ops each, several concurrent clients.
+  vac::manager mgr;
+  mgr.seed(256, 64, 5, 9);
+  vac::client_config ccfg;
+  ccfg.n_relations = 256;
+  ccfg.n_customers = 64;
+
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 16;
+  std::vector<std::unique_ptr<vac::client>> clients;
+  for (unsigned t = 0; t < cfg.num_threads; ++t) {
+    clients.push_back(std::make_unique<vac::client>(ccfg, t));
+  }
+  auto result = wl::run_tlstm(cfg, /*tx_per_thread=*/200, /*ops_per_tx=*/8,
+                              [&](unsigned t, std::uint64_t) {
+                                auto batch = std::make_shared<std::vector<vac::op>>(
+                                    clients[t]->next_batch());
+                                std::vector<core::task_fn> tasks;
+                                for (unsigned half = 0; half < 2; ++half) {
+                                  tasks.push_back([&mgr, batch, half](core::task_ctx& c) {
+                                    for (unsigned i = 0; i < 4; ++i) {
+                                      (void)vac::run_op(c, mgr, (*batch)[half * 4 + i]);
+                                    }
+                                  });
+                                }
+                                return tasks;
+                              });
+  EXPECT_EQ(result.committed_tx, 400u);
+  EXPECT_GT(result.makespan, 0u);
+  const char* why = nullptr;
+  EXPECT_TRUE(mgr.check_invariants(&why)) << why;
+}
+
+}  // namespace
