@@ -10,16 +10,12 @@
 //   * short mixed transactions — the protocols should be close.
 #include <benchmark/benchmark.h>
 
-#include <barrier>
 #include <cstdio>
 #include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "bench_common.hpp"
-#include "stm/swisstm.hpp"
-#include "stm/tl2.hpp"
+#include "stm/backend.hpp"
 #include "util/rng.hpp"
 #include "workloads/harness.hpp"
 #include "workloads/rbtree.hpp"
@@ -35,102 +31,71 @@ std::string key_for(const char* wl, const char* stm_name, unsigned threads) {
   return std::string(wl) + "_" + stm_name + "_t" + std::to_string(threads);
 }
 
-/// Paced generic driver over either baseline: `Runtime::make_thread()`
-/// yields a context with run_transaction. Mirrors wl::run_swiss's barrier
-/// pacing (DESIGN.md §5).
-template <typename Runtime, typename Body>
-wl::run_result run_baseline(Runtime& rt, unsigned n_threads, const Body& body) {
-  wl::run_result out;
-  std::barrier sync(static_cast<std::ptrdiff_t>(n_threads));
-  std::vector<vt::vtime> clocks(n_threads, 0);
-  std::vector<util::stat_block> stats(n_threads);
-  std::vector<std::thread> drivers;
-  for (unsigned t = 0; t < n_threads; ++t) {
-    drivers.emplace_back([&, t] {
-      auto th = rt.make_thread();
-      for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
-        sync.arrive_and_wait();
-        body(t, i, *th);
-      }
-      clocks[t] = th->clock().now;
-      stats[t] = th->stats();
-    });
-  }
-  for (auto& d : drivers) d.join();
-  for (unsigned t = 0; t < n_threads; ++t) {
-    out.makespan = std::max(out.makespan, clocks[t]);
-    out.stats.accumulate(stats[t]);
-  }
-  out.committed_tx = out.stats.tx_committed;
-  out.committed_ops = out.stats.tx_committed;
-  return out;
-}
-
 /// Long read transaction (32 lookups) racing one writer thread — the
 /// timestamp-extension showcase. Thread 0 writes, the rest read.
-template <typename Runtime, typename Ctx>
-void BM_baseline_longread(benchmark::State& state, const char* stm_name) {
+template <typename Backend>
+void BM_baseline_longread(benchmark::State& state) {
+  using ctx = typename Backend::thread_type;
   const unsigned threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     auto tree = std::make_shared<wl::rbtree>();
     for (std::uint64_t k = 0; k < tree_keys; k += 2) tree->insert_unsafe(k, k);
-    Runtime rt;
-    auto r = run_baseline(rt, threads, [tree](unsigned t, std::uint64_t i, Ctx& th) {
-      th.run_transaction([&](Ctx& tx) {
-        util::xoshiro256 rng(t * 53 + i, 29);
-        if (t == 0) {
-          const std::uint64_t k = rng.next_below(tree_keys);
-          (void)tree->insert(tx, k, k);
-        } else {
-          for (unsigned m = 0; m < 32; ++m) {
-            (void)tree->contains(tx, rng.next_below(tree_keys));
+    auto r = wl::run_baseline<Backend>(
+        stm::make_backend_config<Backend>(20), threads, tx_per_thread, 1,
+        [tree](unsigned t, std::uint64_t i, ctx& tx) {
+          util::xoshiro256 rng(t * 53 + i, 29);
+          if (t == 0) {
+            const std::uint64_t k = rng.next_below(tree_keys);
+            (void)tree->insert(tx, k, k);
+          } else {
+            for (unsigned m = 0; m < 32; ++m) {
+              (void)tree->contains(tx, rng.next_below(tree_keys));
+            }
           }
-        }
-      });
-    });
+        });
     state.counters["val_aborts"] = static_cast<double>(r.stats.abort_validation);
     state.counters["extensions"] = static_cast<double>(r.stats.ts_extensions);
-    bench_util::report(state, key_for("longread", stm_name, threads), r);
+    bench_util::report(state, key_for("longread", Backend::name, threads), r);
   }
 }
 
 /// Short mixed transactions: 2 lookups + 1 update on the shared tree.
-template <typename Runtime, typename Ctx>
-void BM_baseline_shortmix(benchmark::State& state, const char* stm_name) {
+template <typename Backend>
+void BM_baseline_shortmix(benchmark::State& state) {
+  using ctx = typename Backend::thread_type;
   const unsigned threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     auto tree = std::make_shared<wl::rbtree>();
     for (std::uint64_t k = 0; k < tree_keys; k += 2) tree->insert_unsafe(k, k);
-    Runtime rt;
-    auto r = run_baseline(rt, threads, [tree](unsigned t, std::uint64_t i, Ctx& th) {
-      th.run_transaction([&](Ctx& tx) {
-        util::xoshiro256 rng(t * 101 + i, 31);
-        (void)tree->contains(tx, rng.next_below(tree_keys));
-        (void)tree->contains(tx, rng.next_below(tree_keys));
-        const std::uint64_t k = rng.next_below(tree_keys);
-        if (rng.next_below(2) == 0) {
-          (void)tree->insert(tx, k, k);
-        } else {
-          (void)tree->erase(tx, k);
-        }
-      });
-    });
+    auto r = wl::run_baseline<Backend>(
+        stm::make_backend_config<Backend>(20), threads, tx_per_thread, 1,
+        [tree](unsigned t, std::uint64_t i, ctx& tx) {
+          util::xoshiro256 rng(t * 101 + i, 31);
+          (void)tree->contains(tx, rng.next_below(tree_keys));
+          (void)tree->contains(tx, rng.next_below(tree_keys));
+          const std::uint64_t k = rng.next_below(tree_keys);
+          if (rng.next_below(2) == 0) {
+            (void)tree->insert(tx, k, k);
+          } else {
+            (void)tree->erase(tx, k);
+          }
+        });
     state.counters["val_aborts"] = static_cast<double>(r.stats.abort_validation);
-    bench_util::report(state, key_for("shortmix", stm_name, threads), r);
+    bench_util::report(state, key_for("shortmix", Backend::name, threads), r);
   }
 }
 
 void BM_longread_swiss(benchmark::State& s) {
-  BM_baseline_longread<stm::swiss_runtime, stm::swiss_thread>(s, "swiss");
+  BM_baseline_longread<stm::swisstm_backend>(s);
 }
 void BM_longread_tl2(benchmark::State& s) {
-  BM_baseline_longread<stm::tl2_runtime, stm::tl2_thread>(s, "tl2");
+  BM_baseline_longread<stm::tl2_backend>(s);
 }
 void BM_shortmix_swiss(benchmark::State& s) {
-  BM_baseline_shortmix<stm::swiss_runtime, stm::swiss_thread>(s, "swiss");
+  BM_baseline_shortmix<stm::swisstm_backend>(s);
 }
 void BM_shortmix_tl2(benchmark::State& s) {
-  BM_baseline_shortmix<stm::tl2_runtime, stm::tl2_thread>(s, "tl2");
+  BM_baseline_shortmix<stm::tl2_backend>(s);
 }
 
 }  // namespace
@@ -150,8 +115,8 @@ int main(int argc, char** argv) {
     wl::print_fig_header(("abl_stm_baseline_" + std::string(wl)).c_str(),
                          {"swisstm", "tl2", "swiss/tl2"});
     for (unsigned t : {2u, 3u}) {
-      const double sw = rec.tx_per_vms(key_for(wl, "swiss", t));
-      const double tl = rec.tx_per_vms(key_for(wl, "tl2", t));
+      const double sw = rec.tx_per_vms(key_for(wl, stm::swisstm_backend::name, t));
+      const double tl = rec.tx_per_vms(key_for(wl, stm::tl2_backend::name, t));
       wl::print_fig_row(("abl_stm_baseline_" + std::string(wl)).c_str(), t,
                         {sw, tl, tl > 0 ? sw / tl : 0.0});
     }

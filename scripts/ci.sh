@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus sanitizer matrix.
+#
+#   scripts/ci.sh            # tier-1 + ASan/UBSan + TSan(unit)
+#   scripts/ci.sh tier1      # just the tier-1 verify
+#   scripts/ci.sh asan       # just the ASan/UBSan configuration
+#   scripts/ci.sh tsan       # just the TSan configuration (unit label)
+#
+# Sanitizer configurations skip the bench/example targets (they only need
+# the library + tests) and build into their own trees, so the default
+# ./build stays pristine for local work.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
+
+run_ctest() {
+  ctest --test-dir "$1" --output-on-failure -j "$JOBS" "${@:2}"
+}
+
+tier1() {
+  echo "=== tier-1: default build + full ctest ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  run_ctest build
+}
+
+asan() {
+  echo "=== ASan/UBSan: full ctest ==="
+  cmake -B build-asan -S . \
+    -DTLSTM_SANITIZE="address;undefined" \
+    -DTLSTM_BUILD_BENCH=OFF -DTLSTM_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j "$JOBS"
+  run_ctest build-asan
+}
+
+tsan() {
+  echo "=== TSan: unit label ==="
+  # TSan multiplies the cost of the spin-heavy runtime paths; the short
+  # unit suites give it full API coverage at tolerable cost.
+  cmake -B build-tsan -S . \
+    -DTLSTM_SANITIZE=thread \
+    -DTLSTM_BUILD_BENCH=OFF -DTLSTM_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j "$JOBS"
+  run_ctest build-tsan -L unit
+}
+
+case "$STAGE" in
+  tier1) tier1 ;;
+  asan) asan ;;
+  tsan) tsan ;;
+  all)
+    tier1
+    asan
+    tsan
+    echo "=== ci.sh: all stages green ==="
+    ;;
+  *)
+    echo "unknown stage: $STAGE (expected tier1|asan|tsan|all)" >&2
+    exit 2
+    ;;
+esac

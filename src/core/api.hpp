@@ -10,6 +10,7 @@
 //   tm_read/tm_write   free functions for typed access to raw fields
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 #include <type_traits>
@@ -45,11 +46,24 @@ T from_word(stm::word w) noexcept {
 template <tm_word_compatible T>
 class tm_var {
  public:
-  tm_var() = default;
-  explicit tm_var(T v) { init(v); }
+  // init/peek go through relaxed atomic_ref: a doomed speculative task may
+  // still be reading a recycled node while its new owner re-initializes it
+  // (type-stability, DESIGN.md §4.4) — the stale value is garbage to the
+  // reader (validation kills it), but the access itself must stay defined.
+  tm_var() noexcept { init(T{}); }
+  explicit tm_var(T v) noexcept { init(v); }
 
-  void init(T v) noexcept { storage_ = detail::to_word(v); }
-  T unsafe_peek() const noexcept { return detail::from_word<T>(storage_); }
+  void init(T v) noexcept {
+    std::atomic_ref<stm::word>(storage_).store(detail::to_word(v),
+                                               std::memory_order_relaxed);
+  }
+  T unsafe_peek() const noexcept {
+    // atomic_ref over a const-qualified type is only valid from C++26;
+    // cast away const for the ref (the load itself never writes).
+    return detail::from_word<T>(
+        std::atomic_ref<stm::word>(const_cast<stm::word&>(storage_))
+            .load(std::memory_order_relaxed));
+  }
 
   template <typename Ctx>
   T get(Ctx& ctx) const {
@@ -61,7 +75,10 @@ class tm_var {
   }
 
  private:
-  alignas(sizeof(stm::word)) stm::word storage_ = 0;
+  // No default member initializer: a plain zeroing write during placement
+  // new would race the stale readers described above; both constructors
+  // initialize through the atomic init() instead.
+  alignas(sizeof(stm::word)) stm::word storage_;
 };
 
 /// Composable atomic scope — the uniform way to write transactional library

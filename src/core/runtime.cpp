@@ -34,10 +34,10 @@ void user_thread::submit(std::vector<task_fn> tasks) {
     while (slot.load_phase(clock_) != task_phase::free) bo.spin();  // window backpressure
     slot.closure = std::move(fn);
     slot.serial.store(serial, std::memory_order_relaxed);
-    slot.tx_start_serial = tx_start;
-    slot.tx_commit_serial = tx_commit;
+    slot.tx_start_serial.store(tx_start, std::memory_order_relaxed);
+    slot.tx_commit_serial.store(tx_commit, std::memory_order_relaxed);
     slot.try_commit = (serial == tx_commit);
-    slot.tx_greedy_ts = greedy;
+    slot.tx_greedy_ts.store(greedy, std::memory_order_relaxed);
     slot.commit_ts_value = 0;
     slot.store_phase(task_phase::ready, clock_);  // release-publishes the fields
   }
@@ -142,8 +142,8 @@ std::string runtime::dump_state() const {
       const auto ph = sl.phase.load_unstamped();
       os << "  slot " << w << ": serial=" << sl.serial.load()
          << " phase=" << (ph <= 4 ? phase_names[ph] : "?")
-         << " tx=[" << sl.tx_start_serial << "," << sl.tx_commit_serial << "]"
-         << " wrote=" << sl.wrote << " inc=" << sl.incarnation.load()
+         << " tx=[" << sl.tx_start_serial.load() << "," << sl.tx_commit_serial.load() << "]"
+         << " wrote=" << sl.wrote.load(std::memory_order_relaxed) << " inc=" << sl.incarnation.load()
          << " wlog=" << sl.logs.write_log.size()
          << " rlog=" << sl.logs.read_log.size()
          << " trlog=" << sl.logs.task_read_log.size() << "\n";
@@ -211,7 +211,7 @@ void runtime::run_one_incarnation(thread_state& thr, task_slot& slot, worker& wk
     // Trigger-threshold snapshot — unstamped (DESIGN.md §5: only blocking
     // and value-carrying edges join virtual time).
     slot.last_writer = thr.completed_writer.load_unstamped();
-    slot.wrote = false;
+    slot.wrote.store(false, std::memory_order_relaxed);
     slot.reads_since_validation = 0;
     slot.karma.store(0, std::memory_order_relaxed);
     slot.logs.clear_for_restart();
@@ -287,11 +287,11 @@ void runtime::task_commit(thread_state& thr, task_slot& slot, task_ctx& ctx) {
   if (!slot.try_commit) {
     // Intermediate task: publish completion, park until the transaction's
     // fate is decided by the commit-task (lines 71-77).
-    if (slot.wrote) thr.completed_writer.store(serial, clk);
+    if (slot.wrote.load(std::memory_order_relaxed)) thr.completed_writer.store(serial, clk);
     thr.completed_task.store(serial, clk);
     slot.store_phase(task_phase::completed, clk);
     bo.reset();
-    while (thr.committed_task.load(clk) < slot.tx_commit_serial) {
+    while (thr.committed_task.load(clk) < slot.tx_commit_serial.load(std::memory_order_relaxed)) {
       ctx.check_safepoint();
       ctx.stats_.wait_spins++;
       bo.spin();
@@ -309,7 +309,7 @@ void runtime::task_commit(thread_state& thr, task_slot& slot, task_ctx& ctx) {
 void runtime::tx_commit_whole(thread_state& thr, task_slot& slot, task_ctx& ctx) {
   vt::worker_clock& clk = ctx.clock_;
   const std::uint64_t serial = ctx.serial();  // == tx_commit_serial
-  const std::uint64_t tx_start = slot.tx_start_serial;
+  const std::uint64_t tx_start = slot.tx_start_serial.load(std::memory_order_relaxed);
 
   bool read_only = true;
   bool same_valid_ts = true;
@@ -317,7 +317,7 @@ void runtime::tx_commit_whole(thread_state& thr, task_slot& slot, task_ctx& ctx)
   std::size_t total_entries = 0;
   for (std::uint64_t s = tx_start; s <= serial; ++s) {
     task_slot& ts_slot = thr.slot_for(s);
-    if (ts_slot.wrote) {
+    if (ts_slot.wrote.load(std::memory_order_relaxed)) {
       read_only = false;
       max_writer_serial = s;
     }
@@ -453,8 +453,8 @@ std::uint64_t runtime::validate_tx(
     thread_state& thr, task_slot& commit_slot, task_ctx& ctx,
     const std::vector<std::pair<stm::lock_pair*, stm::word>>* locked) {
   vt::worker_clock& clk = ctx.clock_;
-  const std::uint64_t tx_start = commit_slot.tx_start_serial;
-  const std::uint64_t tx_commit = commit_slot.tx_commit_serial;
+  const std::uint64_t tx_start = commit_slot.tx_start_serial.load(std::memory_order_relaxed);
+  const std::uint64_t tx_commit = commit_slot.tx_commit_serial.load(std::memory_order_relaxed);
   std::size_t checked = 0;
 
   for (std::uint64_t s = tx_start; s <= tx_commit; ++s) {
@@ -599,7 +599,7 @@ void runtime::coordinate_rollback(thread_state& thr, worker& wk) {
       wk.reclaimer->retire(a.obj, a.fn, a.ctx);
     }
     sl->logs.clear_for_restart();
-    sl->wrote = false;
+    sl->wrote.store(false, std::memory_order_relaxed);
   }
 
   // Counter repair: completions from `start` on are undone.
@@ -607,7 +607,7 @@ void runtime::coordinate_rollback(thread_state& thr, worker& wk) {
   std::uint64_t cw = thr.committed_writer_wm.load(std::memory_order_relaxed);
   for (task_slot& sl : thr.owners) {
     const std::uint64_t ser = sl.serial.load(std::memory_order_relaxed);
-    if (ser != 0 && ser < start && sl.wrote &&
+    if (ser != 0 && ser < start && sl.wrote.load(std::memory_order_relaxed) &&
         sl.load_phase(clk) == task_phase::completed) {
       cw = std::max(cw, ser);
     }

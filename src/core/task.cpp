@@ -302,7 +302,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
     e.addr.store(addr, std::memory_order_relaxed);
     e.value.store(value, std::memory_order_relaxed);
     e.locks = &pair;
-    e.owner_thread = &thr;
+    e.owner_thread.store(&thr, std::memory_order_relaxed);
     e.incarnation.store(slot.incarnation.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
     e.vstamp.store(clk.now, std::memory_order_relaxed);
@@ -317,7 +317,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
   };
 
   auto post_push_checks = [&] {
-    slot.wrote = true;
+    slot.wrote.store(true, std::memory_order_relaxed);
     ctx.stats_.writes++;
     clk.advance(cfg_.costs.write_word);
     // Paper line 52: the stripe may carry a version newer than our snapshot.
@@ -454,7 +454,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
 // ---------------------------------------------------------------------------
 
 bool runtime::cm_should_abort(task_ctx& ctx, stm::write_entry* head) {
-  auto* other = static_cast<thread_state*>(head->owner_thread);
+  auto* other = static_cast<thread_state*>(head->owner_thread.load(std::memory_order_relaxed));
   thread_state& thr = ctx.thr_;
   if (other == nullptr || other == &thr) return false;
 
@@ -463,7 +463,7 @@ bool runtime::cm_should_abort(task_ctx& ctx, stm::write_entry* head) {
   if (oslot.serial.load(std::memory_order_acquire) != owner_serial) {
     return false;  // stale peek (slot recycled); caller re-reads the lock
   }
-  const std::uint64_t owner_tx_start = oslot.tx_start_serial;
+  const std::uint64_t owner_tx_start = oslot.tx_start_serial.load(std::memory_order_relaxed);
 
   if (cfg_.cm_task_aware) {
     // Progress = completed tasks of the transaction so far (paper lines
@@ -474,7 +474,7 @@ bool runtime::cm_should_abort(task_ctx& ctx, stm::write_entry* head) {
     // that transfers no data.
     const auto my_progress =
         static_cast<std::int64_t>(thr.completed_task.load_unstamped()) -
-        static_cast<std::int64_t>(ctx.slot_.tx_start_serial);
+        static_cast<std::int64_t>(ctx.slot_.tx_start_serial.load(std::memory_order_relaxed));
     const auto owner_progress =
         static_cast<std::int64_t>(other->completed_task.load_unstamped()) -
         static_cast<std::int64_t>(owner_tx_start);
@@ -506,9 +506,11 @@ bool runtime::cm_should_abort(task_ctx& ctx, stm::write_entry* head) {
       // Relaxed foreign peeks: the comparison is a heuristic (see the
       // progress peeks above); ties fall through to greedy.
       const std::uint64_t mine =
-          tx_karma(thr, ctx.slot_.tx_start_serial, ctx.slot_.tx_commit_serial);
+          tx_karma(thr, ctx.slot_.tx_start_serial.load(std::memory_order_relaxed),
+                   ctx.slot_.tx_commit_serial.load(std::memory_order_relaxed));
       const std::uint64_t theirs =
-          tx_karma(*other, owner_tx_start, oslot.tx_commit_serial);
+          tx_karma(*other, owner_tx_start,
+                   oslot.tx_commit_serial.load(std::memory_order_relaxed));
       if (mine > theirs) {
         if (other->raise_fence(owner_tx_start, ctx.clock_)) ctx.stats_.abort_tx_inter++;
         return false;
@@ -519,7 +521,8 @@ bool runtime::cm_should_abort(task_ctx& ctx, stm::write_entry* head) {
     case cm_policy::greedy:
       break;
   }
-  if (ctx.slot_.tx_greedy_ts < oslot.tx_greedy_ts) {
+  if (ctx.slot_.tx_greedy_ts.load(std::memory_order_relaxed) <
+      oslot.tx_greedy_ts.load(std::memory_order_relaxed)) {
     if (other->raise_fence(owner_tx_start, ctx.clock_)) ctx.stats_.abort_tx_inter++;
     return false;
   }

@@ -36,18 +36,26 @@ enum class task_phase : std::uint32_t {
 /// the contention manager peek at foreign slots.
 struct task_slot {
   // --- Installed by the submitter (stable while phase != free). ---
+  // The serial window and CM priority are atomics: foreign workers peek
+  // them through the contention manager while the submitter repopulates a
+  // recycled slot (relaxed — a stale view only skews a heuristic, and the
+  // serial re-check after the peek rejects recycled identities).
   task_fn closure;
   std::atomic<std::uint64_t> serial{0};
-  std::uint64_t tx_start_serial = 0;
-  std::uint64_t tx_commit_serial = 0;
+  std::atomic<std::uint64_t> tx_start_serial{0};
+  std::atomic<std::uint64_t> tx_commit_serial{0};
   bool try_commit = false;          ///< last task of its user-transaction
-  std::uint64_t tx_greedy_ts = 0;   ///< greedy CM priority of the transaction
+  /// Greedy CM priority of the transaction.
+  std::atomic<std::uint64_t> tx_greedy_ts{0};
 
   // --- Speculative execution state (owned by the worker). ---
   stm::word valid_ts = 0;
   std::uint64_t last_writer = 0;    ///< completed_writer observed at (re)start
   stm::access_logs logs;
-  bool wrote = false;
+  /// Single writer (the owning worker); the rollback coordinator peeks
+  /// foreign slots relaxed (gated on phase == completed, so a concurrent
+  /// not-yet-parked writer's value is never acted on).
+  std::atomic<bool> wrote{false};
   unsigned reads_since_validation = 0;
   std::atomic<std::uint32_t> incarnation{0};
   /// Transactional accesses this incarnation — the karma CM priority.

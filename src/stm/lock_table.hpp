@@ -68,7 +68,10 @@ struct write_entry {
   std::atomic<std::uint32_t> incarnation{0};  ///< owner restart count at write
   std::atomic<write_entry*> prev{nullptr}; ///< next-older chain entry
   std::atomic<vt::vtime> vstamp{0};        ///< writer's virtual clock at publish
-  void* owner_thread = nullptr;            ///< owning thread state (CM peek)
+  /// Owning thread state (CM peek). Atomic like the other cross-thread
+  /// fields: chain readers may race a log recycle; relaxed is enough since
+  /// any stale view is caught by serial/incarnation validation.
+  std::atomic<void*> owner_thread{nullptr};
 
   std::uint32_t ptid() const noexcept {
     return entry_ident::ptid(ident.load(std::memory_order_relaxed));

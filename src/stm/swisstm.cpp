@@ -23,12 +23,22 @@ swiss_thread::swiss_thread(swiss_runtime& rt, std::uint32_t id)
   epoch_slot_ = rt_.epochs().register_participant();
 }
 
-swiss_thread::~swiss_thread() { rt_.epochs().unregister_participant(epoch_slot_); }
+swiss_thread::~swiss_thread() {
+  // Concurrent transactions may still chase stale chain pointers into our
+  // write log; park its chunks on the runtime so they stay mapped.
+  rt_.retire_write_log(std::move(logs_.write_log));
+  rt_.epochs().unregister_participant(epoch_slot_);
+}
+
+void swiss_runtime::retire_write_log(util::chunked_vector<write_entry>&& log) {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  retired_logs_.push_back(std::move(log));
+}
 
 void swiss_thread::begin_new() {
   // Greedy priority is acquired once per transaction (not per attempt) so a
   // repeatedly aborted transaction ages into the strongest — no starvation.
-  greedy_ts = rt_.next_greedy_ts();
+  greedy_ts.store(rt_.next_greedy_ts(), std::memory_order_relaxed);
   attempt_ = 0;
   stats_.tx_started++;
 }
@@ -56,7 +66,7 @@ word swiss_thread::read(const word* addr) {
   check_kill_switch();
   lock_pair& pair = rt_.table().for_addr(addr);
   write_entry* head = pair.w_lock.load(clock_);
-  if (head != nullptr && head->owner_thread == this) {
+  if (head != nullptr && head->owner_thread.load(std::memory_order_relaxed) == this) {
     // Read-after-write: the stripe's chain holds only our entries.
     for (write_entry* e = head; e != nullptr; e = e->prev.load(std::memory_order_acquire)) {
       if (e->addr.load(std::memory_order_relaxed) == addr) {
@@ -126,7 +136,7 @@ void swiss_thread::write(word* addr, word value) {
   unsigned polite_left = rt_.config().cm_polite_spins;
   for (;;) {
     write_entry* head = pair.w_lock.load(clock_);
-    if (head != nullptr && head->owner_thread == this) {
+    if (head != nullptr && head->owner_thread.load(std::memory_order_relaxed) == this) {
       // Already locked by us: update in place or append behind the lock.
       for (write_entry* e = head; e != nullptr; e = e->prev.load(std::memory_order_acquire)) {
         if (e->addr.load(std::memory_order_relaxed) == addr) {
@@ -140,7 +150,7 @@ void swiss_thread::write(word* addr, word value) {
       e.addr.store(addr, std::memory_order_relaxed);
       e.value.store(value, std::memory_order_relaxed);
       e.locks = &pair;
-      e.owner_thread = this;
+      e.owner_thread.store(this, std::memory_order_relaxed);
       e.ident.store(entry_ident::pack(id_, 0), std::memory_order_relaxed);
       e.vstamp.store(clock_.now, std::memory_order_relaxed);
       e.prev.store(head, std::memory_order_release);
@@ -170,7 +180,7 @@ void swiss_thread::write(word* addr, word value) {
     e.addr.store(addr, std::memory_order_relaxed);
     e.value.store(value, std::memory_order_relaxed);
     e.locks = &pair;
-    e.owner_thread = this;
+    e.owner_thread.store(this, std::memory_order_relaxed);
     e.ident.store(entry_ident::pack(id_, 0), std::memory_order_relaxed);
     e.vstamp.store(clock_.now, std::memory_order_relaxed);
     e.prev.store(nullptr, std::memory_order_release);
@@ -197,9 +207,10 @@ bool swiss_thread::cm_resolve(write_entry* head, unsigned& polite_left) {
     return false;
   }
   // Phase 2: greedy — the older transaction (smaller greedy_ts) wins.
-  auto* owner = static_cast<swiss_thread*>(head->owner_thread);
+  auto* owner = static_cast<swiss_thread*>(head->owner_thread.load(std::memory_order_relaxed));
   if (owner == nullptr || owner == this) return false;
-  if (greedy_ts < owner->greedy_ts) {
+  if (greedy_ts.load(std::memory_order_relaxed) <
+      owner->greedy_ts.load(std::memory_order_relaxed)) {
     owner->abort_requested.store(true, std::memory_order_relaxed);
     return false;  // wait for the victim to release
   }
@@ -289,7 +300,7 @@ void swiss_thread::on_abort(const tx_abort& a) {
   // Release every stripe we write-locked (idempotent per stripe).
   logs_.write_log.for_each([&](write_entry& e) {
     write_entry* head = e.locks->w_lock.load_unstamped();
-    if (head != nullptr && head->owner_thread == this) {
+    if (head != nullptr && head->owner_thread.load(std::memory_order_relaxed) == this) {
       e.locks->w_lock.store(nullptr, clock_);
     }
   });

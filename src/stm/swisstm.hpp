@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "stm/descriptor.hpp"
@@ -100,8 +101,10 @@ class swiss_thread {
   /// Contention-manager kill switch, set by other threads.
   std::atomic<bool> abort_requested{false};
   /// Greedy priority: global acquisition order of the current transaction's
-  /// first attempt; smaller = older = wins ties.
-  std::uint64_t greedy_ts = 0;
+  /// first attempt; smaller = older = wins ties. Atomic: contenders peek it
+  /// through cm_resolve while the owner starts its next transaction
+  /// (relaxed — the comparison is a heuristic either way).
+  std::atomic<std::uint64_t> greedy_ts{0};
 
  private:
   friend class swiss_runtime;
@@ -142,6 +145,12 @@ class swiss_runtime {
 
   std::unique_ptr<swiss_thread> make_thread();
 
+  /// Takes ownership of a dying thread's write-log chunks. Concurrent
+  /// transactions may still chase stale chain pointers into that log
+  /// (type-stability, DESIGN.md §4.4); parking the memory here keeps it
+  /// mapped until the runtime itself dies.
+  void retire_write_log(util::chunked_vector<write_entry>&& log);
+
   lock_table& table() noexcept { return table_; }
   /// The global commit clock. Deliberately *not* virtual-time stamped: the
   /// counter linearizes commits as an implementation artifact, and joining
@@ -163,6 +172,8 @@ class swiss_runtime {
   std::atomic<std::uint64_t> greedy_counter_{1};
   std::atomic<std::uint32_t> next_thread_id_{0};
   util::epoch_domain epochs_;
+  std::mutex retired_mu_;
+  std::vector<util::chunked_vector<write_entry>> retired_logs_;
 };
 
 }  // namespace tlstm::stm

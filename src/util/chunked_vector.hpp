@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace tlstm::util {
@@ -23,6 +24,15 @@ class chunked_vector {
   chunked_vector() = default;
   chunked_vector(const chunked_vector&) = delete;
   chunked_vector& operator=(const chunked_vector&) = delete;
+  // Move-constructible so a dying owner can donate its chunks to a
+  // longer-lived keeper (swiss_runtime::retire_write_log) instead of
+  // unmapping them under concurrent stale readers. The source is left
+  // genuinely empty (size_ reset, not just chunks stolen). No move
+  // assignment: overwriting a live log would free the target's chunks —
+  // exactly the unmapping this type exists to prevent.
+  chunked_vector(chunked_vector&& other) noexcept
+      : chunks_(std::move(other.chunks_)), size_(std::exchange(other.size_, 0)) {}
+  chunked_vector& operator=(chunked_vector&&) = delete;
 
   /// Appends a default-constructed element and returns a stable reference.
   T& emplace_back() {

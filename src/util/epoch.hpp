@@ -141,7 +141,16 @@ class object_pool {
 
   template <typename... Args>
   T* construct(Args&&... args) {
-    return new (allocate_raw()) T(std::forward<Args>(args)...);
+    if constexpr (sizeof...(Args) == 0) {
+      // Default-init, not value-init: value-initialization zero-fills the
+      // (possibly recycled) slot with plain stores before the member
+      // constructors run, racing doomed readers that still hold the node
+      // (DESIGN.md §4.4). Pooled types initialize every member themselves
+      // (tm_var's constructor stores atomically).
+      return new (allocate_raw()) T;
+    } else {
+      return new (allocate_raw()) T(std::forward<Args>(args)...);
+    }
   }
 
   /// Returns storage to the free list. Callers must have established a grace

@@ -37,33 +37,15 @@ run_result run_tlstm(const core::config& cfg, std::uint64_t tx_per_thread,
 run_result run_swiss(const stm::swiss_config& cfg, unsigned n_threads,
                      std::uint64_t tx_per_thread, std::uint64_t ops_per_tx,
                      const swiss_tx_body& body, bool paced) {
-  stm::swiss_runtime rt(cfg);
-  std::barrier round(static_cast<std::ptrdiff_t>(n_threads));
-  std::vector<util::stat_block> stats(n_threads);
-  std::vector<vt::vtime> clocks(n_threads, 0);
-  std::vector<std::thread> threads;
-  threads.reserve(n_threads);
-  for (unsigned t = 0; t < n_threads; ++t) {
-    threads.emplace_back([&, t] {
-      auto th = rt.make_thread();
-      for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
-        if (paced && n_threads > 1) round.arrive_and_wait();
-        th->run_transaction([&](stm::swiss_thread& tx) { body(t, i, tx); });
-      }
-      stats[t] = th->stats();
-      clocks[t] = th->clock().now;
-    });
-  }
-  for (auto& th : threads) th.join();
+  return run_baseline<stm::swisstm_backend>(cfg, n_threads, tx_per_thread,
+                                            ops_per_tx, body, paced);
+}
 
-  run_result r;
-  for (unsigned t = 0; t < n_threads; ++t) {
-    r.stats.accumulate(stats[t]);
-    r.makespan = std::max(r.makespan, clocks[t]);
-  }
-  r.committed_tx = r.stats.tx_committed;
-  r.committed_ops = r.committed_tx * ops_per_tx;
-  return r;
+run_result run_tl2(const stm::tl2_config& cfg, unsigned n_threads,
+                   std::uint64_t tx_per_thread, std::uint64_t ops_per_tx,
+                   const tl2_tx_body& body, bool paced) {
+  return run_baseline<stm::tl2_backend>(cfg, n_threads, tx_per_thread,
+                                        ops_per_tx, body, paced);
 }
 
 void print_fig_header(const char* fig, const std::vector<const char*>& series) {

@@ -6,12 +6,15 @@
 // configurations are meaningful — exactly how the paper's figures are read.
 #pragma once
 
+#include <algorithm>
+#include <barrier>
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "core/runtime.hpp"
-#include "stm/swisstm.hpp"
+#include "stm/backend.hpp"
 #include "util/stats.hpp"
 #include "vt/vclock.hpp"
 
@@ -56,15 +59,57 @@ run_result run_tlstm(const core::config& cfg, std::uint64_t tx_per_thread,
                      std::uint64_t ops_per_tx, const tx_generator& gen,
                      bool paced = true);
 
-/// One SwissTM transaction body (runs inside run_transaction's retry loop).
-using swiss_tx_body =
-    std::function<void(unsigned thread, std::uint64_t tx_index, stm::swiss_thread&)>;
+/// One baseline transaction body (runs inside run_transaction's retry loop).
+template <typename Backend>
+using baseline_tx_body = std::function<void(unsigned thread, std::uint64_t tx_index,
+                                            typename Backend::thread_type&)>;
+using swiss_tx_body = baseline_tx_body<stm::swisstm_backend>;
+using tl2_tx_body = baseline_tx_body<stm::tl2_backend>;
 
-/// Runs `tx_per_thread` transactions on each of `n_threads` SwissTM threads.
+/// Runs `tx_per_thread` transactions on each of `n_threads` baseline STM
+/// threads (the backend seam: any stm::backend_traits instance works).
 /// See run_tlstm for the `paced` semantics.
+template <typename Backend, typename Body>
+run_result run_baseline(const typename Backend::config_type& cfg, unsigned n_threads,
+                        std::uint64_t tx_per_thread, std::uint64_t ops_per_tx,
+                        const Body& body, bool paced = true) {
+  using thread_type = typename Backend::thread_type;
+  typename Backend::runtime_type rt(cfg);
+  std::barrier round(static_cast<std::ptrdiff_t>(n_threads));
+  std::vector<util::stat_block> stats(n_threads);
+  std::vector<vt::vtime> clocks(n_threads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) {
+    threads.emplace_back([&, t] {
+      auto th = rt.make_thread();
+      for (std::uint64_t i = 0; i < tx_per_thread; ++i) {
+        if (paced && n_threads > 1) round.arrive_and_wait();
+        th->run_transaction([&](thread_type& tx) { body(t, i, tx); });
+      }
+      stats[t] = th->stats();
+      clocks[t] = th->clock().now;
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  run_result r;
+  for (unsigned t = 0; t < n_threads; ++t) {
+    r.stats.accumulate(stats[t]);
+    r.makespan = std::max(r.makespan, clocks[t]);
+  }
+  r.committed_tx = r.stats.tx_committed;
+  r.committed_ops = r.committed_tx * ops_per_tx;
+  return r;
+}
+
+/// Backend-specific entry points (non-template call sites, figure benches).
 run_result run_swiss(const stm::swiss_config& cfg, unsigned n_threads,
                      std::uint64_t tx_per_thread, std::uint64_t ops_per_tx,
                      const swiss_tx_body& body, bool paced = true);
+run_result run_tl2(const stm::tl2_config& cfg, unsigned n_threads,
+                   std::uint64_t tx_per_thread, std::uint64_t ops_per_tx,
+                   const tl2_tx_body& body, bool paced = true);
 
 /// Prints one figure row: `label  x  series...` (tab separated, benchmark
 /// logs are grep-friendly: lines start with "FIG").

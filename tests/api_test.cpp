@@ -139,7 +139,14 @@ TEST(TmPool, CreateVisibleToLaterTasks) {
       },
       [&](core::task_ctx& c) {
         counted* n = slot.get(c);
-        ASSERT_NE(n, nullptr);
+        if (n == nullptr) {
+          // Speculative stale read: this incarnation ran before task 1
+          // published the node (paper §3.2 "Inconsistent Reads"). The WAR
+          // conflict is detected at this task's commit and the runtime
+          // re-runs us with the node visible — the documented user-code
+          // pattern for speculative pointer reads.
+          return;
+        }
         seen = n->payload;  // plain field of a node created this tx: the
                             // pointer was forwarded through the chain, the
                             // payload is plain (immutable after create)

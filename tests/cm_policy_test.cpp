@@ -66,8 +66,8 @@ TEST_P(CmPolicy, DisjointWritersNeverCmAbort) {
     });
   }
   for (auto& d : drivers) d.join();
+  rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  rt.stop();
   EXPECT_EQ(a, 50u);
   EXPECT_EQ(b, 50u);
   EXPECT_EQ(stats.abort_cm, 0u);
@@ -155,8 +155,8 @@ TEST(CmPolicyDirection, PoliteNeverSignalsOwners) {
     });
   }
   for (auto& d : drivers) d.join();
+  rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  rt.stop();
   EXPECT_EQ(hot, 120u);
   EXPECT_EQ(stats.abort_tx_inter, 0u);
 }
@@ -186,8 +186,8 @@ TEST(CmPolicyDirection, AggressiveNeverSelfAborts) {
     });
   }
   for (auto& d : drivers) d.join();
+  rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  rt.stop();
   EXPECT_EQ(hot, 120u);
   EXPECT_EQ(stats.abort_cm, 0u);
 }

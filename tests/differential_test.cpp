@@ -1,15 +1,17 @@
 // Differential testing: the same deterministic single-threaded program must
 // produce bit-identical final state under (a) plain sequential execution,
-// (b) the SwissTM baseline, and (c) TLSTM at every speculative depth — the
-// strongest form of the paper's sequential-semantics guarantee, applied to
-// raw word programs, the red-black tree, and the sorted list.
+// (b) a baseline STM — both SwissTM and TL2, through the backend seam —
+// and (c) TLSTM at every speculative depth. This is the strongest form of
+// the paper's sequential-semantics guarantee, applied to raw word programs,
+// the red-black tree, and the sorted list.
 #include <gtest/gtest.h>
 
-#include <set>
 #include <vector>
 
 #include "core/runtime.hpp"
-#include "stm/swisstm.hpp"
+#include "support/backend_param.hpp"
+#include "support/reference_models.hpp"
+#include "support/word_runners.hpp"
 #include "util/rng.hpp"
 #include "workloads/intset.hpp"
 #include "workloads/rbtree.hpp"
@@ -18,150 +20,92 @@ namespace {
 
 using namespace tlstm;
 using stm::word;
+using support::backend_depth;
 
-// ---------------------------------------------------------------------------
-// Raw word programs
-// ---------------------------------------------------------------------------
-
-struct word_op {
-  std::uint8_t kind;  // 0 read-discard, 1 add, 2 set, 3 copy
-  unsigned i, j;
-  std::uint64_t c;
-};
-
-std::vector<word_op> make_program(std::uint64_t seed, std::size_t n_ops,
-                                  unsigned n_words) {
-  util::xoshiro256 rng(seed);
-  std::vector<word_op> prog(n_ops);
-  for (auto& o : prog) {
-    o.kind = static_cast<std::uint8_t>(rng.next_below(4));
-    o.i = static_cast<unsigned>(rng.next_below(n_words));
-    o.j = static_cast<unsigned>(rng.next_below(n_words));
-    o.c = rng.next_below(1 << 20);
-  }
-  return prog;
+core::config tlstm_cfg(unsigned depth) {
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = depth;
+  cfg.log2_table = 14;
+  return cfg;
 }
 
-template <typename ReadFn, typename WriteFn>
-void apply(const word_op& o, ReadFn&& rd, WriteFn&& wr) {
-  switch (o.kind) {
-    case 0: (void)rd(o.i); break;
-    case 1: wr(o.i, rd(o.i) + rd(o.j) + 1); break;
-    case 2: wr(o.i, o.c); break;
-    case 3: wr(o.j, rd(o.i)); break;
-  }
-}
+// ---------------------------------------------------------------------------
+// Raw word programs: sequential vs baseline backend vs TLSTM
+// ---------------------------------------------------------------------------
 
-class WordProgramDepth : public ::testing::TestWithParam<unsigned> {};
+class WordProgramDifferential : public ::testing::TestWithParam<backend_depth> {};
 
-TEST_P(WordProgramDepth, MatchesPlainExecution) {
-  const unsigned depth = GetParam();
-  constexpr unsigned n_words = 32;
-  constexpr std::size_t ops_per_task = 8;
+TEST_P(WordProgramDifferential, AllEnginesMatchPlainExecution) {
+  const auto p = GetParam();
   constexpr std::size_t n_tx = 40;
-  const std::uint64_t seed = 0x5eed + depth;
+  const std::uint64_t seed = 0x5eed + p.depth;
+  const support::program_shape shape{/*n_words=*/32, /*ops_per_task=*/8,
+                                     /*write_heavy=*/false};
 
-  // Plain sequential reference.
-  std::vector<word> ref(n_words, 0);
-  for (std::size_t tx = 0; tx < n_tx; ++tx) {
-    for (unsigned task = 0; task < depth; ++task) {
-      for (const auto& o :
-           make_program(seed + tx * 131 + task, ops_per_task, n_words)) {
-        apply(
-            o, [&](unsigned i) { return ref[i]; },
-            [&](unsigned i, word v) { ref[i] = v; });
-      }
-    }
-  }
+  const auto ref = support::run_sequential(seed, n_tx, p.depth, shape);
 
   // TLSTM, one user-thread, `depth` tasks per transaction.
-  std::vector<word> mem(n_words, 0);
-  {
-    core::config cfg;
-    cfg.num_threads = 1;
-    cfg.spec_depth = depth;
-    cfg.log2_table = 14;
-    core::runtime rt(cfg);
-    auto& th = rt.thread(0);
-    for (std::size_t tx = 0; tx < n_tx; ++tx) {
-      std::vector<core::task_fn> tasks;
-      for (unsigned task = 0; task < depth; ++task) {
-        tasks.push_back([&mem, seed, tx, task](core::task_ctx& c) {
-          for (const auto& o :
-               make_program(seed + tx * 131 + task, ops_per_task, n_words)) {
-            apply(
-                o, [&](unsigned i) { return c.read(&mem[i]); },
-                [&](unsigned i, word v) { c.write(&mem[i], v); });
-          }
-        });
-      }
-      th.submit(std::move(tasks));
-    }
-    th.drain();
-    rt.stop();
+  const auto tl = support::run_tlstm(tlstm_cfg(p.depth), n_tx, p.depth, seed, shape);
+  for (unsigned i = 0; i < shape.n_words; ++i) {
+    EXPECT_EQ(tl.mem[i], ref[i]) << "TLSTM diverged at word " << i;
   }
-  for (unsigned i = 0; i < n_words; ++i) EXPECT_EQ(mem[i], ref[i]) << "word " << i;
 
-  // SwissTM, whole transaction in one body.
-  std::vector<word> smem(n_words, 0);
-  {
-    stm::swiss_runtime srt;
-    auto th = srt.make_thread();
-    for (std::size_t tx = 0; tx < n_tx; ++tx) {
-      th->run_transaction([&](stm::swiss_thread& stx) {
-        for (unsigned task = 0; task < depth; ++task) {
-          for (const auto& o :
-               make_program(seed + tx * 131 + task, ops_per_task, n_words)) {
-            apply(
-                o, [&](unsigned i) { return stx.read(&smem[i]); },
-                [&](unsigned i, word v) { stx.write(&smem[i], v); });
-          }
-        }
-      });
-    }
+  // The selected baseline backend, whole transaction in one body.
+  const auto base = stm::with_backend(p.backend, [&](auto b) {
+    using backend = decltype(b);
+    return support::run_baseline_sequential<backend>(seed, n_tx, p.depth, shape);
+  });
+  for (unsigned i = 0; i < shape.n_words; ++i) {
+    EXPECT_EQ(base[i], ref[i]) << stm::to_string(p.backend)
+                               << " diverged at word " << i;
   }
-  for (unsigned i = 0; i < n_words; ++i) EXPECT_EQ(smem[i], ref[i]) << "word " << i;
 }
 
-INSTANTIATE_TEST_SUITE_P(Depths, WordProgramDepth, ::testing::Values(1u, 2u, 3u, 4u, 6u),
-                         [](const ::testing::TestParamInfo<unsigned>& info) {
-                           return "depth" + std::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Depths, WordProgramDifferential,
+    ::testing::ValuesIn(support::backend_depth_matrix({1, 2, 3, 4, 6})),
+    support::backend_depth_name);
 
 // ---------------------------------------------------------------------------
-// Structure programs: rbtree and sorted_list ops with cross-task dependence
+// Structure programs: rbtree and sorted_list ops with cross-task dependence.
+// The task chain is built to the parameterized depth, and the quiesced
+// readback runs on the parameterized baseline backend.
 // ---------------------------------------------------------------------------
 
-TEST(Differential, RbTreeTaskChainsMatchSequential) {
+class StructureDifferential : public ::testing::TestWithParam<backend_depth> {};
+
+TEST_P(StructureDifferential, RbTreeTaskChainsMatchSequential) {
+  const auto p = GetParam();
   // Task 1 inserts, task 2 looks the key up and inserts a derived key,
   // task 3 erases the original — maximal cross-task structural dependence.
+  // Chains are truncated to the speculative depth.
   util::xoshiro256 rng(42);
   std::vector<std::uint64_t> keys(60);
   for (auto& k : keys) k = 1 + rng.next_below(500);
 
-  // Sequential oracle on std::set-backed logic.
-  std::set<std::uint64_t> model;
+  support::map_model model;  // the tree is keyed storage: key → value
   for (auto k : keys) {
-    model.insert(k);
-    if (model.count(k)) model.insert(k + 1000);
-    model.erase(k);
+    model.insert(k, k);
+    if (p.depth >= 2 && model.contains(k)) model.insert(k + 1000, k);
+    if (p.depth >= 3) model.erase(k);
   }
 
   wl::rbtree tree;
-  core::config cfg;
-  cfg.num_threads = 1;
-  cfg.spec_depth = 3;
-  cfg.log2_table = 14;
-  core::runtime rt(cfg);
+  core::runtime rt(tlstm_cfg(p.depth));
   auto& th = rt.thread(0);
   for (auto k : keys) {
-    th.submit({
-        [&tree, k](core::task_ctx& c) { (void)tree.insert(c, k, k); },
-        [&tree, k](core::task_ctx& c) {
-          if (tree.contains(c, k)) (void)tree.insert(c, k + 1000, k);
-        },
-        [&tree, k](core::task_ctx& c) { (void)tree.erase(c, k); },
-    });
+    std::vector<core::task_fn> tasks;
+    tasks.push_back([&tree, k](core::task_ctx& c) { (void)tree.insert(c, k, k); });
+    if (p.depth >= 2) {
+      tasks.push_back([&tree, k](core::task_ctx& c) {
+        if (tree.contains(c, k)) (void)tree.insert(c, k + 1000, k);
+      });
+    }
+    if (p.depth >= 3) {
+      tasks.push_back([&tree, k](core::task_ctx& c) { (void)tree.erase(c, k); });
+    }
+    th.submit(std::move(tasks));
   }
   th.drain();
   rt.stop();
@@ -169,46 +113,74 @@ TEST(Differential, RbTreeTaskChainsMatchSequential) {
   const char* why = nullptr;
   ASSERT_TRUE(tree.check_invariants(&why)) << why;
   EXPECT_EQ(tree.size_unsafe(), model.size());
-  stm::swiss_runtime srt;
-  auto sth = srt.make_thread();
-  for (auto k : model) {
-    bool present = false;
-    sth->run_transaction(
-        [&](stm::swiss_thread& tx) { present = tree.contains(tx, k); });
-    EXPECT_TRUE(present) << "key " << k;
-  }
+
+  // Transactional readback of every model key on the baseline backend.
+  stm::with_backend(p.backend, [&](auto b) {
+    using backend = decltype(b);
+    using thread_type = typename backend::thread_type;
+    typename backend::runtime_type srt(stm::make_backend_config<backend>(14));
+    auto sth = srt.make_thread();
+    for (const auto& [k, v] : model.entries()) {
+      bool present = false;
+      sth->run_transaction(
+          [&](thread_type& tx) { present = tree.contains(tx, k); });
+      EXPECT_TRUE(present) << "key " << k << " missing under "
+                           << stm::to_string(p.backend);
+    }
+  });
 }
 
-TEST(Differential, SortedListDependentTasksMatchSequential) {
+TEST_P(StructureDifferential, SortedListDependentTasksMatchSequential) {
+  const auto p = GetParam();
+  const unsigned tasks_per_tx = p.depth >= 2 ? 2 : 1;
   wl::sorted_list list;
-  std::set<std::uint64_t> model;
+  support::set_model model;
   util::xoshiro256 rng(77);
 
-  core::config cfg;
-  cfg.num_threads = 1;
-  cfg.spec_depth = 2;
-  cfg.log2_table = 14;
-  core::runtime rt(cfg);
+  core::runtime rt(tlstm_cfg(p.depth));
   auto& th = rt.thread(0);
   for (int i = 0; i < 80; ++i) {
     const std::uint64_t k = 1 + rng.next_below(100);
-    // Model: insert k; if insert succeeded, also insert k+200.
-    const bool fresh = model.insert(k).second;
-    if (fresh) model.insert(k + 200);
-    th.submit({
-        [&list, k](core::task_ctx& c) { (void)list.insert(c, k); },
-        [&list, k](core::task_ctx& c) {
-          // Sees task 1's speculative insert: k is always present here, so
-          // the derived insert happens iff k+200 was absent.
-          if (list.contains(c, k)) (void)list.insert(c, k + 200);
-        },
-    });
+    // Model: insert k; if the chain has a second task, k is always present
+    // when it runs, so the derived insert happens iff k+200 was absent.
+    model.insert(k);
+    if (tasks_per_tx >= 2 && model.contains(k)) model.insert(k + 200);
+    std::vector<core::task_fn> tasks;
+    tasks.push_back([&list, k](core::task_ctx& c) { (void)list.insert(c, k); });
+    if (tasks_per_tx >= 2) {
+      tasks.push_back([&list, k](core::task_ctx& c) {
+        // Sees task 1's speculative insert: k is always present here, so
+        // the derived insert happens iff k+200 was absent.
+        if (list.contains(c, k)) (void)list.insert(c, k + 200);
+      });
+    }
+    th.submit(std::move(tasks));
   }
   th.drain();
   rt.stop();
 
   EXPECT_TRUE(list.check_sorted_unsafe());
   EXPECT_EQ(list.size_unsafe(), model.size());
+
+  // Membership readback through the baseline backend.
+  stm::with_backend(p.backend, [&](auto b) {
+    using backend = decltype(b);
+    using thread_type = typename backend::thread_type;
+    typename backend::runtime_type srt(stm::make_backend_config<backend>(14));
+    auto sth = srt.make_thread();
+    for (auto k : model.keys()) {
+      bool present = false;
+      sth->run_transaction(
+          [&](thread_type& tx) { present = list.contains(tx, k); });
+      EXPECT_TRUE(present) << "key " << k << " missing under "
+                           << stm::to_string(p.backend);
+    }
+  });
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Depths, StructureDifferential,
+    ::testing::ValuesIn(support::backend_depth_matrix({1, 2, 3, 4})),
+    support::backend_depth_name);
 
 }  // namespace

@@ -127,8 +127,8 @@ TEST(Kmeans, SplitClassifyUpdateTransactionConserves) {
     });
   }
   th.drain();
+  rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  rt.stop();
   EXPECT_EQ(km.total_count_unsafe(), static_cast<std::int64_t>(n));
   EXPECT_GT(stats.reads_speculative, 0u) << "split must exercise value forwarding";
 }

@@ -120,8 +120,8 @@ TEST(NestedTlstm, AtomicScopeRunsInlineInTasks) {
       [&](core::task_ctx& c) { transfer_one(c, &a, &b); },
       [&](core::task_ctx& c) { transfer_one(c, &a, &b); },
   });
+  rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  rt.stop();
   EXPECT_EQ(a, 3u);
   EXPECT_EQ(b, 2u);
   // >= : speculative task re-executions legitimately re-enter the scope.

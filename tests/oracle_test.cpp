@@ -1,88 +1,80 @@
 // Serializability oracle (DESIGN.md §6): random multi-threaded, multi-task
 // programs over a word array run under TLSTM; the recorded global commit
-// order is replayed sequentially and the final memory must match exactly.
+// order is replayed and the final memory must match exactly. The replay is
+// performed twice — plain sequentially, and transactionally on a baseline
+// STM backend (both SwissTM and TL2, through the backend seam) — so the
+// oracle simultaneously checks the TLSTM run and the backends' agreement.
 // Additionally the per-thread commit order must equal program order (the
 // TLS sequential-semantics constraint).
 //
-// Parameterized over (user-threads, spec-depth, tasks-per-transaction) to
-// sweep the configuration space the paper evaluates.
+// Parameterized over (backend, user-threads, spec-depth,
+// tasks-per-transaction) to sweep the configuration space the paper
+// evaluates.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <thread>
-#include <tuple>
+#include <string>
 #include <vector>
 
 #include "core/runtime.hpp"
-#include "util/rng.hpp"
+#include "support/backend_param.hpp"
+#include "support/replay.hpp"
+#include "support/word_runners.hpp"
 
 namespace {
 
 using namespace tlstm;
 using stm::word;
 
-struct oracle_op {
-  enum class kind : std::uint8_t { add, set, mix };
-  kind k;
-  unsigned i;
-  unsigned j;
-  std::uint64_t c;
-};
-
-constexpr unsigned ops_per_task = 6;
-
-/// Deterministically generates the ops of (thread, tx, task) over a word
-/// array of `n_words` cells (small arrays = hot contention).
-std::vector<oracle_op> gen_ops(std::uint64_t seed, unsigned thread, std::uint64_t tx,
-                               unsigned task, unsigned n_words) {
-  util::xoshiro256 rng(seed ^ (thread * 7919), tx * 31 + task);
-  std::vector<oracle_op> ops;
-  ops.reserve(ops_per_task);
-  for (unsigned i = 0; i < ops_per_task; ++i) {
-    oracle_op o{};
-    const auto r = rng.next_below(3);
-    o.k = r == 0 ? oracle_op::kind::add : r == 1 ? oracle_op::kind::set
-                                                 : oracle_op::kind::mix;
-    o.i = static_cast<unsigned>(rng.next_below(n_words));
-    o.j = static_cast<unsigned>(rng.next_below(n_words));
-    o.c = rng.next_below(1000);
-    ops.push_back(o);
-  }
-  return ops;
-}
-
-/// Applies one op through any read/write interface.
-template <typename ReadFn, typename WriteFn>
-void apply_op(const oracle_op& o, ReadFn&& rd, WriteFn&& wr) {
-  switch (o.k) {
-    case oracle_op::kind::add:
-      wr(o.i, rd(o.i) + rd(o.j) + 1);
-      break;
-    case oracle_op::kind::set:
-      wr(o.i, o.c);
-      break;
-    case oracle_op::kind::mix:
-      wr(o.i, rd(o.i) * 3 + rd(o.j));
-      break;
-  }
-}
-
 struct oracle_params {
   unsigned threads;
   unsigned depth;
   unsigned tasks_per_tx;
   std::uint64_t txs_per_thread;
-  unsigned words = 48;      // small values create hot-word contention storms
-  unsigned log2_table = 16; // tiny tables force stripe-collision paths
+  unsigned words = 48;       // small values create hot-word contention storms
+  unsigned log2_table = 16;  // tiny tables force stripe-collision paths
+  /// Filled in by oracle_matrix(): which baseline performs the replay.
+  stm::backend_kind replay_backend = stm::backend_kind::swisstm;
 };
+
+/// The paper-shaped configuration matrix, crossed with both backends.
+std::vector<oracle_params> oracle_matrix() {
+  const oracle_params shapes[] = {
+      {1, 1, 1, 60},  // degenerate: plain STM
+      {1, 2, 2, 60},  // one thread, paired tasks
+      {1, 4, 4, 40},  // deep intra-thread speculation
+      {1, 4, 2, 40},  // speculative future transactions
+      {2, 2, 2, 40},  // TM × TLS
+      {2, 3, 3, 30},  // the paper's 3-task shape
+      {3, 2, 2, 25},  // wider TM dimension
+      {2, 4, 2, 30},  // pipelining under contention
+      {1, 3, 3, 40, 4},  // hot words: intra-thread WAW storm
+      {2, 2, 2, 30, 4},  // hot words across threads
+      {3, 3, 3, 20, 6},  // hot words, full cross product
+      // Tiny lock tables: every transaction crosses colliding stripes, so
+      // the address-refined validation paths (DESIGN.md §4.3a) carry the
+      // whole load. Serializability must be collision-blind.
+      {1, 3, 3, 30, 24, 2},
+      {2, 2, 2, 25, 24, 2},
+      {2, 3, 3, 20, 24, 0},  // single stripe for everything
+  };
+  std::vector<oracle_params> out;
+  for (auto backend : stm::all_backends) {
+    for (oracle_params p : shapes) {
+      p.replay_backend = backend;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
 
 class OracleTest : public ::testing::TestWithParam<oracle_params> {};
 
 TEST_P(OracleTest, CommitOrderReplayMatchesMemory) {
   const auto p = GetParam();
-  const unsigned n_words = p.words;
   const std::uint64_t seed =
       0xabcdef12u + p.threads * 131 + p.depth * 17 + p.words * 3;
+  const support::program_shape shape{p.words, /*ops_per_task=*/6,
+                                     /*write_heavy=*/true};
 
   core::config cfg;
   cfg.num_threads = p.threads;
@@ -90,105 +82,46 @@ TEST_P(OracleTest, CommitOrderReplayMatchesMemory) {
   cfg.log2_table = p.log2_table;
   cfg.record_commits = true;
 
-  std::vector<word> mem(n_words, 0);
-  std::vector<std::vector<core::commit_record>> journals(p.threads);
-  {
-    core::runtime rt(cfg);
-    std::vector<std::thread> drivers;
-    for (unsigned t = 0; t < p.threads; ++t) {
-      drivers.emplace_back([&, t] {
-        auto& th = rt.thread(t);
-        for (std::uint64_t tx = 0; tx < p.txs_per_thread; ++tx) {
-          std::vector<core::task_fn> tasks;
-          for (unsigned task = 0; task < p.tasks_per_tx; ++task) {
-            tasks.push_back([&mem, seed, t, tx, task, n_words](core::task_ctx& c) {
-              for (const auto& o : gen_ops(seed, t, tx, task, n_words)) {
-                apply_op(
-                    o, [&](unsigned i) { return c.read(&mem[i]); },
-                    [&](unsigned i, word v) { c.write(&mem[i], v); });
-              }
-            });
-          }
-          th.submit(std::move(tasks));
-        }
-        th.drain();
-        journals[t] = th.journal();
-      });
-    }
-    for (auto& d : drivers) d.join();
-    rt.stop();
-  }
+  const auto run =
+      support::run_tlstm(cfg, p.txs_per_thread, p.tasks_per_tx, seed, shape);
 
-  // 1. Per-thread: exactly txs_per_thread commits, in program order, with
-  //    strictly increasing commit timestamps (TLS constraint).
-  struct committed_tx {
-    word ts;
-    unsigned thread;
-    std::uint64_t tx_index;
-  };
-  std::vector<committed_tx> order;
-  for (unsigned t = 0; t < p.threads; ++t) {
-    ASSERT_EQ(journals[t].size(), p.txs_per_thread) << "thread " << t;
-    for (std::uint64_t i = 0; i < journals[t].size(); ++i) {
-      const auto& rec = journals[t][i];
-      ASSERT_NE(rec.commit_ts, 0u) << "every oracle tx writes";
-      if (i > 0) {
-        EXPECT_LT(journals[t][i - 1].commit_ts, rec.commit_ts)
-            << "per-thread commit order must follow program order";
-        EXPECT_LT(journals[t][i - 1].tx_commit_serial, rec.tx_start_serial);
-      }
-      order.push_back({rec.commit_ts, t, i});
-    }
-  }
-
-  // 2. Commit timestamps are globally unique.
-  std::sort(order.begin(), order.end(),
-            [](const committed_tx& a, const committed_tx& b) { return a.ts < b.ts; });
-  for (std::size_t i = 1; i < order.size(); ++i) {
-    ASSERT_NE(order[i - 1].ts, order[i].ts) << "duplicate commit timestamp";
-  }
+  // 1.+2. Per-thread program order, strictly increasing and globally unique
+  //        commit timestamps (the TLS constraint); recover the global order.
+  std::string order_error;
+  const auto order =
+      support::global_commit_order(run.journals, p.txs_per_thread, &order_error);
+  ASSERT_FALSE(order.empty()) << order_error;
 
   // 3. Sequential replay in global commit order must reproduce memory.
-  std::vector<word> model(n_words, 0);
-  for (const auto& ct : order) {
-    for (unsigned task = 0; task < p.tasks_per_tx; ++task) {
-      for (const auto& o : gen_ops(seed, ct.thread, ct.tx_index, task, n_words)) {
-        apply_op(
-            o, [&](unsigned i) { return model[i]; },
-            [&](unsigned i, word v) { model[i] = v; });
-      }
-    }
+  const auto model =
+      support::replay_sequential(order, seed, p.tasks_per_tx, shape);
+  for (unsigned i = 0; i < p.words; ++i) {
+    EXPECT_EQ(run.mem[i], model[i])
+        << "word " << i << " diverged from serial replay";
   }
-  for (unsigned i = 0; i < n_words; ++i) {
-    EXPECT_EQ(mem[i], model[i]) << "word " << i << " diverged from serial replay";
+
+  // 4. Transactional replay on the baseline backend must agree with the
+  //    sequential replay — an independent implementation of the same order.
+  const auto backend_mem = stm::with_backend(p.replay_backend, [&](auto b) {
+    using backend = decltype(b);
+    return support::replay_on_backend<backend>(order, seed, p.tasks_per_tx,
+                                               shape);
+  });
+  for (unsigned i = 0; i < p.words; ++i) {
+    EXPECT_EQ(backend_mem[i], model[i])
+        << "word " << i << " diverged between " << stm::to_string(p.replay_backend)
+        << " replay and serial replay";
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, OracleTest,
-    ::testing::Values(
-        oracle_params{1, 1, 1, 60},  // degenerate: plain STM
-        oracle_params{1, 2, 2, 60},  // one thread, paired tasks
-        oracle_params{1, 4, 4, 40},  // deep intra-thread speculation
-        oracle_params{1, 4, 2, 40},  // speculative future transactions
-        oracle_params{2, 2, 2, 40},  // TM × TLS
-        oracle_params{2, 3, 3, 30},  // the paper's 3-task shape
-        oracle_params{3, 2, 2, 25},  // wider TM dimension
-        oracle_params{2, 4, 2, 30},  // pipelining under contention
-        oracle_params{1, 3, 3, 40, 4},   // hot words: intra-thread WAW storm
-        oracle_params{2, 2, 2, 30, 4},   // hot words across threads
-        oracle_params{3, 3, 3, 20, 6},   // hot words, full cross product
-        // Tiny lock tables: every transaction crosses colliding stripes, so
-        // the address-refined validation paths (DESIGN.md §4.3a) carry the
-        // whole load. Serializability must be collision-blind.
-        oracle_params{1, 3, 3, 30, 24, 2},
-        oracle_params{2, 2, 2, 25, 24, 2},
-        oracle_params{2, 3, 3, 20, 24, 0}),  // single stripe for everything
+    Sweep, OracleTest, ::testing::ValuesIn(oracle_matrix()),
     [](const ::testing::TestParamInfo<oracle_params>& info) {
       const auto& p = info.param;
-      return "t" + std::to_string(p.threads) + "_d" + std::to_string(p.depth) +
-             "_k" + std::to_string(p.tasks_per_tx) + "_w" + std::to_string(p.words) +
-             "_L" + std::to_string(p.log2_table);
+      return std::string(stm::to_string(p.replay_backend)) + "_" +
+             support::config_matrix_name(p.threads, p.depth, p.tasks_per_tx,
+                                         p.log2_table) +
+             "_w" + std::to_string(p.words);
     });
 
 }  // namespace

@@ -1,0 +1,48 @@
+// GTest parameterization helpers for suites that sweep the STM backend
+// (swisstm / tl2) and the speculative depth. Built on the stm::backend
+// seam: tests receive a backend_kind value and cross into templated code
+// with stm::with_backend.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "stm/backend.hpp"
+
+namespace tlstm::support {
+
+/// Value parameter for backend × spec-depth sweeps.
+struct backend_depth {
+  stm::backend_kind backend;
+  unsigned depth;
+};
+
+inline std::string backend_depth_name(
+    const ::testing::TestParamInfo<backend_depth>& info) {
+  return std::string(stm::to_string(info.param.backend)) + "_depth" +
+         std::to_string(info.param.depth);
+}
+
+/// Canonical test-name fragment for the (threads × depth × tasks-per-tx ×
+/// table) configuration matrices the oracle/sweep suites share.
+inline std::string config_matrix_name(unsigned threads, unsigned depth,
+                                      unsigned tasks_per_tx,
+                                      unsigned log2_table) {
+  return "t" + std::to_string(threads) + "_d" + std::to_string(depth) + "_k" +
+         std::to_string(tasks_per_tx) + "_L" + std::to_string(log2_table);
+}
+
+/// Full cross product of both backends with the given depths.
+inline std::vector<backend_depth> backend_depth_matrix(
+    std::initializer_list<unsigned> depths) {
+  std::vector<backend_depth> v;
+  for (auto b : stm::all_backends) {
+    for (auto d : depths) v.push_back({b, d});
+  }
+  return v;
+}
+
+}  // namespace tlstm::support

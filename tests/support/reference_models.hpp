@@ -1,0 +1,42 @@
+// Sequential reference oracles for the keyed-structure differential tests:
+// plain std::set/std::map models driven by the same derived-key task chains
+// the transactional structures execute, so final sizes and membership can
+// be compared exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace tlstm::support {
+
+/// std::set-backed model of a transactional key set.
+class set_model {
+ public:
+  bool insert(std::uint64_t k) { return s_.insert(k).second; }
+  bool erase(std::uint64_t k) { return s_.erase(k) != 0; }
+  bool contains(std::uint64_t k) const { return s_.count(k) != 0; }
+  std::size_t size() const { return s_.size(); }
+  const std::set<std::uint64_t>& keys() const { return s_; }
+
+ private:
+  std::set<std::uint64_t> s_;
+};
+
+/// std::map-backed model of a transactional key→value structure.
+class map_model {
+ public:
+  bool insert(std::uint64_t k, std::uint64_t v) {
+    return m_.emplace(k, v).second;
+  }
+  bool erase(std::uint64_t k) { return m_.erase(k) != 0; }
+  bool contains(std::uint64_t k) const { return m_.count(k) != 0; }
+  std::size_t size() const { return m_.size(); }
+  const std::map<std::uint64_t, std::uint64_t>& entries() const { return m_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> m_;
+};
+
+}  // namespace tlstm::support

@@ -1,0 +1,67 @@
+#include "support/replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tlstm::support {
+
+std::vector<commit_order_entry> global_commit_order(
+    const std::vector<std::vector<core::commit_record>>& journals,
+    std::uint64_t expected_tx_per_thread, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return std::vector<commit_order_entry>{};
+  };
+
+  std::vector<commit_order_entry> order;
+  for (unsigned t = 0; t < journals.size(); ++t) {
+    const auto& j = journals[t];
+    if (j.size() != expected_tx_per_thread) {
+      std::ostringstream os;
+      os << "thread " << t << ": " << j.size() << " commits, expected "
+         << expected_tx_per_thread;
+      return fail(os.str());
+    }
+    for (std::uint64_t i = 0; i < j.size(); ++i) {
+      const auto& rec = j[i];
+      if (rec.commit_ts == 0) {
+        std::ostringstream os;
+        os << "thread " << t << " tx " << i
+           << ": zero commit timestamp (read-only?) in a writing program";
+        return fail(os.str());
+      }
+      if (i > 0) {
+        // TLS constraint: per-thread commit order equals program order.
+        if (journals[t][i - 1].commit_ts >= rec.commit_ts) {
+          std::ostringstream os;
+          os << "thread " << t << " tx " << i
+             << ": commit timestamp not increasing in program order ("
+             << journals[t][i - 1].commit_ts << " then " << rec.commit_ts << ")";
+          return fail(os.str());
+        }
+        if (journals[t][i - 1].tx_commit_serial >= rec.tx_start_serial) {
+          std::ostringstream os;
+          os << "thread " << t << " tx " << i << ": serial windows overlap";
+          return fail(os.str());
+        }
+      }
+      order.push_back({rec.commit_ts, t, i});
+    }
+  }
+
+  std::sort(order.begin(), order.end(),
+            [](const commit_order_entry& a, const commit_order_entry& b) {
+              return a.ts < b.ts;
+            });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i - 1].ts == order[i].ts) {
+      std::ostringstream os;
+      os << "duplicate commit timestamp " << order[i].ts << " (threads "
+         << order[i - 1].thread << " and " << order[i].thread << ")";
+      return fail(os.str());
+    }
+  }
+  return order;
+}
+
+}  // namespace tlstm::support

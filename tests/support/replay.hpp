@@ -1,0 +1,72 @@
+// Serializability replay checking (DESIGN.md §6): validates recorded commit
+// journals against the TLS sequential-semantics constraints and replays the
+// global commit order — sequentially, or transactionally on a baseline STM
+// backend — to reproduce the expected final memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/thread_state.hpp"
+#include "stm/backend.hpp"
+#include "support/word_programs.hpp"
+
+namespace tlstm::support {
+
+/// One committed transaction in the recovered global commit order.
+struct commit_order_entry {
+  stm::word ts;
+  unsigned thread;
+  std::uint64_t tx_index;
+};
+
+/// Checks the per-thread journals — exactly `expected_tx_per_thread`
+/// commits per thread, commit order following program order with strictly
+/// increasing timestamps, non-zero and globally unique commit timestamps —
+/// and returns the transactions sorted by global commit timestamp.
+/// On violation returns an empty vector and describes the failure in
+/// `*error`.
+std::vector<commit_order_entry> global_commit_order(
+    const std::vector<std::vector<core::commit_record>>& journals,
+    std::uint64_t expected_tx_per_thread, std::string* error);
+
+/// Sequential replay of the committed transactions: the serializability
+/// oracle's reference memory.
+inline std::vector<stm::word> replay_sequential(
+    const std::vector<commit_order_entry>& order, std::uint64_t seed,
+    unsigned tasks_per_tx, const program_shape& shape) {
+  std::vector<stm::word> mem(shape.n_words, 0);
+  for (const auto& ct : order) {
+    apply_tx_sequential(mem, seed, ct.thread, ct.tx_index, tasks_per_tx, shape);
+  }
+  return mem;
+}
+
+/// Transactional replay on a baseline backend: one transaction per committed
+/// transaction, in global commit order, on a single backend thread. An
+/// independent second implementation of the replay — the backends must agree
+/// with the plain sequential one.
+template <typename Backend>
+std::vector<stm::word> replay_on_backend(
+    const std::vector<commit_order_entry>& order, std::uint64_t seed,
+    unsigned tasks_per_tx, const program_shape& shape,
+    unsigned log2_table = 14) {
+  using thread_type = typename Backend::thread_type;
+  std::vector<stm::word> mem(shape.n_words, 0);
+  typename Backend::runtime_type rt(stm::make_backend_config<Backend>(log2_table));
+  auto th = rt.make_thread();
+  for (const auto& ct : order) {
+    th->run_transaction([&](thread_type& stx) {
+      for (unsigned task = 0; task < tasks_per_tx; ++task) {
+        apply_task(
+            seed, ct.thread, ct.tx_index, task, shape,
+            [&](unsigned i) { return stx.read(&mem[i]); },
+            [&](unsigned i, stm::word v) { stx.write(&mem[i], v); });
+      }
+    });
+  }
+  return mem;
+}
+
+}  // namespace tlstm::support

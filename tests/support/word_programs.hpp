@@ -1,0 +1,85 @@
+// Seeded word-program generation: the deterministic random op streams the
+// differential and oracle suites execute under every engine (plain
+// sequential, a baseline STM, TLSTM) and then compare. The ops of
+// (thread, tx, task) are a pure function of the seed, so any engine — and
+// the sequential replay of a recorded commit order — can regenerate them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stm/lock_table.hpp"
+#include "util/rng.hpp"
+
+namespace tlstm::support {
+
+struct word_op {
+  enum class kind : std::uint8_t { read_discard, add, set, copy, mix };
+  kind k;
+  unsigned i, j;
+  std::uint64_t c;
+};
+
+/// Shape of the generated programs. `write_heavy` excludes read_discard so
+/// every task (and hence every transaction) writes — required by oracle
+/// checks that assert a non-zero commit timestamp.
+struct program_shape {
+  unsigned n_words = 32;
+  unsigned ops_per_task = 8;
+  bool write_heavy = false;
+};
+
+/// Deterministically generates the ops of (thread, tx, task).
+inline std::vector<word_op> task_program(std::uint64_t seed, unsigned thread,
+                                         std::uint64_t tx, unsigned task,
+                                         const program_shape& shape) {
+  util::xoshiro256 rng(seed ^ (thread * 7919), tx * 31 + task);
+  std::vector<word_op> ops(shape.ops_per_task);
+  const unsigned first_kind = shape.write_heavy ? 1 : 0;
+  for (auto& o : ops) {
+    o.k = static_cast<word_op::kind>(first_kind +
+                                     rng.next_below(5 - first_kind));
+    o.i = static_cast<unsigned>(rng.next_below(shape.n_words));
+    o.j = static_cast<unsigned>(rng.next_below(shape.n_words));
+    o.c = rng.next_below(1 << 20);
+  }
+  return ops;
+}
+
+/// Applies one op through any read/write interface.
+template <typename ReadFn, typename WriteFn>
+void apply_op(const word_op& o, ReadFn&& rd, WriteFn&& wr) {
+  using k = word_op::kind;
+  switch (o.k) {
+    case k::read_discard: (void)rd(o.i); break;
+    case k::add: wr(o.i, rd(o.i) + rd(o.j) + 1); break;
+    case k::set: wr(o.i, o.c); break;
+    case k::copy: wr(o.j, rd(o.i)); break;
+    case k::mix: wr(o.i, rd(o.i) * 3 + rd(o.j)); break;
+  }
+}
+
+/// Applies every op of (thread, tx, task) through the given interface.
+template <typename ReadFn, typename WriteFn>
+void apply_task(std::uint64_t seed, unsigned thread, std::uint64_t tx,
+                unsigned task, const program_shape& shape, ReadFn&& rd,
+                WriteFn&& wr) {
+  for (const auto& o : task_program(seed, thread, tx, task, shape)) {
+    apply_op(o, rd, wr);
+  }
+}
+
+/// Applies one whole transaction (all its tasks, program order) to a plain
+/// memory image — the sequential reference engine.
+inline void apply_tx_sequential(std::vector<stm::word>& mem, std::uint64_t seed,
+                                unsigned thread, std::uint64_t tx,
+                                unsigned tasks_per_tx,
+                                const program_shape& shape) {
+  for (unsigned task = 0; task < tasks_per_tx; ++task) {
+    apply_task(
+        seed, thread, tx, task, shape, [&](unsigned i) { return mem[i]; },
+        [&](unsigned i, stm::word v) { mem[i] = v; });
+  }
+}
+
+}  // namespace tlstm::support

@@ -1,0 +1,96 @@
+// Engines that execute the seeded word programs of word_programs.hpp:
+// plain sequential, TLSTM (any config), and either baseline STM backend.
+// All engines regenerate the same per-(thread, tx, task) op streams, so
+// their final memories are directly comparable.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/backend.hpp"
+#include "support/word_programs.hpp"
+
+namespace tlstm::support {
+
+struct word_run {
+  std::vector<stm::word> mem;
+  /// Per-user-thread commit journals (populated iff cfg.record_commits).
+  std::vector<std::vector<core::commit_record>> journals;
+};
+
+/// Single-threaded sequential reference: txs 0..n_tx-1 of thread 0.
+inline std::vector<stm::word> run_sequential(std::uint64_t seed, std::uint64_t n_tx,
+                                             unsigned tasks_per_tx,
+                                             const program_shape& shape) {
+  std::vector<stm::word> mem(shape.n_words, 0);
+  for (std::uint64_t tx = 0; tx < n_tx; ++tx) {
+    apply_tx_sequential(mem, seed, 0, tx, tasks_per_tx, shape);
+  }
+  return mem;
+}
+
+/// TLSTM run: cfg.num_threads driver threads, each submitting
+/// `txs_per_thread` transactions of `tasks_per_tx` tasks.
+inline word_run run_tlstm(const core::config& cfg, std::uint64_t txs_per_thread,
+                          unsigned tasks_per_tx, std::uint64_t seed,
+                          const program_shape& shape) {
+  word_run out;
+  out.mem.assign(shape.n_words, 0);
+  out.journals.resize(cfg.num_threads);
+  auto* mem = out.mem.data();
+  core::runtime rt(cfg);
+  std::vector<std::thread> drivers;
+  drivers.reserve(cfg.num_threads);
+  for (unsigned t = 0; t < cfg.num_threads; ++t) {
+    drivers.emplace_back([&, t] {
+      auto& th = rt.thread(t);
+      for (std::uint64_t tx = 0; tx < txs_per_thread; ++tx) {
+        std::vector<core::task_fn> tasks;
+        tasks.reserve(tasks_per_tx);
+        for (unsigned task = 0; task < tasks_per_tx; ++task) {
+          tasks.push_back([mem, seed, t, tx, task, &shape](core::task_ctx& c) {
+            apply_task(
+                seed, t, tx, task, shape,
+                [&](unsigned i) { return c.read(&mem[i]); },
+                [&](unsigned i, stm::word v) { c.write(&mem[i], v); });
+          });
+        }
+        th.submit(std::move(tasks));
+      }
+      th.drain();
+      if (cfg.record_commits) out.journals[t] = th.journal();
+    });
+  }
+  for (auto& d : drivers) d.join();
+  rt.stop();
+  return out;
+}
+
+/// Baseline STM run: one transaction per (tx, all tasks inline), single
+/// thread — the deterministic comparison engine of the differential suite.
+template <typename Backend>
+std::vector<stm::word> run_baseline_sequential(std::uint64_t seed,
+                                               std::uint64_t n_tx,
+                                               unsigned tasks_per_tx,
+                                               const program_shape& shape,
+                                               unsigned log2_table = 14) {
+  using thread_type = typename Backend::thread_type;
+  std::vector<stm::word> mem(shape.n_words, 0);
+  typename Backend::runtime_type rt(stm::make_backend_config<Backend>(log2_table));
+  auto th = rt.make_thread();
+  for (std::uint64_t tx = 0; tx < n_tx; ++tx) {
+    th->run_transaction([&](thread_type& stx) {
+      for (unsigned task = 0; task < tasks_per_tx; ++task) {
+        apply_task(
+            seed, 0, tx, task, shape,
+            [&](unsigned i) { return stx.read(&mem[i]); },
+            [&](unsigned i, stm::word v) { stx.write(&mem[i], v); });
+      }
+    });
+  }
+  return mem;
+}
+
+}  // namespace tlstm::support

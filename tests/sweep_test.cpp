@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "support/backend_param.hpp"
 #include "util/rng.hpp"
 #include "workloads/bank.hpp"
 
@@ -104,9 +105,8 @@ INSTANTIATE_TEST_SUITE_P(
                       sweep_params{4, 2, 2, 12}),  // wide TM dimension
     [](const ::testing::TestParamInfo<sweep_params>& info) {
       const auto& p = info.param;
-      return "t" + std::to_string(p.threads) + "_d" + std::to_string(p.depth) +
-             "_k" + std::to_string(p.tasks_per_tx) + "_L" +
-             std::to_string(p.log2_table);
+      return tlstm::support::config_matrix_name(p.threads, p.depth,
+                                                p.tasks_per_tx, p.log2_table);
     });
 
 }  // namespace
