@@ -1,0 +1,20 @@
+# bench_smoke test runner: executes BIN with --benchmark_filter=FILTER and
+# fails if the binary exits nonzero OR the filter matched no benchmark
+# (google-benchmark exits 0 on an empty match, and a bare CTest
+# PASS_REGULAR_EXPRESSION would ignore a crash after the row prints — this
+# wrapper enforces both conditions).
+if(NOT DEFINED BIN OR NOT DEFINED FILTER)
+  message(FATAL_ERROR "run_smoke.cmake needs -DBIN=<binary> -DFILTER=<regex>")
+endif()
+execute_process(
+  COMMAND "${BIN}" "--benchmark_filter=${FILTER}"
+  OUTPUT_VARIABLE smoke_out
+  ERROR_VARIABLE smoke_err
+  RESULT_VARIABLE smoke_rc)
+message("${smoke_out}")
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${smoke_rc}: ${smoke_err}")
+endif()
+if(NOT smoke_out MATCHES "iterations:1")
+  message(FATAL_ERROR "filter '${FILTER}' matched no benchmark — smoke run was a no-op")
+endif()

@@ -5,10 +5,14 @@
 #   scripts/ci.sh tier1      # just the tier-1 verify
 #   scripts/ci.sh asan       # just the ASan/UBSan configuration
 #   scripts/ci.sh tsan       # just the TSan configuration (unit label)
+#   scripts/ci.sh bench      # just the bench_smoke label (one reduced row
+#                            # per bench/abl_* and bench/fig* binary)
 #
-# Sanitizer configurations skip the bench/example targets (they only need
-# the library + tests) and build into their own trees, so the default
-# ./build stays pristine for local work.
+# The tier-1 full ctest already includes the bench_smoke label, so every
+# bench binary is built AND executed on every CI run — benches cannot rot
+# between figure regenerations. Sanitizer configurations skip the
+# bench/example targets (they only need the library + tests) and build into
+# their own trees, so the default ./build stays pristine for local work.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +39,13 @@ asan() {
   run_ctest build-asan
 }
 
+bench() {
+  echo "=== bench_smoke: one reduced row per bench binary ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  run_ctest build -L bench_smoke
+}
+
 tsan() {
   echo "=== TSan: unit label ==="
   # TSan multiplies the cost of the spin-heavy runtime paths; the short
@@ -50,14 +61,15 @@ case "$STAGE" in
   tier1) tier1 ;;
   asan) asan ;;
   tsan) tsan ;;
+  bench) bench ;;
   all)
-    tier1
+    tier1  # includes the bench_smoke label
     asan
     tsan
     echo "=== ci.sh: all stages green ==="
     ;;
   *)
-    echo "unknown stage: $STAGE (expected tier1|asan|tsan|all)" >&2
+    echo "unknown stage: $STAGE (expected tier1|asan|tsan|bench|all)" >&2
     exit 2
     ;;
 esac

@@ -58,6 +58,21 @@ struct config {
   /// Inconsistent-read mitigation: force a full validation every N committed
   /// reads of a task (0 disables; paper §3.2 "Inconsistent Reads").
   unsigned validate_every_n_reads = 0;
+  /// Adaptive speculation-depth control (DESIGN.md §5a): each user-thread
+  /// runs a vt::adapt_controller that narrows/widens a per-thread admission
+  /// window in [1, spec_depth] from observed speculation efficiency. Off by
+  /// default — the static runtime is the paper's configuration.
+  bool adapt_window = false;
+  /// Controller epoch length, in finished task incarnations per thread.
+  std::uint64_t adapt_interval_tasks = 64;
+  /// Waste share (priced wasted / total virtual cycles of an epoch) at or
+  /// above which an epoch votes to narrow the window …
+  double adapt_shrink_ratio = 0.40;
+  /// … and at or below which it votes to widen it. The band between the two
+  /// ratios votes for neither direction (hysteresis dead zone).
+  double adapt_grow_ratio = 0.10;
+  /// Consecutive same-direction epoch votes before the window moves a step.
+  unsigned adapt_hysteresis_epochs = 2;
   /// Virtual cycles charged to the submitting user-thread per transaction
   /// (the serial client-side cost of issuing work).
   std::uint64_t submit_cost = 50;

@@ -27,11 +27,34 @@ void user_thread::submit(std::vector<task_fn> tasks) {
   const std::uint64_t greedy = rt_.next_greedy_ts();
   const std::uint64_t tx_start = next_serial_;
   const std::uint64_t tx_commit = next_serial_ + tasks.size() - 1;
+  if (thr_.adapt != nullptr) {
+    // Adaptive backpressure (DESIGN.md §5a): hold installation until this
+    // transaction is within one window of becoming runnable (one window
+    // running + one staged), so a narrowed window also shortens the ready
+    // backlog. The predicate peeks unstamped — polling a frontier that does
+    // not block us is not a causal edge; the final stamped load joins the
+    // commit publication that actually released us.
+    const bool blocked = [&] {
+      const std::uint64_t win = thr_.adapt->effective_window();
+      return tx_start > thr_.committed_task.load_unstamped() + 2 * std::uint64_t{win};
+    }();
+    if (blocked) {
+      const bool stalled = charged_wait(rt_.cfg().costs.window_stall, [&] {
+        const std::uint64_t win = thr_.adapt->effective_window();
+        return tx_start <= thr_.committed_task.load(clock_) + 2 * std::uint64_t{win};
+      });
+      if (stalled) stats_.window_stalls++;
+    }
+  }
   for (auto& fn : tasks) {
     const std::uint64_t serial = next_serial_++;
     task_slot& slot = thr_.slot_for(serial);
-    util::backoff bo;
-    while (slot.load_phase(clock_) != task_phase::free) bo.spin();  // window backpressure
+    // Window backpressure: the residue slot frees only when its previous
+    // task's transaction committed; the charged wait prices the stall.
+    if (charged_wait(rt_.cfg().costs.window_stall,
+                     [&] { return slot.load_phase(clock_) == task_phase::free; })) {
+      stats_.window_stalls++;
+    }
     slot.closure = std::move(fn);
     slot.serial.store(serial, std::memory_order_relaxed);
     slot.tx_start_serial.store(tx_start, std::memory_order_relaxed);
@@ -52,9 +75,18 @@ void user_thread::submit_single(task_fn fn) {
 
 unsigned user_thread::spec_depth() const noexcept { return rt_.cfg().spec_depth; }
 
+unsigned user_thread::effective_window() const noexcept {
+  return thr_.adapt != nullptr ? thr_.adapt->effective_window() : rt_.cfg().spec_depth;
+}
+
 void user_thread::drain() {
-  util::backoff bo;
-  while (thr_.committed_task.load(clock_) < next_serial_ - 1) bo.spin();
+  // The stamped load max-joins the committing worker's clock, so drain-side
+  // waiting lands in this submitter's virtual timeline (and via makespan()
+  // in the reported makespan); the charged wait prices the wakeup itself.
+  if (charged_wait(rt_.cfg().costs.window_stall,
+                   [&] { return thr_.committed_task.load(clock_) >= next_serial_ - 1; })) {
+    stats_.drain_stalls++;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -68,11 +100,23 @@ runtime::runtime(config cfg)
   }
   threads_.reserve(cfg_.num_threads);
   user_threads_.reserve(cfg_.num_threads);
+  adapters_.resize(cfg_.num_threads);
   workers_.reserve(std::size_t{cfg_.num_threads} * cfg_.spec_depth);
   for (unsigned t = 0; t < cfg_.num_threads; ++t) {
     threads_.push_back(std::make_unique<thread_state>(t, cfg_.spec_depth));
     user_threads_.push_back(
         std::unique_ptr<user_thread>(new user_thread(*this, *threads_[t])));
+    if (cfg_.adapt_window) {
+      vt::adapt_params p;
+      p.min_window = 1;
+      p.max_window = cfg_.spec_depth;
+      p.interval_tasks = cfg_.adapt_interval_tasks;
+      p.shrink_ratio = cfg_.adapt_shrink_ratio;
+      p.grow_ratio = cfg_.adapt_grow_ratio;
+      p.hysteresis_epochs = cfg_.adapt_hysteresis_epochs;
+      adapters_[t] = std::make_unique<vt::adapt_controller>(p, cfg_.costs);
+      threads_[t]->adapt = adapters_[t].get();
+    }
   }
   for (unsigned t = 0; t < cfg_.num_threads; ++t) {
     for (unsigned w = 0; w < cfg_.spec_depth; ++w) {
@@ -108,7 +152,29 @@ void runtime::stop() {
 util::stat_block runtime::aggregated_stats() const {
   util::stat_block total;
   for (const auto& wk : workers_) total.accumulate(wk->stats);
+  for (const auto& ut : user_threads_) total.accumulate(ut->stats_);
+  for (const auto& ad : adapters_) {
+    if (ad == nullptr) continue;
+    total.window_shrinks += ad->window_shrinks();
+    total.window_grows += ad->window_grows();
+  }
   return total;
+}
+
+std::vector<unsigned> runtime::effective_windows() const {
+  std::vector<unsigned> out;
+  if (!cfg_.adapt_window) return out;
+  out.reserve(adapters_.size());
+  for (const auto& ad : adapters_) out.push_back(ad->effective_window());
+  return out;
+}
+
+std::vector<double> runtime::mean_windows() const {
+  std::vector<double> out;
+  if (!cfg_.adapt_window) return out;
+  out.reserve(adapters_.size());
+  for (const auto& ad : adapters_) out.push_back(ad->mean_window());
+  return out;
 }
 
 vt::vtime runtime::makespan() const {
@@ -156,14 +222,41 @@ std::string runtime::dump_state() const {
 // Worker loop
 // ---------------------------------------------------------------------------
 
+bool runtime::window_admits(const thread_state& thr, const task_slot& slot) noexcept {
+  const vt::adapt_controller* ad = thr.adapt;
+  if (ad == nullptr) return true;
+  // Transaction-granular admission: a task starts only once its
+  // transaction's first serial is within the effective window of the commit
+  // frontier. All tasks of one transaction share tx_start_serial, so they
+  // become eligible together — a window smaller than the transaction can
+  // never starve its commit-task.
+  return slot.tx_start_serial.load(std::memory_order_relaxed) <=
+         thr.committed_task.load_unstamped() + ad->effective_window();
+}
+
 bool runtime::wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot& slot,
                              worker& wk) {
   util::backoff bo;
+  bool deferred = false;
   for (;;) {
     if (slot.load_phase(wk.clock) == task_phase::ready &&
         slot.serial.load(std::memory_order_acquire) == serial) {
       // Never start a task into an active rollback that covers it.
-      if (!thr.fence_covers(serial, wk.clock)) return true;
+      if (!thr.fence_covers(serial, wk.clock)) {
+        if (window_admits(thr, slot)) {
+          // A deferral is a blocking edge on the commit frontier: join the
+          // publication that moved the window over us. (Un-deferred admits
+          // skip the join — speculative starts owe the frontier nothing.)
+          if (deferred) thr.committed_task.load(wk.clock);
+          return true;
+        }
+        // Held at ready outside the window: don't burn an incarnation that
+        // the controller predicts is doomed.
+        if (!deferred) {
+          deferred = true;
+          wk.stats.tasks_deferred++;
+        }
+      }
     } else if (thr.shutdown.load(std::memory_order_acquire) &&
                slot.load_phase(wk.clock) == task_phase::free) {
       return false;
@@ -179,6 +272,8 @@ void runtime::worker_main(thread_state& thr, unsigned widx, worker& wk) {
     run_one_incarnation(thr, slot, wk);
     // Committed: free the slot for the submitter.
     wk.stats.task_committed++;
+    wk.stats.user_ops += slot.ops_reported;
+    slot.ops_reported = 0;
     epochs_.unpin(wk.epoch_slot);
     epochs_.try_advance();
     slot.store_phase(task_phase::free, wk.clock);
@@ -214,18 +309,25 @@ void runtime::run_one_incarnation(thread_state& thr, task_slot& slot, worker& wk
     slot.wrote.store(false, std::memory_order_relaxed);
     slot.reads_since_validation = 0;
     slot.karma.store(0, std::memory_order_relaxed);
+    slot.ops_reported = 0;
     slot.logs.clear_for_restart();
     slot.store_phase(task_phase::running, wk.clock);
     wk.clock.advance(cfg_.costs.task_start);
     wk.stats.task_started++;
+    const std::uint64_t hops0 = wk.stats.chain_hops;  // controller signal baseline
     try {
       task_ctx ctx(*this, thr, slot, wk.clock, wk.stats, *wk.reclaimer);
       slot.closure(ctx);
       task_commit(thr, slot, ctx);
+      if (thr.adapt != nullptr) thr.adapt->record_commit(wk.stats.chain_hops - hops0);
       return;  // transaction committed
     } catch (const stm::tx_abort& a) {
       if (a.why == stm::tx_abort::reason::fence) wk.stats.abort_fence++;
       wk.stats.task_restarts++;
+      if (thr.adapt != nullptr) {
+        thr.adapt->record_restart(a.why == stm::tx_abort::reason::fence,
+                                  wk.stats.chain_hops - hops0);
+      }
       // Self-aborts raised the fence at the throw site; fence aborts were
       // raised elsewhere. Either way the fence covers us — park & roll back.
       assert(thr.fence_covers(slot.serial.load(std::memory_order_relaxed), wk.clock));

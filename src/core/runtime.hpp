@@ -26,7 +26,9 @@
 #include "stm/lock_table.hpp"
 #include "util/epoch.hpp"
 #include "util/rng.hpp"
+#include "util/spin.hpp"
 #include "util/stats.hpp"
+#include "vt/adapt_controller.hpp"
 #include "vt/vclock.hpp"
 
 namespace tlstm::core {
@@ -55,9 +57,17 @@ class user_thread {
 
   vt::worker_clock& clock() noexcept { return clock_; }
   std::uint64_t submitted_serials() const noexcept { return next_serial_ - 1; }
+  /// Submitter-side counters (window/drain stalls, wait spins); folded into
+  /// runtime::aggregated_stats().
+  const util::stat_block& stats() const noexcept { return stats_; }
   /// SPECDEPTH of the owning runtime — the maximum tasks per transaction
   /// (decomposition helpers clamp their chunk counts to this).
   unsigned spec_depth() const noexcept;
+  /// The thread's current effective speculation window (DESIGN.md §5a):
+  /// the adaptive controller's window when config.adapt_window is on, else
+  /// spec_depth. Self-tuning generators can consult it to size their
+  /// decompositions to what the runtime will actually admit.
+  unsigned effective_window() const noexcept;
   /// Commit journal (requires config.record_commits; call after drain()).
   const std::vector<commit_record>& journal() const noexcept { return thr_.journal; }
   std::uint32_t id() const noexcept { return thr_.ptid; }
@@ -66,10 +76,31 @@ class user_thread {
   friend class runtime;
   user_thread(runtime& rt, thread_state& thr) : rt_(rt), thr_(thr) {}
 
+  /// Waits until `pred()` holds (the predicate's stamped loads join the
+  /// unblocking publication) and charges `stall_cost` (the cost model's
+  /// window_stall) when that publication lay in our virtual future — a
+  /// genuine stall on the virtual machine, independent of host scheduling.
+  /// Returns true iff it stalled.
+  template <typename Pred>
+  bool charged_wait(vt::vtime stall_cost, Pred&& pred) {
+    const vt::vtime t0 = clock_.now;
+    util::backoff bo;
+    while (!pred()) {
+      stats_.wait_spins++;
+      bo.spin();
+    }
+    if (clock_.now > t0) {
+      clock_.advance(stall_cost);
+      return true;
+    }
+    return false;
+  }
+
   runtime& rt_;
   thread_state& thr_;
   std::uint64_t next_serial_ = 1;
   vt::worker_clock clock_;
+  util::stat_block stats_;
 };
 
 /// Process-wide TLSTM instance: global lock table, commit clock, the
@@ -113,6 +144,12 @@ class runtime {
   /// user-thread t occupy indices [t*spec_depth, (t+1)*spec_depth).
   std::vector<vt::vtime> worker_clocks() const;
 
+  /// Per-thread effective speculation windows (DESIGN.md §5a). Empty when
+  /// config.adapt_window is off.
+  std::vector<unsigned> effective_windows() const;
+  /// Per-thread epoch-weighted mean windows; empty when adaptation is off.
+  std::vector<double> mean_windows() const;
+
  private:
   friend class task_ctx;
   friend class user_thread;
@@ -130,6 +167,11 @@ class runtime {
   // --- Worker loop and task lifecycle (runtime.cpp). ---
   void worker_main(thread_state& thr, unsigned widx, worker& wk);
   bool wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot& slot, worker& wk);
+  /// Adaptive admission (DESIGN.md §5a): true when `slot`'s transaction may
+  /// start — its first serial lies within the thread's effective window of
+  /// the committed frontier (always true with adaptation off). Unstamped
+  /// peek; the caller joins the frontier only after an actual deferral.
+  static bool window_admits(const thread_state& thr, const task_slot& slot) noexcept;
   void run_one_incarnation(thread_state& thr, task_slot& slot, worker& wk);
   void task_commit(thread_state& thr, task_slot& slot, task_ctx& ctx);
   void tx_commit_whole(thread_state& thr, task_slot& slot, task_ctx& ctx);
@@ -162,6 +204,9 @@ class runtime {
 
   std::vector<std::unique_ptr<thread_state>> threads_;
   std::vector<std::unique_ptr<user_thread>> user_threads_;
+  /// adapters_[t] drives threads_[t]->adapt; empty slots when adaptation
+  /// is disabled.
+  std::vector<std::unique_ptr<vt::adapt_controller>> adapters_;
   // workers_[t * spec_depth + w] belongs to user-thread t.
   std::vector<std::unique_ptr<worker>> workers_;
   bool stopped_ = false;

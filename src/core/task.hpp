@@ -66,6 +66,10 @@ struct task_slot {
   /// contention livelocks on oversubscribed cores are broken by backing the
   /// repeat loser off to scheduler granularity (see run_one_incarnation).
   unsigned consecutive_restarts = 0;
+  /// Workload ops reported by the current incarnation (task_ctx::count_ops).
+  /// Reset on every (re)start, flushed into the worker's stat_block only
+  /// once the transaction commits — rolled-back work never counts.
+  std::uint64_t ops_reported = 0;
 
   // --- Coordination. ---
   vt::stamped_atomic<std::uint32_t> phase;  ///< task_phase values
@@ -95,6 +99,10 @@ class task_ctx {
   void write(stm::word* addr, stm::word value);
   /// Models `n` virtual cycles of user computation.
   void work(std::uint64_t n) noexcept;
+  /// Reports `n` completed workload-level operations. Buffered per
+  /// incarnation and folded into stat_block::user_ops only at transaction
+  /// commit, so re-executed attempts never inflate throughput.
+  void count_ops(std::uint64_t n) noexcept { slot_.ops_reported += n; }
   /// Forces a full consistency validation now (inconsistent-read guard).
   void validate();
   /// User-requested restart of the current task.

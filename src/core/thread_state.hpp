@@ -9,6 +9,7 @@
 #include "core/task.hpp"
 #include "util/cache.hpp"
 #include "util/spin.hpp"
+#include "vt/adapt_controller.hpp"
 #include "vt/vclock.hpp"
 
 namespace tlstm::core {
@@ -81,6 +82,11 @@ struct thread_state {
   /// speculation window (a new task starts only when its residue slot is
   /// free, which bounds active tasks to SPECDEPTH).
   std::vector<task_slot> owners;
+
+  /// Adaptive speculation controller of this thread (DESIGN.md §5a), or
+  /// nullptr when config.adapt_window is off (static window == depth).
+  /// Owned by the runtime; set before workers spawn.
+  vt::adapt_controller* adapt = nullptr;
 
   /// Serializes fence raises, rollback coordination, and the commit point of
   /// no return, closing the fence-vs-commit race (DESIGN.md §4.3).

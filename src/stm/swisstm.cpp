@@ -48,6 +48,7 @@ void swiss_thread::begin_attempt() {
   rt_.epochs().pin(epoch_slot_);
   in_tx_ = true;
   abort_requested.store(false, std::memory_order_relaxed);
+  pending_ops_ = 0;
   logs_.clear_for_restart();
   valid_ts_ = rt_.commit_ts().load(std::memory_order_acquire);
   clock_.advance(rt_.config().costs.tx_begin);
@@ -222,6 +223,8 @@ void swiss_thread::finish_commit_bookkeeping() {
   logs_.commit_retire.clear();
   logs_.alloc_undo.clear();
   stats_.tx_committed++;
+  stats_.user_ops += pending_ops_;
+  pending_ops_ = 0;
   clock_.advance(rt_.config().costs.commit_fixed);
   rt_.epochs().unpin(epoch_slot_);
   rt_.epochs().try_advance();

@@ -83,6 +83,10 @@ class swiss_thread {
   void write(word* addr, word value);
   /// Models `n` virtual cycles of user computation between accesses.
   void work(std::uint64_t n) noexcept;
+  /// Reports `n` completed workload-level operations. Buffered per attempt
+  /// and folded into stat_block::user_ops only at commit, so aborted
+  /// attempts never inflate throughput.
+  void count_ops(std::uint64_t n) noexcept { pending_ops_ += n; }
   /// Registers an allocation to undo if the transaction aborts.
   void log_alloc_undo(void* obj, util::reclaimer::deleter_fn fn, void* ctx);
   /// Registers a free to execute (after a grace period) once we commit.
@@ -133,6 +137,7 @@ class swiss_thread {
   // Transaction-attempt state.
   word valid_ts_ = 0;
   access_logs logs_;
+  std::uint64_t pending_ops_ = 0;  // count_ops buffer, flushed at commit
   unsigned attempt_ = 0;
   std::size_t epoch_slot_ = 0;
   bool in_tx_ = false;

@@ -41,6 +41,7 @@ void tl2_thread::begin_attempt() {
   read_set_.clear();
   alloc_undo_.clear();
   commit_retire_.clear();
+  pending_ops_ = 0;
   rv_ = rt_.gv().load(std::memory_order_acquire);
   clock_.advance(rt_.config().costs.tx_begin);
 }
@@ -144,6 +145,8 @@ void tl2_thread::commit() {
     commit_retire_.clear();
     alloc_undo_.clear();
     stats_.tx_committed++;
+    stats_.user_ops += pending_ops_;
+    pending_ops_ = 0;
     clock_.advance(costs.commit_fixed);
     rt_.epochs().unpin(epoch_slot_);
     rt_.epochs().try_advance();

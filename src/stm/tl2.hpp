@@ -106,6 +106,9 @@ class tl2_thread {
   word read(const word* addr);
   void write(word* addr, word value);
   void work(std::uint64_t n) noexcept;
+  /// Reports `n` completed workload-level operations (see
+  /// swiss_thread::count_ops — committed attempts only).
+  void count_ops(std::uint64_t n) noexcept { pending_ops_ += n; }
   void log_alloc_undo(void* obj, util::reclaimer::deleter_fn fn, void* ctx);
   void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx);
   [[noreturn]] void abort_self() { throw tx_abort{tx_abort::reason::explicit_abort}; }
@@ -150,6 +153,7 @@ class tl2_thread {
   std::vector<rs_entry> read_set_;
   std::vector<mm_action> alloc_undo_;
   std::vector<mm_action> commit_retire_;
+  std::uint64_t pending_ops_ = 0;  // count_ops buffer, flushed at commit
   unsigned attempt_ = 0;
   std::size_t epoch_slot_ = 0;
   bool in_tx_ = false;

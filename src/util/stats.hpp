@@ -42,6 +42,17 @@ struct alignas(cache_line_size) stat_block {
   std::uint64_t chain_hops = 0;        // redo-chain entries traversed
   std::uint64_t wait_spins = 0;        // failed predicate checks in waits
 
+  // Workload-reported operations (count_ops); committed work only — the
+  // harness falls back to committed_tx * ops_per_tx when this stays 0.
+  std::uint64_t user_ops = 0;
+
+  // Adaptive speculation (DESIGN.md §5a).
+  std::uint64_t window_shrinks = 0;  // controller narrowed the window
+  std::uint64_t window_grows = 0;    // controller widened the window
+  std::uint64_t tasks_deferred = 0;  // ready tasks held outside the window
+  std::uint64_t window_stalls = 0;   // charged submit-side window stalls
+  std::uint64_t drain_stalls = 0;    // charged drain-side stalls
+
   void accumulate(const stat_block& other) noexcept;
   std::uint64_t aborts_total() const noexcept {
     return abort_war + abort_waw_past_running + abort_waw_signalled + abort_cm +

@@ -1,0 +1,139 @@
+#include "vt/adapt_controller.hpp"
+
+#include <algorithm>
+
+namespace tlstm::vt {
+
+namespace {
+
+adapt_params sanitize(adapt_params p) {
+  if (p.min_window == 0) p.min_window = 1;
+  p.max_window = std::max(p.max_window, p.min_window);
+  if (p.interval_tasks == 0) p.interval_tasks = 1;
+  if (p.hysteresis_epochs == 0) p.hysteresis_epochs = 1;
+  return p;
+}
+
+}  // namespace
+
+adapt_controller::adapt_controller(const adapt_params& params, const cost_model& costs)
+    : params_(sanitize(params)),
+      costs_(costs),
+      // Start wide open: until evidence of waste arrives the runtime behaves
+      // exactly like the static configuration it replaces.
+      window_(params_.max_window),
+      grow_required_(params_.hysteresis_epochs) {}
+
+void adapt_controller::record_commit(std::uint64_t chain_hops) noexcept {
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  hops_.fetch_add(chain_hops, std::memory_order_relaxed);
+  maybe_close_epoch();
+}
+
+void adapt_controller::record_restart(bool fence_abort, std::uint64_t chain_hops) noexcept {
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  if (fence_abort) fence_aborts_.fetch_add(1, std::memory_order_relaxed);
+  hops_.fetch_add(chain_hops, std::memory_order_relaxed);
+  maybe_close_epoch();
+}
+
+void adapt_controller::maybe_close_epoch() noexcept {
+  const std::uint64_t events = committed_.load(std::memory_order_relaxed) +
+                               restarts_.load(std::memory_order_relaxed);
+  if (events < last_events_.load(std::memory_order_relaxed) + params_.interval_tasks) {
+    return;
+  }
+  bool expected = false;
+  if (!closing_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    return;  // a sibling worker is closing this epoch
+  }
+  const std::uint64_t c = committed_.load(std::memory_order_relaxed);
+  const std::uint64_t r = restarts_.load(std::memory_order_relaxed);
+  const std::uint64_t f = fence_aborts_.load(std::memory_order_relaxed);
+  const std::uint64_t h = hops_.load(std::memory_order_relaxed);
+  // Re-check under the flag: the epoch may have just been closed by the CAS
+  // winner of a race we lost earlier.
+  if (c + r >= last_events_.load(std::memory_order_relaxed) + params_.interval_tasks) {
+    close_epoch(c, r, f, h);
+  }
+  closing_.store(false, std::memory_order_release);
+}
+
+void adapt_controller::close_epoch(std::uint64_t committed, std::uint64_t restarts,
+                                   std::uint64_t fence_aborts,
+                                   std::uint64_t hops) noexcept {
+  const std::uint64_t dc = committed - last_committed_;
+  const std::uint64_t dr = restarts - last_restarts_;
+  const std::uint64_t df = fence_aborts - last_fence_aborts_;
+  const std::uint64_t dh = hops - last_hops_;
+  last_committed_ = committed;
+  last_restarts_ = restarts;
+  last_fence_aborts_ = fence_aborts;
+  last_hops_ = hops;
+  last_events_.store(committed + restarts, std::memory_order_relaxed);
+
+  // Price the epoch (§5 cost model). Wasted cycles: every restarted
+  // incarnation burned its dispatch plus a rollback; fence cascades add the
+  // stop-the-thread coordination; chain hops are the per-read tax that only
+  // exists because speculative entries pile up. Useful cycles: the task
+  // management actually converted into committed tasks.
+  const double waste =
+      static_cast<double>(dr) * static_cast<double>(costs_.task_start + costs_.abort_fixed) +
+      static_cast<double>(df) * static_cast<double>(costs_.fence_coordination) +
+      static_cast<double>(dh) * static_cast<double>(costs_.chain_hop);
+  const double useful =
+      static_cast<double>(dc) * static_cast<double>(costs_.task_start + costs_.task_complete);
+  const double total = waste + useful;
+  const double ratio = total > 0.0 ? waste / total : 0.0;
+
+  const unsigned w = window_.load(std::memory_order_relaxed);
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+  window_epoch_integral_.fetch_add(w, std::memory_order_relaxed);
+  ++epochs_since_grow_;
+
+  // Grow backoff cap: regimes do change, so the requirement must stay
+  // recoverable — a long clean stretch always reopens the window eventually.
+  const std::uint64_t grow_required_cap = 64 * params_.hysteresis_epochs;
+
+  if (ratio >= params_.shrink_ratio) {
+    grow_streak_ = 0;
+    if (++shrink_streak_ >= params_.hysteresis_epochs) {
+      shrink_streak_ = 0;
+      if (w > params_.min_window) {
+        window_.store(w - 1, std::memory_order_relaxed);
+        shrinks_.fetch_add(1, std::memory_order_relaxed);
+        // AIMD backoff: quadruple when this narrowing punishes a recent
+        // widening (grow→storm→shrink must decay, not oscillate), else
+        // double.
+        const bool punished = epochs_since_grow_ <= 2 * params_.hysteresis_epochs;
+        grow_required_ = std::min<std::uint64_t>(grow_required_ * (punished ? 4 : 2),
+                                                 grow_required_cap);
+      }
+    }
+  } else if (ratio <= params_.grow_ratio) {
+    shrink_streak_ = 0;
+    if (++grow_streak_ >= grow_required_) {
+      grow_streak_ = 0;
+      if (w < params_.max_window) {
+        window_.store(w + 1, std::memory_order_relaxed);
+        grows_.fetch_add(1, std::memory_order_relaxed);
+        epochs_since_grow_ = 0;
+        grow_required_ =
+            std::max<std::uint64_t>(params_.hysteresis_epochs, grow_required_ / 2);
+      }
+    }
+  } else {
+    // Inside the hysteresis band: evidence for neither direction.
+    shrink_streak_ = 0;
+    grow_streak_ = 0;
+  }
+}
+
+double adapt_controller::mean_window() const noexcept {
+  const std::uint64_t n = epochs_.load(std::memory_order_relaxed);
+  if (n == 0) return static_cast<double>(effective_window());
+  return static_cast<double>(window_epoch_integral_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+}  // namespace tlstm::vt

@@ -1,0 +1,124 @@
+// Adaptive speculation-depth controller (DESIGN.md §5a).
+//
+// TLSTM's payoff is regime-dependent: speculation wins while conflicts are
+// rare and turns into pure rollback/fence overhead once they are not (the
+// paper's depth sweeps show both regimes). `config.spec_depth` is a static,
+// whole-run constant, so a thread serving shifting traffic is stuck with one
+// point on that trade-off. This controller closes the loop at runtime: the
+// workers of one user-thread feed it one event per finished task incarnation
+// (committed or restarted, with the incarnation's redo-chain hops), it closes
+// an *epoch* every `interval_tasks` events, prices the epoch's wasted versus
+// useful virtual cycles with the §5 cost model, and narrows or widens an
+// `effective_window` in [min_window, max_window] with two-sided hysteresis.
+//
+// The window is transaction-granular: the runtime admits a task only once its
+// transaction's first serial is within `effective_window` of the committed
+// frontier (`tx_start <= committed_task + window`), so every task of one
+// transaction becomes eligible together and a window smaller than the
+// transaction's task count can never deadlock the commit-task. window == 1
+// degenerates to one transaction at a time (no cross-transaction
+// speculation); window == spec_depth reproduces the static runtime exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "vt/cost_model.hpp"
+
+namespace tlstm::vt {
+
+/// Tuning knobs; mirrored by the `adapt_*` fields of core::config.
+struct adapt_params {
+  unsigned min_window = 1;
+  unsigned max_window = 1;  ///< usually spec_depth
+  /// Epoch length in finished task incarnations (commit or restart).
+  std::uint64_t interval_tasks = 64;
+  /// Waste share of an epoch at or above which the epoch votes to narrow.
+  double shrink_ratio = 0.40;
+  /// Waste share at or below which the epoch votes to widen.
+  double grow_ratio = 0.10;
+  /// Consecutive same-direction epoch votes required before the window
+  /// actually moves (the hysteresis band between the two ratios votes for
+  /// neither direction and clears both streaks). Shrinks always use this
+  /// streak; grows additionally pay the AIMD backoff below.
+  unsigned hysteresis_epochs = 2;
+};
+
+/// One controller per user-thread. Event sinks are called by that thread's
+/// workers (relaxed atomic accumulation — the counters are heuristic inputs,
+/// never synchronization); the worker that trips the epoch boundary closes
+/// the epoch under a spin flag. `effective_window()` is read on the worker
+/// dispatch path and by the submitter's backpressure check.
+class adapt_controller {
+ public:
+  adapt_controller(const adapt_params& params, const cost_model& costs);
+  adapt_controller(const adapt_controller&) = delete;
+  adapt_controller& operator=(const adapt_controller&) = delete;
+
+  /// Current admission window, in transactions past the committed frontier.
+  unsigned effective_window() const noexcept {
+    return window_.load(std::memory_order_relaxed);
+  }
+
+  /// One task incarnation committed; `chain_hops` is the incarnation's
+  /// redo-chain traversal count (a per-read tax that grows with depth).
+  void record_commit(std::uint64_t chain_hops) noexcept;
+  /// One task incarnation was rolled back. `fence_abort` marks restarts
+  /// cascaded by the thread restart fence (priced as coordination waste).
+  void record_restart(bool fence_abort, std::uint64_t chain_hops) noexcept;
+
+  // --- Introspection (exact only after the runtime quiesced). ---
+  std::uint64_t window_shrinks() const noexcept {
+    return shrinks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t window_grows() const noexcept {
+    return grows_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t epochs() const noexcept {
+    return epochs_.load(std::memory_order_relaxed);
+  }
+  /// Epoch-weighted mean of the window (the window while each epoch ran);
+  /// the current window when no epoch has closed yet.
+  double mean_window() const noexcept;
+
+ private:
+  void maybe_close_epoch() noexcept;
+  void close_epoch(std::uint64_t committed, std::uint64_t restarts,
+                   std::uint64_t fence_aborts, std::uint64_t hops) noexcept;
+
+  const adapt_params params_;
+  const cost_model costs_;
+
+  std::atomic<unsigned> window_;
+
+  // Event accumulators (workers, relaxed).
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> fence_aborts_{0};
+  std::atomic<std::uint64_t> hops_{0};
+
+  // Epoch bookkeeping. `closing_` serializes close_epoch; the `last_*`
+  // snapshot and the streaks are only touched under it.
+  std::atomic<bool> closing_{false};
+  std::atomic<std::uint64_t> last_events_{0};
+  std::uint64_t last_committed_ = 0;
+  std::uint64_t last_restarts_ = 0;
+  std::uint64_t last_fence_aborts_ = 0;
+  std::uint64_t last_hops_ = 0;
+  unsigned shrink_streak_ = 0;
+  unsigned grow_streak_ = 0;
+  /// AIMD anti-flap: clean epochs required before the next widening. Every
+  /// narrowing doubles it (quadruples when it punishes a recent widening —
+  /// the grow→storm→shrink cycle must decay, not oscillate); every
+  /// successful widening halves it back toward hysteresis_epochs.
+  std::uint64_t grow_required_;
+  std::uint64_t epochs_since_grow_ = ~std::uint64_t{0} / 2;
+
+  // Introspection counters (relaxed; read after quiescence).
+  std::atomic<std::uint64_t> shrinks_{0};
+  std::atomic<std::uint64_t> grows_{0};
+  std::atomic<std::uint64_t> epochs_{0};
+  std::atomic<std::uint64_t> window_epoch_integral_{0};
+};
+
+}  // namespace tlstm::vt

@@ -32,6 +32,11 @@ struct cost_model {
   std::uint64_t task_complete = 200;    ///< completion bookkeeping
   std::uint64_t task_log_validate = 8;  ///< task-read-log entry validation
   std::uint64_t fence_coordination = 400; ///< stop-the-thread-world rollback
+  /// Submitter-side stall wakeup: charged once per submit/drain wait whose
+  /// unblocking publication lay in the submitter's virtual future (the stall
+  /// *duration* is captured by the stamped-load join; this prices the
+  /// blocked-side handoff itself, so window-bound runs are never free).
+  std::uint64_t window_stall = 40;
 
   // --- Workload compute (user work between tm accesses). ---
   std::uint64_t user_work_unit = 1;     ///< multiplier for ctx.work(n)

@@ -22,6 +22,7 @@ class bank {
   template <typename Ctx>
   std::uint64_t transfer(Ctx& ctx, std::size_t from, std::size_t to,
                          std::uint64_t amount) {
+    ctx.count_ops(1);  // one transfer = one workload op
     const std::uint64_t f = ctx.read(&accounts_[from]);
     const std::uint64_t moved = f < amount ? f : amount;
     ctx.write(&accounts_[from], f - moved);

@@ -28,9 +28,10 @@ run_result run_tlstm(const core::config& cfg, std::uint64_t tx_per_thread,
 
   run_result r;
   r.stats = rt.aggregated_stats();
-  r.committed_tx = r.stats.tx_committed;
-  r.committed_ops = r.committed_tx * ops_per_tx;
+  r.finalize_ops(ops_per_tx);
   r.makespan = rt.makespan();
+  r.final_windows = rt.effective_windows();
+  r.mean_windows = rt.mean_windows();
   return r;
 }
 

@@ -25,6 +25,24 @@ struct run_result {
   std::uint64_t committed_ops = 0;
   vt::vtime makespan = 0;
   util::stat_block stats;
+  /// Adaptive speculation (DESIGN.md §5a): the effective window each
+  /// user-thread ended the run with, and its epoch-weighted mean. Empty
+  /// when config.adapt_window is off (and for baseline runs).
+  std::vector<unsigned> final_windows;
+  std::vector<double> mean_windows;
+
+  /// Fills committed_tx/committed_ops from `stats`. Workload-reported op
+  /// counts (count_ops) win — variable-op bodies like vacation batches and
+  /// the stmbench7 mixes miscount under a fixed multiplier — and
+  /// `committed_tx * ops_per_tx` is the fallback when no body reported.
+  /// The decision is all-or-nothing: within one run, either every
+  /// transaction body reports its ops or none does (a mixed run would
+  /// silently undercount, since unreporting transactions contribute 0).
+  void finalize_ops(std::uint64_t ops_per_tx) {
+    committed_tx = stats.tx_committed;
+    committed_ops =
+        stats.user_ops != 0 ? stats.user_ops : committed_tx * ops_per_tx;
+  }
 
   double tx_per_vms() const {
     return makespan == 0 ? 0.0
@@ -98,8 +116,7 @@ run_result run_baseline(const typename Backend::config_type& cfg, unsigned n_thr
     r.stats.accumulate(stats[t]);
     r.makespan = std::max(r.makespan, clocks[t]);
   }
-  r.committed_tx = r.stats.tx_committed;
-  r.committed_ops = r.committed_tx * ops_per_tx;
+  r.finalize_ops(ops_per_tx);
   return r;
 }
 

@@ -9,6 +9,7 @@ struct unsafe_ctx {
   stm::word read(const stm::word* addr) { return *addr; }
   void write(stm::word* addr, stm::word v) { *addr = v; }
   void work(std::uint64_t) {}
+  void count_ops(std::uint64_t) {}
   void log_alloc_undo(void*, util::reclaimer::deleter_fn, void*) {}
   void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
     fn(obj, ctx);

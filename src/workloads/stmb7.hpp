@@ -96,6 +96,10 @@ class benchmark {
         visited += scan_composite_read(ctx, link.get(ctx));
       }
     });
+    // Report parts visited as the op count: it is proportional to real work
+    // and identical whether the design is traversed whole or as split_roots
+    // subtrees, so decomposed and baseline series stay comparable.
+    ctx.count_ops(visited);
     return visited;
   }
 
@@ -111,6 +115,7 @@ class benchmark {
         updated += scan_composite_write(ctx, link.get(ctx), stamp);
       }
     });
+    ctx.count_ops(updated);  // parts updated — see traverse_read
     return updated;
   }
 

@@ -215,6 +215,7 @@ struct op {
 /// dead code.
 template <typename Ctx>
 std::int64_t run_op(Ctx& ctx, manager& mgr, const op& o) {
+  ctx.count_ops(1);  // actual op count (batches vary; see harness.hpp)
   switch (o.k) {
     case op::kind::query_price: return mgr.query_price(ctx, o.type, o.id);
     case op::kind::query_free: return mgr.query_free(ctx, o.type, o.id);

@@ -4,6 +4,7 @@
 // sequential semantics they must preserve.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
@@ -65,6 +66,19 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SplitRange, ZeroChunksYieldsNothing) {
   EXPECT_TRUE(core::split_range(0, 100, 0).empty());
+}
+
+TEST(SplitRange, MoreChunksThanIterationsDegradesToSingletons) {
+  // chunks > range: exactly one chunk per iteration, never an empty chunk.
+  const auto chunks = core::split_range(10, 13, 8);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], (core::iter_range{10, 11}));
+  EXPECT_EQ(chunks[1], (core::iter_range{11, 12}));
+  EXPECT_EQ(chunks[2], (core::iter_range{12, 13}));
+  // The degenerate extreme: one iteration, many chunks.
+  const auto one = core::split_range(5, 6, 9);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (core::iter_range{5, 6}));
 }
 
 // ---------------------------------------------------------------------------
@@ -195,6 +209,59 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param)) + "_n" +
              std::to_string(std::get<2>(info.param));
     });
+
+TEST(Reduce, DepthOneSerializesSilentlyAndStaysExact) {
+  // spec_depth == 1: split_range is clamped to one chunk, so the whole fold
+  // runs as a single task with no combine stage — the "silent
+  // serialization" path. The answer must still be the sequential fold, and
+  // exactly one task per spec_reduce call must run.
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 1;
+  core::runtime rt(cfg);
+  auto& th = rt.thread(0);
+
+  std::vector<word> data(37);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < data.size(); ++i) {
+    data[i] = i * 977 % 251;
+    expect += data[i];
+  }
+  const auto got = core::spec_reduce<std::uint64_t>(
+      th, 0, data.size(), 8, 0,  // asks for 8 chunks; depth clamps to 1
+      [&data](core::task_ctx& c, std::uint64_t i) { return c.read(&data[i]); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  rt.stop();
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(rt.aggregated_stats().task_committed, 1u);
+}
+
+TEST(Reduce, DepthTwoCollapsesToOneChunkNoCombine) {
+  // spec_depth == 2 with multiple requested chunks: 2 chunks + 1 combine
+  // would exceed the depth, so the helper re-plans at depth-1 == 1 chunk and
+  // skips the combine task entirely — the other silent-serialization corner.
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 2;
+  core::runtime rt(cfg);
+  auto& th = rt.thread(0);
+
+  std::vector<word> data(29);
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < data.size(); ++i) {
+    data[i] = (i + 3) * 41;
+    expect += data[i];
+  }
+  const auto got = core::spec_reduce<std::uint64_t>(
+      th, 0, data.size(), 2, 0,
+      [&data](core::task_ctx& c, std::uint64_t i) { return c.read(&data[i]); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  rt.stop();
+  EXPECT_EQ(got, expect);
+  // One fused fold task — no separate combine was scheduled.
+  EXPECT_EQ(rt.aggregated_stats().task_committed, 1u);
+  EXPECT_EQ(rt.aggregated_stats().tx_committed, 1u);
+}
 
 TEST(Reduce, EmptyRangeReturnsInit) {
   core::config cfg;
@@ -394,6 +461,76 @@ TEST(DecomposeFailure, DoacrossSurvivesRepeatedMidChainAborts) {
       });
   rt.stop();
   EXPECT_EQ(got, expect);
+}
+
+TEST(DecomposeFailure, DoacrossForwardsCarryAcrossEveryChunkUnderRollbacks) {
+  // Force a rollback in *every* chunk (not just mid-chain): each chunk's
+  // first incarnation aborts, so every carry hand-off happens at least once
+  // through the fence/restart protocol, and the forwarded values must still
+  // compose to the sequential recurrence.
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 4;
+  core::runtime rt(cfg);
+  auto& th = rt.thread(0);
+
+  constexpr std::uint64_t n = 24;
+  std::uint64_t expect = 7;
+  for (std::uint64_t i = 0; i < n; ++i) expect = expect * 5 + i;
+
+  std::array<std::atomic<int>, 4> chunk_aborts{};
+  for (auto& a : chunk_aborts) a.store(1);
+  const auto got = core::spec_doacross<std::uint64_t>(
+      th, 0, n, 4, 7,
+      [&](core::task_ctx& c, std::uint64_t i, std::uint64_t carry) {
+        const std::size_t chunk = i / (n / 4);
+        if (i % (n / 4) == 0 && chunk_aborts[chunk].exchange(0) > 0) {
+          c.abort_self();
+        }
+        return carry * 5 + i;
+      });
+  rt.stop();
+  EXPECT_EQ(got, expect);
+  EXPECT_GE(rt.aggregated_stats().task_restarts, 4u);
+}
+
+TEST(DecomposeFailure, DoacrossUnderAdaptiveControllerStaysSequential) {
+  // The adaptive window must not break carry forwarding: run a doacross
+  // recurrence with forced rollbacks while the controller is live with an
+  // aggressive epoch, so deferral and window moves interleave the chain.
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 4;
+  cfg.adapt_window = true;
+  cfg.adapt_interval_tasks = 4;
+  cfg.adapt_hysteresis_epochs = 1;
+  core::runtime rt(cfg);
+  auto& th = rt.thread(0);
+
+  constexpr std::uint64_t n = 40;
+  std::uint64_t expect = 1;
+  for (std::uint64_t i = 0; i < n; ++i) expect = expect * 3 + (i % 7);
+
+  std::atomic<int> aborts_left{6};
+  for (int round = 0; round < 5; ++round) {
+    std::uint64_t got = core::spec_doacross<std::uint64_t>(
+        th, 0, n, 4, 1,
+        [&](core::task_ctx& c, std::uint64_t i, std::uint64_t carry) {
+          if (i % 9 == 4) {
+            int left = aborts_left.load();
+            while (left > 0 && !aborts_left.compare_exchange_weak(left, left - 1)) {
+            }
+            if (left > 0) c.abort_self();
+          }
+          return carry * 3 + (i % 7);
+        });
+    EXPECT_EQ(got, expect) << "round " << round;
+  }
+  rt.stop();
+  const auto w = rt.effective_windows();
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_GE(w[0], 1u);
+  EXPECT_LE(w[0], 4u);
 }
 
 TEST(DecomposeMultiThread, TwoThreadsReducingSharedArrayAgree) {

@@ -59,6 +59,51 @@ TEST(Harness, TlstmRunnerCountsWork) {
   EXPECT_EQ(bank.total_unsafe(), bank.expected_total());
 }
 
+TEST(Harness, VariableOpBodiesReportActualCounts) {
+  // A batch whose op count varies by transaction index: the fixed
+  // ops_per_tx multiplier would miscount; count_ops-reported totals win.
+  wl::bank bank(64, 1000);
+  auto r = wl::run_swiss(stm::swiss_config{}, 1, 10, /*ops_per_tx=*/3,
+                         [&](unsigned, std::uint64_t i, stm::swiss_thread& tx) {
+                           const int n = (i % 2 == 0) ? 1 : 2;  // 1,2,1,2,…
+                           for (int k = 0; k < n; ++k) {
+                             bank.transfer(tx, (i + k) % 64, (i + k + 1) % 64, 1);
+                           }
+                         });
+  EXPECT_EQ(r.committed_tx, 10u);
+  EXPECT_EQ(r.committed_ops, 15u) << "5*1 + 5*2 actual transfers, not 10*3";
+
+  // TLSTM runner: same rule through task_ctx::count_ops.
+  wl::bank bank2(64, 1000);
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 12;
+  auto r2 = wl::run_tlstm(cfg, 10, /*ops_per_tx=*/7, [&](unsigned, std::uint64_t i) {
+    std::vector<core::task_fn> tasks;
+    const unsigned n_tasks = (i % 2 == 0) ? 1u : 2u;
+    for (unsigned k = 0; k < n_tasks; ++k) {
+      const std::size_t from = (i * 5 + k) % 64;
+      tasks.push_back([&bank2, from](core::task_ctx& c) {
+        bank2.transfer(c, from, (from + 1) % 64, 1);
+      });
+    }
+    return tasks;
+  });
+  EXPECT_EQ(r2.committed_tx, 10u);
+  EXPECT_EQ(r2.committed_ops, 15u);
+}
+
+TEST(Harness, UnreportedBodiesFallBackToFixedMultiplier) {
+  // Bodies that never call count_ops keep the historical accounting.
+  std::vector<stm::word> mem(16, 0);
+  auto r = wl::run_swiss(stm::swiss_config{}, 1, 20, /*ops_per_tx=*/4,
+                         [&](unsigned, std::uint64_t i, stm::swiss_thread& tx) {
+                           tx.write(&mem[i % 16], i);
+                         });
+  EXPECT_EQ(r.committed_ops, 80u);
+}
+
 TEST(Harness, UnpacedRunStillCorrect) {
   wl::bank bank(32, 50);
   auto r = wl::run_swiss(
