@@ -47,14 +47,16 @@ bench() {
 }
 
 tsan() {
-  echo "=== TSan: unit label ==="
+  echo "=== TSan: unit + sched/session labels ==="
   # TSan multiplies the cost of the spin-heavy runtime paths; the short
-  # unit suites give it full API coverage at tolerable cost.
+  # unit suites give it full API coverage at tolerable cost. The sched
+  # label adds the parked-waiting substrate and the session front-end
+  # (including the 64-client linearizability test) to the race-checked set.
   cmake -B build-tsan -S . \
     -DTLSTM_SANITIZE=thread \
     -DTLSTM_BUILD_BENCH=OFF -DTLSTM_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j "$JOBS"
-  run_ctest build-tsan -L unit
+  run_ctest build-tsan -L 'unit|sched'
 }
 
 case "$STAGE" in

@@ -1,0 +1,62 @@
+// The commit pipeline (paper Alg. 3 + DESIGN.md §4.3), extracted from the
+// former runtime god-module: serialized task completion, whole-transaction
+// commit, transaction revalidation, and the restart-fence rollback
+// coordination. The pipeline operates on task_env — the narrow internal
+// interface — and owns no thread topology, so it is independent of how
+// workers are scheduled and testable apart from the scheduler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/task.hpp"
+#include "stm/lock_table.hpp"
+
+namespace tlstm::core {
+
+struct thread_state;
+
+/// Paper Alg. 1 validate-task: WAR detection over both read logs of one
+/// task. Shared by the transactional ops (read/write triggers) and the
+/// commit pipeline (completion-time validation).
+bool validate_task(thread_state& thr, task_slot& slot, vt::worker_clock& clk,
+                   util::stat_block& stats, const vt::cost_model& costs);
+
+class commit_pipeline {
+ public:
+  /// Stripe locks saved for abort: (stripe, pre-lock r_lock version).
+  using locked_stripes = std::vector<std::pair<stm::lock_pair*, stm::word>>;
+
+  commit_pipeline(const config& cfg, std::atomic<stm::word>& commit_ts)
+      : cfg_(cfg), commit_ts_(commit_ts) {}
+
+  /// Task commit (Alg. 3 lines 65-77): serialize completions, validate,
+  /// publish completion; intermediate tasks park until the commit-task
+  /// decides the transaction's fate, the commit-task runs tx_commit_whole.
+  /// Throws stm::tx_abort when the task must restart.
+  void task_commit(task_env& env);
+
+  /// Whole-transaction commit by the commit-task (Alg. 3 lines 78-94).
+  void tx_commit_whole(task_env& env);
+
+  /// validate(tx): revalidates every task's logs. Returns 0, or the first
+  /// invalid serial (the paper's abort-serial). `locked` resolves
+  /// ours-at-commit stripes against their saved pre-lock versions.
+  std::uint64_t validate_tx(task_env& env, const locked_stripes* locked);
+
+  /// Parks the task on the restart fence and participates in coordinator
+  /// election until the fence no longer covers it (DESIGN.md §4.3).
+  void rollback_parked_wait(task_env& env);
+
+ private:
+  void coordinate_rollback(task_env& env);
+  static void unlink_entry(stm::write_entry& e, vt::worker_clock& clk);
+
+  const config& cfg_;
+  std::atomic<stm::word>& commit_ts_;
+};
+
+}  // namespace tlstm::core

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "sched/params.hpp"
 #include "vt/cost_model.hpp"
 
 namespace tlstm::core {
@@ -55,6 +56,18 @@ struct config {
   cm_policy cm_tie_break = cm_policy::greedy;
   /// Abort backoff: max 2^k relax iterations between attempts.
   unsigned backoff_max_shift = 12;
+  /// Restart backoff ladder between incarnations of an aborted task
+  /// (sched::ladder_pause): randomized relax bursts, then scheduler yields,
+  /// then escalating randomized sleeps.
+  sched::ladder_params restart_backoff{};
+  /// Wait policy of the parked-waiting substrate (DESIGN.md §8): every
+  /// runtime predicate wait spins `waits.spin_rounds` backoff-paced checks,
+  /// then parks on the owning thread's wait_gate. `waits.park = false`
+  /// reproduces the pure-spinning runtime (the bench/abl_sessions baseline).
+  sched::wait_params waits{};
+  /// Capacity of each pipeline's session inbox (rounded up to a power of
+  /// two). Full inboxes backpressure session clients; must be >= 1.
+  unsigned session_inbox_capacity = 64;
   /// Inconsistent-read mitigation: force a full validation every N committed
   /// reads of a task (0 disables; paper §3.2 "Inconsistent Reads").
   unsigned validate_every_n_reads = 0;

@@ -1,0 +1,102 @@
+// cm-should-abort (paper Alg. 2, lines 54-64) — task-aware inter-thread CM.
+#include "core/contention.hpp"
+
+#include "core/thread_state.hpp"
+
+namespace tlstm::core {
+
+cm_verdict contention_manager::decide(const cm_inputs& in) const noexcept {
+  if (cfg_.cm_task_aware) {
+    // Progress = completed tasks of the transaction so far (paper lines
+    // 55-56): the more progressed side is less speculative and more likely
+    // to commit.
+    if (in.my_progress > in.owner_progress) return cm_verdict::kill_owner;
+    if (in.my_progress < in.owner_progress) return cm_verdict::self_abort;
+  }
+
+  // Tie: the configured classic CM decides (lines 61-64; the paper ships
+  // two-phase greedy and names this layer pluggable).
+  switch (cfg_.cm_tie_break) {
+    case cm_policy::aggressive:
+      // The requester always wins — maximal progress for the attacker,
+      // livelock-prone under symmetric contention (the ablation shows it).
+      return cm_verdict::kill_owner;
+    case cm_policy::polite:
+      // The requester yields after its polite spins — but only boundedly:
+      // a requester that can never abort an owner deadlocks on the crossed
+      // stripe cycle of paper §3.2, so after repeated consecutive losses we
+      // escalate to the greedy decision below.
+      if (in.consecutive_restarts < cfg_.cm_polite_abort_cap) {
+        return cm_verdict::self_abort;
+      }
+      break;  // escalate: greedy decides
+    case cm_policy::karma:
+      // More transactional accesses = more work to lose = higher priority;
+      // ties fall through to greedy.
+      if (in.my_karma > in.owner_karma) return cm_verdict::kill_owner;
+      if (in.my_karma < in.owner_karma) return cm_verdict::self_abort;
+      break;  // karma tie → greedy
+    case cm_policy::greedy:
+      break;
+  }
+  return in.my_greedy_ts < in.owner_greedy_ts ? cm_verdict::kill_owner
+                                              : cm_verdict::self_abort;
+}
+
+bool contention_manager::should_abort(task_env& env, stm::write_entry* head) const {
+  auto* other = static_cast<thread_state*>(head->owner_thread.load(std::memory_order_relaxed));
+  thread_state& thr = env.thr;
+  if (other == nullptr || other == &thr) return false;
+
+  const std::uint64_t owner_serial = head->serial();
+  task_slot& oslot = other->slot_for(owner_serial);
+  if (oslot.serial.load(std::memory_order_acquire) != owner_serial) {
+    return false;  // stale peek (slot recycled); caller re-reads the lock
+  }
+  const std::uint64_t owner_tx_start = oslot.tx_start_serial.load(std::memory_order_relaxed);
+
+  // Unstamped progress peeks: the comparison is a heuristic; joining
+  // another thread's completion stamp would drag our timeline for a
+  // decision that transfers no data.
+  cm_inputs in;
+  in.my_progress =
+      static_cast<std::int64_t>(thr.completed_task.load_unstamped()) -
+      static_cast<std::int64_t>(env.slot.tx_start_serial.load(std::memory_order_relaxed));
+  in.owner_progress =
+      static_cast<std::int64_t>(other->completed_task.load_unstamped()) -
+      static_cast<std::int64_t>(owner_tx_start);
+  in.my_greedy_ts = env.slot.tx_greedy_ts.load(std::memory_order_relaxed);
+  in.owner_greedy_ts = oslot.tx_greedy_ts.load(std::memory_order_relaxed);
+  in.consecutive_restarts = env.slot.consecutive_restarts;
+  if (cfg_.cm_tie_break == cm_policy::karma) {
+    // Relaxed foreign peeks, gathered only when the policy consults them.
+    in.my_karma = tx_karma(thr, env.slot.tx_start_serial.load(std::memory_order_relaxed),
+                           env.slot.tx_commit_serial.load(std::memory_order_relaxed));
+    in.owner_karma = tx_karma(*other, owner_tx_start,
+                              oslot.tx_commit_serial.load(std::memory_order_relaxed));
+  }
+
+  switch (decide(in)) {
+    case cm_verdict::self_abort:
+      return true;
+    case cm_verdict::kill_owner:
+      if (other->raise_fence(owner_tx_start, env.clock)) env.stats.abort_tx_inter++;
+      return false;  // wait for the victim to release the stripe
+    case cm_verdict::wait:
+      break;
+  }
+  return false;
+}
+
+std::uint64_t contention_manager::tx_karma(thread_state& thr, std::uint64_t tx_start,
+                                           std::uint64_t tx_commit) {
+  std::uint64_t sum = 0;
+  for (std::uint64_t s = tx_start; s <= tx_commit && s < tx_start + thr.depth; ++s) {
+    task_slot& sl = thr.slot_for(s);
+    if (sl.serial.load(std::memory_order_acquire) != s) continue;
+    sum += sl.karma.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+}  // namespace tlstm::core

@@ -1,0 +1,64 @@
+// Inter-thread contention management (paper Alg. 2, lines 54-64), extracted
+// from the former runtime god-module. The policy decision itself —
+// task-aware progress comparison, then the configured classic tie-break —
+// is a pure function over a snapshot of both transactions (cm_inputs), so
+// the policy layer is testable without standing up a runtime; the
+// cm_should_abort wrapper only gathers the snapshot and applies the
+// verdict's side effect (fencing the owner).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/task.hpp"
+#include "stm/lock_table.hpp"
+
+namespace tlstm::core {
+
+struct thread_state;
+
+/// What the requester must do about a write/write conflict with another
+/// user-thread's transaction.
+enum class cm_verdict : std::uint8_t {
+  self_abort,  ///< the requester aborts (and retries later)
+  kill_owner,  ///< signal the owner's transaction to abort, then wait
+  wait,        ///< neither side aborts; the requester keeps waiting
+};
+
+/// Snapshot of the two conflicting transactions. Progress is completed
+/// tasks of the transaction so far (may be negative before its first task
+/// completes); karma fields are consulted only under cm_policy::karma.
+struct cm_inputs {
+  std::int64_t my_progress = 0;
+  std::int64_t owner_progress = 0;
+  std::uint64_t my_karma = 0;
+  std::uint64_t owner_karma = 0;
+  std::uint64_t my_greedy_ts = 0;
+  std::uint64_t owner_greedy_ts = 0;
+  /// Consecutive restarts of the requesting task (polite escalation input).
+  unsigned consecutive_restarts = 0;
+};
+
+class contention_manager {
+ public:
+  explicit contention_manager(const config& cfg) : cfg_(cfg) {}
+
+  /// The pure policy core: task-aware progress comparison (paper lines
+  /// 55-60) when enabled, then the configured tie-break. No side effects.
+  cm_verdict decide(const cm_inputs& in) const noexcept;
+
+  /// Paper Alg. 2 cm-should-abort. True → the caller must abort itself;
+  /// false → keep waiting (the owner may have been signalled to abort).
+  bool should_abort(task_env& env, stm::write_entry* head) const;
+
+  /// Karma CM priority: transactional accesses of a transaction's live
+  /// tasks. Foreign slots are peeked relaxed and identity-checked — a
+  /// recycled slot contributes garbage only to a heuristic.
+  static std::uint64_t tx_karma(thread_state& thr, std::uint64_t tx_start,
+                                std::uint64_t tx_commit);
+
+ private:
+  const config& cfg_;
+};
+
+}  // namespace tlstm::core

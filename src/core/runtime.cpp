@@ -1,15 +1,16 @@
-// TLSTM worker lifecycle, serialized task commits, whole-transaction commit
-// (paper Alg. 3) and the restart-fence rollback (DESIGN.md §4.3).
+// TLSTM scheduler layer: submission side, worker lifecycle, window
+// admission, and the restart loop. The commit pipeline lives in
+// core/commit.cpp, the contention manager in core/contention.cpp, the
+// many-client session front-end in core/session.cpp.
 #include "core/runtime.hpp"
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
-#include "util/spin.hpp"
+#include "core/session.hpp"
+#include "sched/backoff_ladder.hpp"
 
 namespace tlstm::core {
 
@@ -39,10 +40,11 @@ void user_thread::submit(std::vector<task_fn> tasks) {
       return tx_start > thr_.committed_task.load_unstamped() + 2 * std::uint64_t{win};
     }();
     if (blocked) {
-      const bool stalled = charged_wait(rt_.cfg().costs.window_stall, [&] {
-        const std::uint64_t win = thr_.adapt->effective_window();
-        return tx_start <= thr_.committed_task.load(clock_) + 2 * std::uint64_t{win};
-      });
+      const bool stalled =
+          charged_wait(thr_.gate, rt_.cfg().costs.window_stall, [&] {
+            const std::uint64_t win = thr_.adapt->effective_window();
+            return tx_start <= thr_.committed_task.load(clock_) + 2 * std::uint64_t{win};
+          });
       if (stalled) stats_.window_stalls++;
     }
   }
@@ -51,7 +53,8 @@ void user_thread::submit(std::vector<task_fn> tasks) {
     task_slot& slot = thr_.slot_for(serial);
     // Window backpressure: the residue slot frees only when its previous
     // task's transaction committed; the charged wait prices the stall.
-    if (charged_wait(rt_.cfg().costs.window_stall,
+    // Point-to-point (the slot's worker frees it) — park on the slot gate.
+    if (charged_wait(slot.gate, rt_.cfg().costs.window_stall,
                      [&] { return slot.load_phase(clock_) == task_phase::free; })) {
       stats_.window_stalls++;
     }
@@ -63,6 +66,7 @@ void user_thread::submit(std::vector<task_fn> tasks) {
     slot.tx_greedy_ts.store(greedy, std::memory_order_relaxed);
     slot.commit_ts_value = 0;
     slot.store_phase(task_phase::ready, clock_);  // release-publishes the fields
+    slot.gate.wake_all();  // exactly the slot's worker waits for the install
   }
   clock_.advance(rt_.cfg().submit_cost);
 }
@@ -83,7 +87,7 @@ void user_thread::drain() {
   // The stamped load max-joins the committing worker's clock, so drain-side
   // waiting lands in this submitter's virtual timeline (and via makespan()
   // in the reported makespan); the charged wait prices the wakeup itself.
-  if (charged_wait(rt_.cfg().costs.window_stall,
+  if (charged_wait(thr_.gate, rt_.cfg().costs.window_stall,
                    [&] { return thr_.committed_task.load(clock_) >= next_serial_ - 1; })) {
     stats_.drain_stalls++;
   }
@@ -93,11 +97,37 @@ void user_thread::drain() {
 // runtime — construction / shutdown
 // ---------------------------------------------------------------------------
 
-runtime::runtime(config cfg)
-    : cfg_(cfg), table_(cfg.log2_table) {
-  if (cfg_.num_threads == 0 || cfg_.spec_depth == 0) {
+namespace {
+
+config validated(config cfg) {
+  if (cfg.num_threads == 0 || cfg.spec_depth == 0) {
     throw std::invalid_argument("num_threads and spec_depth must be >= 1");
   }
+  // entry_ident packs the user-thread id into 16 bits (stm/lock_table.hpp);
+  // a ptid past that space would silently alias chain identities. Reject it
+  // up front instead of corrupting at runtime. (spec_depth does not enter
+  // the ptid, but the worker count num_threads * spec_depth is capped to
+  // the same budget as a resource sanity bound — topologies past 2^16 OS
+  // threads are configuration errors, not workloads.)
+  constexpr std::uint64_t ptid_space = std::uint64_t{1} << 16;
+  if (cfg.num_threads > ptid_space) {
+    throw std::invalid_argument(
+        "num_threads exceeds entry_ident's 16-bit ptid space (65536)");
+  }
+  if (std::uint64_t{cfg.num_threads} * cfg.spec_depth > ptid_space) {
+    throw std::invalid_argument(
+        "num_threads * spec_depth exceeds the 65536 worker-thread cap");
+  }
+  if (cfg.session_inbox_capacity == 0) {
+    throw std::invalid_argument("session_inbox_capacity must be >= 1");
+  }
+  return cfg;
+}
+
+}  // namespace
+
+runtime::runtime(config cfg)
+    : cfg_(validated(cfg)), table_(cfg.log2_table), commit_(cfg_, commit_ts_), cm_(cfg_) {
   threads_.reserve(cfg_.num_threads);
   user_threads_.reserve(cfg_.num_threads);
   adapters_.resize(cfg_.num_threads);
@@ -139,10 +169,21 @@ runtime::runtime(config cfg)
 runtime::~runtime() { stop(); }
 
 void runtime::stop() {
-  if (stopped_) return;
-  stopped_ = true;
+  {
+    // The lock serializes against open_session: after this block new
+    // sessions are refused, and any front created before it is visible.
+    std::lock_guard<std::mutex> lk(session_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  // Session drivers submit on the pipelines; quiesce them before draining
+  // from this thread (one submitter per pipeline at any time).
+  if (sessions_ != nullptr) sessions_->stop();
   for (auto& ut : user_threads_) ut->drain();
-  for (auto& thr : threads_) thr->shutdown.store(true, std::memory_order_release);
+  for (auto& thr : threads_) {
+    thr->shutdown.store(true, std::memory_order_release);
+    thr->wake_fence_event();  // workers parked in wait_for_ready must observe it
+  }
   for (auto& wk : workers_) {
     if (wk->os_thread.joinable()) wk->os_thread.join();
     epochs_.unregister_participant(wk->epoch_slot);
@@ -236,40 +277,54 @@ bool runtime::window_admits(const thread_state& thr, const task_slot& slot) noex
 
 bool runtime::wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot& slot,
                              worker& wk) {
-  util::backoff bo;
-  bool deferred = false;
-  for (;;) {
+  // Stage 1 — wait for the install, on the slot gate: exactly one waker
+  // (the submitter, or shutdown's broadcast), so an idle pipeline parks
+  // without herding the thread-wide gate.
+  bool installed = false;
+  slot.gate.await(cfg_.waits, wk.stats.wait_spins, wk.stats.wait_parks, [&] {
     if (slot.load_phase(wk.clock) == task_phase::ready &&
         slot.serial.load(std::memory_order_acquire) == serial) {
-      // Never start a task into an active rollback that covers it.
-      if (!thr.fence_covers(serial, wk.clock)) {
-        if (window_admits(thr, slot)) {
-          // A deferral is a blocking edge on the commit frontier: join the
-          // publication that moved the window over us. (Un-deferred admits
-          // skip the join — speculative starts owe the frontier nothing.)
-          if (deferred) thr.committed_task.load(wk.clock);
-          return true;
-        }
-        // Held at ready outside the window: don't burn an incarnation that
-        // the controller predicts is doomed.
-        if (!deferred) {
-          deferred = true;
-          wk.stats.tasks_deferred++;
-        }
-      }
-    } else if (thr.shutdown.load(std::memory_order_acquire) &&
-               slot.load_phase(wk.clock) == task_phase::free) {
-      return false;
+      installed = true;
+      return true;
     }
-    bo.spin();
-  }
+    return thr.shutdown.load(std::memory_order_acquire) &&
+           slot.load_phase(wk.clock) == task_phase::free;
+  });
+  if (!installed) return false;
+
+  // Stage 2 — the task is ours and ready; only the fence and the adaptive
+  // window can still hold it. Both are frontier-class conditions (fence
+  // events broadcast; commit advances and window moves wake the thread
+  // gate), so park there.
+  bool deferred = false;
+  thr.gate.await(cfg_.waits, wk.stats.wait_spins, wk.stats.wait_parks, [&] {
+    // Never start a task into an active rollback that covers it.
+    if (!thr.fence_covers(serial, wk.clock)) {
+      if (window_admits(thr, slot)) {
+        // A deferral is a blocking edge on the commit frontier: join the
+        // publication that moved the window over us. (Un-deferred admits
+        // skip the join — speculative starts owe the frontier nothing.)
+        if (deferred) thr.committed_task.load(wk.clock);
+        return true;
+      }
+      // Held at ready outside the window: don't burn an incarnation that
+      // the controller predicts is doomed.
+      if (!deferred) {
+        deferred = true;
+        wk.stats.tasks_deferred++;
+      }
+    }
+    return false;
+  });
+  return true;
 }
 
 void runtime::worker_main(thread_state& thr, unsigned widx, worker& wk) {
   for (std::uint64_t serial = widx + 1;; serial += thr.depth) {
     task_slot& slot = thr.owners[widx];
     if (!wait_for_ready(thr, serial, slot, wk)) return;
-    run_one_incarnation(thr, slot, wk);
+    task_env env{*this, thr, slot, wk.clock, wk.stats, *wk.reclaimer};
+    run_one_incarnation(env, wk);
     // Committed: free the slot for the submitter.
     wk.stats.task_committed++;
     wk.stats.user_ops += slot.ops_reported;
@@ -277,29 +332,37 @@ void runtime::worker_main(thread_state& thr, unsigned widx, worker& wk) {
     epochs_.unpin(wk.epoch_slot);
     epochs_.try_advance();
     slot.store_phase(task_phase::free, wk.clock);
+    slot.gate.wake_all();  // the submitter may be parked on slot reuse
   }
 }
 
 /// Runs the slot's closure until its task (and transaction) commits,
 /// re-executing through the fence/rollback protocol on every abort.
-void runtime::run_one_incarnation(thread_state& thr, task_slot& slot, worker& wk) {
+void runtime::run_one_incarnation(task_env& env, worker& wk) {
+  thread_state& thr = env.thr;
+  task_slot& slot = env.slot;
   const std::uint64_t my_serial = slot.serial.load(std::memory_order_relaxed);
-  util::backoff gate_bo;
   slot.consecutive_restarts = 0;
   for (;;) {
     // WAW gate: if a past writer recently had to abort its futures over a
     // stripe hand-off, let it complete before we (re)start; see
     // thread_state::waw_gate.
-    const std::uint64_t gate = thr.waw_gate.load(std::memory_order_relaxed);
-    if (gate != 0 && gate < my_serial &&
-        thr.completed_task.load(wk.clock) < gate) {
-      if (thr.fence_covers(my_serial, wk.clock)) {
-        rollback_parked_wait(thr, slot, wk);
-      } else {
-        wk.stats.wait_spins++;
-        gate_bo.spin();
+    for (;;) {
+      const std::uint64_t gate = thr.waw_gate.load(std::memory_order_relaxed);
+      if (!(gate != 0 && gate < my_serial &&
+            thr.completed_task.load(wk.clock) < gate)) {
+        break;
       }
-      continue;
+      if (thr.fence_covers(my_serial, wk.clock)) {
+        commit_.rollback_parked_wait(env);
+      } else {
+        thr.gate.await(cfg_.waits, wk.stats.wait_spins, wk.stats.wait_parks, [&] {
+          const std::uint64_t g = thr.waw_gate.load(std::memory_order_relaxed);
+          return g == 0 || g >= my_serial ||
+                 thr.completed_task.load(wk.clock) >= g ||
+                 thr.fence_covers_unstamped(my_serial);
+        });
+      }
     }
     epochs_.pin(wk.epoch_slot);
     slot.valid_ts = commit_ts_.load(std::memory_order_acquire);
@@ -316,427 +379,42 @@ void runtime::run_one_incarnation(thread_state& thr, task_slot& slot, worker& wk
     wk.stats.task_started++;
     const std::uint64_t hops0 = wk.stats.chain_hops;  // controller signal baseline
     try {
-      task_ctx ctx(*this, thr, slot, wk.clock, wk.stats, *wk.reclaimer);
+      task_ctx ctx(env);
       slot.closure(ctx);
-      task_commit(thr, slot, ctx);
-      if (thr.adapt != nullptr) thr.adapt->record_commit(wk.stats.chain_hops - hops0);
+      commit_.task_commit(env);
+      if (thr.adapt != nullptr) {
+        const unsigned w0 = thr.adapt->effective_window();
+        thr.adapt->record_commit(wk.stats.chain_hops - hops0);
+        // A widened window admits tasks whose workers may be parked on it.
+        if (thr.adapt->effective_window() != w0) thr.wake_fence_event();
+      }
       return;  // transaction committed
     } catch (const stm::tx_abort& a) {
       if (a.why == stm::tx_abort::reason::fence) wk.stats.abort_fence++;
       wk.stats.task_restarts++;
       if (thr.adapt != nullptr) {
+        const unsigned w0 = thr.adapt->effective_window();
         thr.adapt->record_restart(a.why == stm::tx_abort::reason::fence,
                                   wk.stats.chain_hops - hops0);
+        if (thr.adapt->effective_window() != w0) thr.wake_fence_event();
       }
       // Self-aborts raised the fence at the throw site; fence aborts were
       // raised elsewhere. Either way the fence covers us — park & roll back.
       assert(thr.fence_covers(slot.serial.load(std::memory_order_relaxed), wk.clock));
       epochs_.unpin(wk.epoch_slot);
-      rollback_parked_wait(thr, slot, wk);
-      // Escalating randomized backoff. The early levels damp immediate
+      commit_.rollback_parked_wait(env);
+      // Escalating randomized backoff (sched::ladder_pause, knobs in
+      // config.restart_backoff): the early levels damp immediate
       // re-collision; the late levels reach OS-scheduler granularity, which
       // is what actually breaks inter-thread CM livelocks on oversubscribed
-      // cores: the repeat loser must stay off-CPU long enough for the
+      // cores — the repeat loser must stay off-CPU long enough for the
       // winning transaction's worker to observe the released stripe and
       // commit, else the loser's restart re-acquires the stripe first and
       // the winner signals it to abort again, forever.
-      const unsigned level = ++slot.consecutive_restarts;
-      if (level <= 6) {
-        const std::uint64_t iters = wk.rng.next_below(
-            1ull << std::min<std::uint64_t>(level + 4, cfg_.backoff_max_shift));
-        for (std::uint64_t i = 0; i < iters; ++i) util::cpu_relax();
-      } else if (level <= 10) {
-        std::this_thread::yield();
-      } else {
-        const unsigned ms_cap = std::min(level - 10u, 8u);
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(100 + wk.rng.next_below(250u * ms_cap)));
-      }
+      sched::ladder_pause(cfg_.restart_backoff, ++slot.consecutive_restarts,
+                          cfg_.backoff_max_shift, wk.rng);
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-// Task commit (paper Alg. 3, lines 65-77)
-// ---------------------------------------------------------------------------
-
-void runtime::task_commit(thread_state& thr, task_slot& slot, task_ctx& ctx) {
-  vt::worker_clock& clk = ctx.clock_;
-  const std::uint64_t serial = ctx.serial();
-  util::backoff bo;
-
-  // Line 66: serialize completions — wait for every past task.
-  while (thr.completed_task.load(clk) < serial - 1) {
-    ctx.check_safepoint();
-    ctx.stats_.wait_spins++;
-    bo.spin();
-  }
-  ctx.check_safepoint();  // lines 67-68: pending aborts win
-
-  // Lines 69-70: WAR validation if a past writer completed since our start
-  // (unstamped trigger snapshot).
-  const std::uint64_t cw = thr.completed_writer.load_unstamped();
-  if (cw != slot.last_writer) {
-    if (!validate_task(thr, slot, clk, ctx.stats_)) {
-      thr.raise_fence(serial, clk);
-      ctx.stats_.abort_war++;
-      throw stm::tx_abort{stm::tx_abort::reason::war};
-    }
-    slot.last_writer = cw;
-  }
-  clk.advance(cfg_.costs.task_complete);
-
-  if (!slot.try_commit) {
-    // Intermediate task: publish completion, park until the transaction's
-    // fate is decided by the commit-task (lines 71-77).
-    if (slot.wrote.load(std::memory_order_relaxed)) thr.completed_writer.store(serial, clk);
-    thr.completed_task.store(serial, clk);
-    slot.store_phase(task_phase::completed, clk);
-    bo.reset();
-    while (thr.committed_task.load(clk) < slot.tx_commit_serial.load(std::memory_order_relaxed)) {
-      ctx.check_safepoint();
-      ctx.stats_.wait_spins++;
-      bo.spin();
-    }
-    return;  // transaction committed
-  }
-
-  tx_commit_whole(thr, slot, ctx);
-}
-
-// ---------------------------------------------------------------------------
-// Whole-transaction commit by the commit-task (paper Alg. 3, lines 78-94)
-// ---------------------------------------------------------------------------
-
-void runtime::tx_commit_whole(thread_state& thr, task_slot& slot, task_ctx& ctx) {
-  vt::worker_clock& clk = ctx.clock_;
-  const std::uint64_t serial = ctx.serial();  // == tx_commit_serial
-  const std::uint64_t tx_start = slot.tx_start_serial.load(std::memory_order_relaxed);
-
-  bool read_only = true;
-  bool same_valid_ts = true;
-  std::uint64_t max_writer_serial = 0;
-  std::size_t total_entries = 0;
-  for (std::uint64_t s = tx_start; s <= serial; ++s) {
-    task_slot& ts_slot = thr.slot_for(s);
-    if (ts_slot.wrote.load(std::memory_order_relaxed)) {
-      read_only = false;
-      max_writer_serial = s;
-    }
-    total_entries += ts_slot.logs.write_log.size();
-    if (ts_slot.valid_ts != slot.valid_ts) same_valid_ts = false;
-  }
-
-  // Line 78: validate all tasks unless every task saw the same snapshot
-  // (then their union is one consistent snapshot — skippable, paper §3.2).
-  if (!same_valid_ts) {
-    const std::uint64_t bad = validate_tx(thr, slot, ctx, nullptr);
-    if (bad != 0) {
-      thr.raise_fence(bad, clk);
-      ctx.stats_.abort_validation++;
-      throw stm::tx_abort{stm::tx_abort::reason::validation};
-    }
-  }
-
-  if (read_only) {
-    thr.rollback_mu.lock(clk);
-    if (thr.fence.load(clk) <= serial) {
-      thr.rollback_mu.unlock(clk);
-      throw stm::tx_abort{stm::tx_abort::reason::fence};
-    }
-    for (std::uint64_t s = tx_start; s <= serial; ++s) {
-      task_slot& ts_slot = thr.slot_for(s);
-      for (const stm::mm_action& a : ts_slot.logs.commit_retire) {
-        ctx.reclaimer_.retire(a.obj, a.fn, a.ctx);
-      }
-      ts_slot.logs.commit_retire.clear();
-    }
-    if (cfg_.record_commits) thr.journal.push_back({tx_start, serial, 0});
-    thr.completed_task.store(serial, clk);
-    thr.committed_task.store(serial, clk);
-    thr.rollback_mu.unlock(clk);
-    ctx.stats_.tx_committed++;
-    ctx.stats_.tx_read_only++;
-    clk.advance(cfg_.costs.commit_fixed);
-    return;
-  }
-
-  // Write transaction: lock the r_locks of every distinct stripe in any
-  // task's write set (line 83). We hold all those w_locks, so no other
-  // committer can contend for them — plain stores, versions saved for abort.
-  std::vector<std::pair<stm::lock_pair*, stm::word>> locked;
-  locked.reserve(total_entries);
-  auto unlock_r_locks = [&] {
-    for (auto& [lp, ver] : locked) lp->r_lock.store(ver, clk);
-  };
-  for (std::uint64_t s = tx_start; s <= serial; ++s) {
-    thr.slot_for(s).logs.write_log.for_each([&](stm::write_entry& e) {
-      for (auto& [lp, ver] : locked) {
-        if (lp == e.locks) return;
-      }
-      const stm::word old = e.locks->r_lock.load(clk);
-      assert(old != stm::r_lock_locked);
-      e.locks->r_lock.store(stm::r_lock_locked, clk);
-      locked.emplace_back(e.locks, old);
-    });
-  }
-
-  const stm::word ts = commit_ts_.fetch_add(1, std::memory_order_acq_rel) + 1;  // line 84
-
-  // Line 85: second validation, now that the write set is sealed.
-  const std::uint64_t bad = validate_tx(thr, slot, ctx, &locked);
-  if (bad != 0) {
-    unlock_r_locks();
-    thr.raise_fence(bad, clk);
-    ctx.stats_.abort_validation++;
-    throw stm::tx_abort{stm::tx_abort::reason::validation};
-  }
-
-  thr.rollback_mu.lock(clk);
-  if (thr.fence.load(clk) <= serial) {
-    // A racing fence (inter-thread CM) beat us to the point of no return.
-    unlock_r_locks();
-    thr.rollback_mu.unlock(clk);
-    throw stm::tx_abort{stm::tx_abort::reason::fence};
-  }
-
-  // Point of no return: write back every task's buffered values in serial
-  // order (later tasks overwrite earlier ones per program order) — line 89.
-  for (std::uint64_t s = tx_start; s <= serial; ++s) {
-    thr.slot_for(s).logs.write_log.for_each([&](stm::write_entry& e) {
-      stm::store_word(e.addr.load(std::memory_order_relaxed),
-                      e.value.load(std::memory_order_relaxed));
-    });
-  }
-  // Unlink our entries from every stripe chain; entries of future
-  // transactions of this thread (serial > ours) stay locked (line 90-92).
-  for (auto& [lp, ver] : locked) {
-    stm::write_entry* head = lp->w_lock.load(clk);
-    assert(head != nullptr && head->ptid() == thr.ptid);
-    if (head->serial() <= serial) {
-      lp->w_lock.store(nullptr, clk);
-    } else {
-      stm::write_entry* succ = head;
-      stm::write_entry* e = head->prev.load(std::memory_order_acquire);
-      while (e != nullptr && e->serial() > serial) {
-        succ = e;
-        e = e->prev.load(std::memory_order_acquire);
-      }
-      succ->prev.store(nullptr, std::memory_order_release);
-    }
-    lp->r_lock.store(ts, clk);
-  }
-
-  // Bookkeeping + retires, then publish completion (lines 93-94).
-  for (std::uint64_t s = tx_start; s <= serial; ++s) {
-    task_slot& ts_slot = thr.slot_for(s);
-    for (const stm::mm_action& a : ts_slot.logs.commit_retire) {
-      ctx.reclaimer_.retire(a.obj, a.fn, a.ctx);
-    }
-    ts_slot.logs.commit_retire.clear();
-  }
-  std::uint64_t wm = thr.committed_writer_wm.load(std::memory_order_relaxed);
-  thr.committed_writer_wm.store(std::max(wm, max_writer_serial), std::memory_order_relaxed);
-  slot.commit_ts_value = ts;
-  if (cfg_.record_commits) thr.journal.push_back({tx_start, serial, ts});
-  thr.completed_writer.store(serial, clk);
-  thr.completed_task.store(serial, clk);
-  thr.committed_task.store(serial, clk);
-  thr.rollback_mu.unlock(clk);
-
-  ctx.stats_.tx_committed++;
-  clk.advance(cfg_.costs.commit_fixed + cfg_.costs.commit_per_write * total_entries);
-}
-
-/// validate(tx): revalidates the read logs and task-read logs of every task
-/// of the transaction. Returns 0, or the first invalid serial (the paper's
-/// abort-serial, enabling the partial restart of lines 78-79 / 85-86).
-std::uint64_t runtime::validate_tx(
-    thread_state& thr, task_slot& commit_slot, task_ctx& ctx,
-    const std::vector<std::pair<stm::lock_pair*, stm::word>>* locked) {
-  vt::worker_clock& clk = ctx.clock_;
-  const std::uint64_t tx_start = commit_slot.tx_start_serial.load(std::memory_order_relaxed);
-  const std::uint64_t tx_commit = commit_slot.tx_commit_serial.load(std::memory_order_relaxed);
-  std::size_t checked = 0;
-
-  for (std::uint64_t s = tx_start; s <= tx_commit; ++s) {
-    task_slot& ts_slot = thr.slot_for(s);
-    // Committed reads: versions must be unchanged (ours-at-commit resolve
-    // against the saved pre-lock versions).
-    for (const stm::read_log_entry& e : ts_slot.logs.read_log) {
-      ++checked;
-      stm::word cur = e.locks->r_lock.load(clk);
-      if (cur == stm::r_lock_locked) {
-        bool ours = false;
-        if (locked != nullptr) {
-          for (const auto& [lp, ver] : *locked) {
-            if (lp == e.locks) {
-              cur = ver;
-              ours = true;
-              break;
-            }
-          }
-        }
-        if (!ours) return s;  // a foreign commit is racing this stripe
-      }
-      if (cur != e.version) return s;
-    }
-    // Speculative reads: the chain entry we read must still be the newest
-    // past entry *for its address* (same address-refined rules as
-    // validate_task).
-    for (const stm::task_read_log_entry& e : ts_slot.logs.task_read_log) {
-      ++checked;
-      stm::write_entry* w = e.locks->w_lock.load(clk);
-      if (w == nullptr || w->ptid() != thr.ptid) return s;
-      while (w != nullptr && w->ptid() == thr.ptid &&
-             (w->serial() >= s ||
-              w->addr.load(std::memory_order_relaxed) != e.addr)) {
-        w = w->prev.load(std::memory_order_acquire);
-      }
-      if (w == nullptr || w->ptid() != thr.ptid || w->serial() != e.serial ||
-          w->incarnation.load(std::memory_order_relaxed) != e.incarnation) {
-        return s;
-      }
-    }
-  }
-  clk.advance(cfg_.costs.log_entry_validate * checked);
-  return 0;
-}
-
-// ---------------------------------------------------------------------------
-// Restart fence: parking and coordinated rollback (DESIGN.md §4.3)
-// ---------------------------------------------------------------------------
-
-void runtime::rollback_parked_wait(thread_state& thr, task_slot& slot, worker& wk) {
-  const std::uint64_t my_serial = slot.serial.load(std::memory_order_relaxed);
-  slot.store_phase(task_phase::rollback_parked, wk.clock);
-  util::backoff bo;
-  for (;;) {
-    const std::uint64_t f = thr.fence.load(wk.clock);
-    if (f == thread_state::no_fence || f > my_serial) {
-      // Resume must be serialized against coordinators and fence raises:
-      // a new fence could land between our check and our state reset, and a
-      // coordinator must never see us flip from parked to running while it
-      // builds its victim list. Re-check under the mutex and mark ourselves
-      // running there (run_one_incarnation re-stamps the phase afterwards).
-      thr.rollback_mu.lock(wk.clock);
-      const std::uint64_t f2 = thr.fence.load(wk.clock);
-      if (f2 == thread_state::no_fence || f2 > my_serial) {
-        slot.store_phase(task_phase::running, wk.clock);
-        thr.rollback_mu.unlock(wk.clock);
-        return;
-      }
-      thr.rollback_mu.unlock(wk.clock);
-      continue;  // covered again — keep parking
-    }
-
-    // Coordinator election: the lowest parked serial >= fence runs the
-    // rollback once every covered active task has parked.
-    bool all_parked = true;
-    std::uint64_t min_parked = thread_state::no_fence;
-    for (task_slot& sl : thr.owners) {
-      const std::uint64_t ser = sl.serial.load(std::memory_order_acquire);
-      if (ser < f || ser == 0) continue;
-      const auto ph = sl.load_phase(wk.clock);
-      if (ph == task_phase::running || ph == task_phase::completed) {
-        all_parked = false;
-        break;
-      }
-      if (ph == task_phase::rollback_parked && ser < min_parked) min_parked = ser;
-    }
-    if (all_parked && min_parked == my_serial) {
-      coordinate_rollback(thr, wk);
-      continue;  // re-check the (possibly re-raised) fence
-    }
-    wk.stats.wait_spins++;
-    bo.spin();
-  }
-}
-
-void runtime::coordinate_rollback(thread_state& thr, worker& wk) {
-  vt::worker_clock& clk = wk.clock;
-  thr.rollback_mu.lock(clk);
-  const std::uint64_t f = thr.fence.load(clk);
-  if (f == thread_state::no_fence) {
-    thr.rollback_mu.unlock(clk);
-    return;
-  }
-  // Re-verify the all-parked condition under the mutex: the pre-mutex
-  // election ran on a snapshot, and a task may have resumed (or the fence
-  // may have moved) since. Bail out and let the election retry if any
-  // covered task is still live.
-  for (task_slot& sl : thr.owners) {
-    const std::uint64_t ser = sl.serial.load(std::memory_order_acquire);
-    if (ser < f || ser == 0) continue;
-    const auto ph = sl.load_phase(clk);
-    if (ph == task_phase::running || ph == task_phase::completed) {
-      thr.rollback_mu.unlock(clk);
-      return;
-    }
-  }
-  const std::uint64_t committed = thr.committed_task.load(clk);
-  const std::uint64_t start = std::max(f, committed + 1);
-
-  // Victims: parked tasks with serial >= start, popped newest-first so the
-  // entries removed from each chain always form its current prefix.
-  std::vector<task_slot*> victims;
-  for (task_slot& sl : thr.owners) {
-    if (sl.load_phase(clk) == task_phase::rollback_parked &&
-        sl.serial.load(std::memory_order_acquire) >= start) {
-      victims.push_back(&sl);
-    }
-  }
-  std::sort(victims.begin(), victims.end(), [](task_slot* a, task_slot* b) {
-    return a->serial.load(std::memory_order_relaxed) >
-           b->serial.load(std::memory_order_relaxed);
-  });
-  std::size_t popped = 0;
-  for (task_slot* sl : victims) {
-    sl->incarnation.fetch_add(1, std::memory_order_release);
-    sl->logs.write_log.for_each_reverse([&](stm::write_entry& e) {
-      unlink_entry(e, clk);
-      ++popped;
-    });
-    for (const stm::mm_action& a : sl->logs.alloc_undo) {
-      wk.reclaimer->retire(a.obj, a.fn, a.ctx);
-    }
-    sl->logs.clear_for_restart();
-    sl->wrote.store(false, std::memory_order_relaxed);
-  }
-
-  // Counter repair: completions from `start` on are undone.
-  if (thr.completed_task.load(clk) > start - 1) thr.completed_task.store(start - 1, clk);
-  std::uint64_t cw = thr.committed_writer_wm.load(std::memory_order_relaxed);
-  for (task_slot& sl : thr.owners) {
-    const std::uint64_t ser = sl.serial.load(std::memory_order_relaxed);
-    if (ser != 0 && ser < start && sl.wrote.load(std::memory_order_relaxed) &&
-        sl.load_phase(clk) == task_phase::completed) {
-      cw = std::max(cw, ser);
-    }
-  }
-  thr.completed_writer.store(cw, clk);
-
-  clk.advance(cfg_.costs.fence_coordination + cfg_.costs.abort_per_write * popped);
-  thr.fence.store(thread_state::no_fence, clk);  // releases every parked task
-  thr.rollback_mu.unlock(clk);
-}
-
-void runtime::unlink_entry(stm::write_entry& e, vt::worker_clock& clk) {
-  stm::lock_pair* lp = e.locks;
-  stm::write_entry* head = lp->w_lock.load_unstamped();
-  if (head == &e) {
-    lp->w_lock.store(e.prev.load(std::memory_order_relaxed), clk);
-    return;
-  }
-  // Defensive interior unlink (normally pops are exactly chain prefixes).
-  for (stm::write_entry* p = head; p != nullptr;
-       p = p->prev.load(std::memory_order_acquire)) {
-    if (p->prev.load(std::memory_order_acquire) == &e) {
-      p->prev.store(e.prev.load(std::memory_order_relaxed), std::memory_order_release);
-      return;
-    }
-  }
-  // Already unlinked (e.g. double-raise races) — nothing to do.
 }
 
 }  // namespace tlstm::core

@@ -12,15 +12,28 @@
 // Each user-thread owns SPECDEPTH worker threads; worker w executes the
 // serials congruent to w (mod depth), which realizes the paper's
 // owners[serial mod SPECDEPTH] slot discipline and its speculation window.
+//
+// Many-client front-end (DESIGN.md §8): runtime::open_session() multiplexes
+// any number of application threads onto the fixed pipelines through
+// bounded per-pipeline inboxes — see core/session.hpp.
+//
+// Internally the runtime is three layers (this PR's split): the scheduler
+// (this file + runtime.cpp — worker loops, parked waiting, window
+// admission), the commit pipeline (core/commit.*) and the contention
+// manager (core/contention.*), all communicating through the narrow
+// task_env interface.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/commit.hpp"
 #include "core/config.hpp"
+#include "core/contention.hpp"
 #include "core/task.hpp"
 #include "core/thread_state.hpp"
 #include "stm/lock_table.hpp"
@@ -34,10 +47,13 @@
 namespace tlstm::core {
 
 class runtime;
+class session;
+class session_front;
 
 /// Submission handle for one user-thread. Not thread-safe: exactly one
 /// application thread drives each user_thread (that thread *is* the
-/// user-thread of the paper's model; the runtime parallelizes it).
+/// user-thread of the paper's model; the runtime parallelizes it). For
+/// many concurrent clients, use runtime::open_session() instead.
 class user_thread {
  public:
   /// Submits one user-transaction decomposed into `tasks` (1..spec_depth
@@ -80,21 +96,12 @@ class user_thread {
   /// unblocking publication) and charges `stall_cost` (the cost model's
   /// window_stall) when that publication lay in our virtual future — a
   /// genuine stall on the virtual machine, independent of host scheduling.
-  /// Returns true iff it stalled.
+  /// Waiting parks on `gate` (DESIGN.md §8: the slot gate for reuse waits,
+  /// the thread gate for frontier waits); the predicate's loads — and
+  /// hence stall detection — are identical to the spin days. Returns true
+  /// iff it stalled.
   template <typename Pred>
-  bool charged_wait(vt::vtime stall_cost, Pred&& pred) {
-    const vt::vtime t0 = clock_.now;
-    util::backoff bo;
-    while (!pred()) {
-      stats_.wait_spins++;
-      bo.spin();
-    }
-    if (clock_.now > t0) {
-      clock_.advance(stall_cost);
-      return true;
-    }
-    return false;
-  }
+  bool charged_wait(sched::wait_gate& gate, vt::vtime stall_cost, Pred&& pred);
 
   runtime& rt_;
   thread_state& thr_;
@@ -107,6 +114,9 @@ class user_thread {
 /// user-threads and their worker pools.
 class runtime {
  public:
+  /// Validates `cfg` (throws std::invalid_argument on zero dimensions, a
+  /// thread topology overflowing entry_ident's 16-bit ptid space, or a zero
+  /// session inbox) and spawns the worker pools.
   explicit runtime(config cfg);
   ~runtime();
   runtime(const runtime&) = delete;
@@ -115,6 +125,12 @@ class runtime {
   user_thread& thread(unsigned i) { return *user_threads_[i]; }
   unsigned num_threads() const noexcept { return cfg_.num_threads; }
   const config& cfg() const noexcept { return cfg_; }
+
+  /// Opens a thread-safe session handle multiplexing any number of client
+  /// threads onto the fixed pipelines (core/session.hpp). First call spawns
+  /// one driver thread per pipeline; after that, driving user_thread
+  /// handles directly as well is undefined (one submitter per pipeline).
+  session open_session();
 
   stm::lock_table& table() noexcept { return table_; }
   /// Global commit clock — plain atomic, not vtime-stamped (see the
@@ -125,8 +141,9 @@ class runtime {
     return greedy_counter_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Drains every user-thread and stops the workers. Called by ~runtime();
-  /// may be called earlier to read final statistics.
+  /// Drains every user-thread and stops the workers (session drivers
+  /// first, when open_session was used). Called by ~runtime(); may be
+  /// called earlier to read final statistics.
   void stop();
 
   /// Sum of all worker statistic blocks (quiesce with drain()/stop() first
@@ -153,6 +170,7 @@ class runtime {
  private:
   friend class task_ctx;
   friend class user_thread;
+  friend class session_front;
 
   /// Per-worker bundle (one OS thread each; depth workers per user-thread).
   struct worker {
@@ -172,35 +190,27 @@ class runtime {
   /// the committed frontier (always true with adaptation off). Unstamped
   /// peek; the caller joins the frontier only after an actual deferral.
   static bool window_admits(const thread_state& thr, const task_slot& slot) noexcept;
-  void run_one_incarnation(thread_state& thr, task_slot& slot, worker& wk);
-  void task_commit(thread_state& thr, task_slot& slot, task_ctx& ctx);
-  void tx_commit_whole(thread_state& thr, task_slot& slot, task_ctx& ctx);
-  /// Returns 0 if every task's logs validate, else the first bad serial.
-  std::uint64_t validate_tx(thread_state& thr, task_slot& commit_slot, task_ctx& ctx,
-                            const std::vector<std::pair<stm::lock_pair*, stm::word>>* locked);
-  void rollback_parked_wait(thread_state& thr, task_slot& slot, worker& wk);
-  void coordinate_rollback(thread_state& thr, worker& wk);
-  void unlink_entry(stm::write_entry& e, vt::worker_clock& clk);
+  void run_one_incarnation(task_env& env, worker& wk);
 
-  // --- Transactional operations (task.cpp calls back into these). ---
-  stm::word task_read(task_ctx& ctx, const stm::word* addr);
-  void task_write(task_ctx& ctx, stm::word* addr, stm::word value);
-  stm::word task_read_committed(task_ctx& ctx, const stm::word* addr, stm::lock_pair& pair);
-  bool task_extend(task_ctx& ctx);
-  /// Paper Alg. 1 validate-task: WAR detection over both read logs.
-  bool validate_task(thread_state& thr, task_slot& slot, vt::worker_clock& clk,
-                     util::stat_block& stats);
-  /// Paper Alg. 2 cm-should-abort. True → caller must abort itself.
-  bool cm_should_abort(task_ctx& ctx, stm::write_entry* head);
-  /// Karma CM priority: transactional accesses of a transaction's live tasks.
-  std::uint64_t tx_karma(thread_state& thr, std::uint64_t tx_start,
-                         std::uint64_t tx_commit) const;
+  // --- Transactional operations (task.cpp; task_ctx calls back in). ---
+  stm::word task_read(task_env& env, const stm::word* addr);
+  void task_write(task_env& env, stm::word* addr, stm::word value);
+  stm::word task_read_committed(task_env& env, const stm::word* addr, stm::lock_pair& pair);
+  bool task_extend(task_env& env);
+  /// Full consistency validation: revalidate both read logs, then extend
+  /// the snapshot. Aborts (fence + throw) on failure.
+  void validate_now(task_env& env);
+  void maybe_periodic_validation(task_env& env);
 
   config cfg_;
   stm::lock_table table_;
   std::atomic<stm::word> commit_ts_{0};
   std::atomic<std::uint64_t> greedy_counter_{1};
   util::epoch_domain epochs_;
+  /// The commit pipeline and contention manager (core/commit.*,
+  /// core/contention.*) — stateless policy components over task_env.
+  commit_pipeline commit_;
+  contention_manager cm_;
 
   std::vector<std::unique_ptr<thread_state>> threads_;
   std::vector<std::unique_ptr<user_thread>> user_threads_;
@@ -209,7 +219,22 @@ class runtime {
   std::vector<std::unique_ptr<vt::adapt_controller>> adapters_;
   // workers_[t * spec_depth + w] belongs to user-thread t.
   std::vector<std::unique_ptr<worker>> workers_;
+  /// Session front-end (lazily created by open_session; stopped first).
+  std::unique_ptr<session_front> sessions_;
+  std::mutex session_mu_;
   bool stopped_ = false;
 };
+
+template <typename Pred>
+bool user_thread::charged_wait(sched::wait_gate& gate, vt::vtime stall_cost, Pred&& pred) {
+  const vt::vtime t0 = clock_.now;
+  gate.await(rt_.cfg().waits, stats_.wait_spins, stats_.wait_parks,
+             std::forward<Pred>(pred));
+  if (clock_.now > t0) {
+    clock_.advance(stall_cost);
+    return true;
+  }
+  return false;
+}
 
 }  // namespace tlstm::core

@@ -1,0 +1,173 @@
+// Session front-end implementation: per-pipeline driver threads draining
+// bounded MPSC inboxes, ticket completion over the pipelines' wait gates.
+#include "core/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/runtime.hpp"
+
+namespace tlstm::core {
+
+// ---------------------------------------------------------------------------
+// ticket
+// ---------------------------------------------------------------------------
+
+void ticket::wait() {
+  if (st_ == nullptr) throw std::logic_error("ticket::wait on an empty ticket");
+  detail::ticket_state& st = *st_;
+  // Phase 1: wait for the driver to assign the commit serial (it wakes our
+  // install gate right after the store).
+  st.install_gate.await(*st.waits, [&] {
+    return st.commit_serial.load(std::memory_order_acquire) != 0;
+  });
+  const std::uint64_t cs = st.commit_serial.load(std::memory_order_acquire);
+  // Phase 2: park on the commit serial's slot gate — the committing worker
+  // wakes exactly that gate (plus the thread gate) when the frontier passes
+  // cs, so completion is a point-to-point wake, not a herd broadcast.
+  st.thr->slot_for(cs).gate.await(*st.waits, [&] {
+    return st.thr->committed_task.load_unstamped() >= cs;
+  });
+}
+
+bool ticket::done() const noexcept {
+  if (st_ == nullptr) return false;
+  const std::uint64_t cs = st_->commit_serial.load(std::memory_order_acquire);
+  return cs != 0 && st_->thr->committed_task.load_unstamped() >= cs;
+}
+
+// ---------------------------------------------------------------------------
+// session
+// ---------------------------------------------------------------------------
+
+ticket session::submit(std::vector<task_fn> tasks) {
+  return front_->enqueue(front_->route_next(), std::move(tasks));
+}
+
+ticket session::submit_single(task_fn fn) {
+  std::vector<task_fn> one;
+  one.push_back(std::move(fn));
+  return submit(std::move(one));
+}
+
+ticket session::submit_keyed(std::uint64_t key, std::vector<task_fn> tasks) {
+  return front_->enqueue(front_->route_key(key), std::move(tasks));
+}
+
+unsigned session::pipelines() const noexcept { return front_->pipelines(); }
+
+// ---------------------------------------------------------------------------
+// session_front
+// ---------------------------------------------------------------------------
+
+session_front::session_front(runtime& rt) : rt_(rt) {
+  const unsigned n = rt.num_threads();
+  pipes_.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    pipes_.push_back(std::make_unique<pipe>(rt.cfg().session_inbox_capacity));
+  }
+  for (unsigned t = 0; t < n; ++t) {
+    pipes_[t]->driver = std::thread([this, t] { driver_main(t); });
+  }
+}
+
+session_front::~session_front() { stop(); }
+
+unsigned session_front::route_next() noexcept {
+  return static_cast<unsigned>(rr_.fetch_add(1, std::memory_order_relaxed) %
+                               pipes_.size());
+}
+
+unsigned session_front::route_key(std::uint64_t key) const noexcept {
+  // splitmix64 finalizer — cheap avalanche so clustered keys spread.
+  key += 0x9e3779b97f4a7c15ull;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+  key ^= key >> 31;
+  return static_cast<unsigned>(key % pipes_.size());
+}
+
+void session_front::finish_enqueue() noexcept {
+  pending_enqueues_.fetch_sub(1, std::memory_order_seq_cst);
+  // The count reaching zero can be what releases the drivers' stop
+  // predicate — and any driver may be the one parked on it.
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    for (auto& p : pipes_) p->inbox.wake_all();
+  }
+}
+
+ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks) {
+  if (tasks.empty()) throw std::invalid_argument("transaction needs >= 1 task");
+  if (tasks.size() > rt_.cfg().spec_depth) {
+    throw std::invalid_argument("transaction has more tasks than spec_depth");
+  }
+  // Dekker pairing with the drivers' stop predicate: the pending count is
+  // raised *before* the stopping check (both seq_cst), so either this
+  // enqueue observes stopping and backs out, or the drivers observe a
+  // non-zero pending count and keep draining until the push lands.
+  pending_enqueues_.fetch_add(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    finish_enqueue();
+    throw std::runtime_error("session front-end is stopping");
+  }
+  auto st = std::make_shared<detail::ticket_state>();
+  st->thr = rt_.threads_[pipe_idx].get();
+  st->waits = &rt_.cfg().waits;
+  submission s{std::move(tasks), st};
+  pipes_[pipe_idx]->inbox.push_wait(rt_.cfg().waits, std::move(s));
+  finish_enqueue();
+  return ticket(std::move(st));
+}
+
+void session_front::driver_main(unsigned t) {
+  user_thread& th = rt_.thread(t);
+  pipe& p = *pipes_[t];
+  const sched::wait_params& waits = rt_.cfg().waits;
+  submission s;
+  // Honour the stop flag only once no enqueue is mid-push (see
+  // pending_enqueues_): pop_wait keeps draining until the inbox is empty
+  // AND no racing submission can still land in it.
+  auto stopped = [&] {
+    return stopping_.load(std::memory_order_seq_cst) &&
+           pending_enqueues_.load(std::memory_order_seq_cst) == 0;
+  };
+  while (p.inbox.pop_wait(waits, s, stopped)) {
+    // The driver is the pipeline's only submitter, so the commit-task's
+    // serial is exactly the current high-water mark plus the task count.
+    // Publish it before installing: once submit returns, the commit that
+    // completes the transaction is guaranteed to wake the serial's slot
+    // gate after this store, so a parked ticket cannot miss it.
+    s.tk->commit_serial.store(th.submitted_serials() + s.tasks.size(),
+                              std::memory_order_release);
+    s.tk->install_gate.wake_all();
+    th.submit(std::move(s.tasks));
+    s = submission{};  // release the ticket ref promptly
+  }
+  // Stopping and fully drained: quiesce the pipeline so every issued
+  // ticket completes before stop() returns.
+  th.drain();
+}
+
+void session_front::stop() {
+  if (stopping_.exchange(true, std::memory_order_seq_cst)) return;
+  for (auto& p : pipes_) p->inbox.wake_all();
+  // The drivers drain every already-admitted submission before honouring
+  // the flag (pending_enqueues_ protocol in enqueue/driver_main), so after
+  // the joins every issued ticket has been installed and drained.
+  for (auto& p : pipes_) {
+    if (p->driver.joinable()) p->driver.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// runtime::open_session (lives here so runtime.cpp stays session-free)
+// ---------------------------------------------------------------------------
+
+session runtime::open_session() {
+  std::lock_guard<std::mutex> lk(session_mu_);
+  if (stopped_) throw std::logic_error("runtime already stopped");
+  if (sessions_ == nullptr) sessions_ = std::make_unique<session_front>(*this);
+  return session(*sessions_);
+}
+
+}  // namespace tlstm::core

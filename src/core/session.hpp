@@ -1,0 +1,149 @@
+// Many-client session front-end (DESIGN.md §8).
+//
+// The paper's model binds one application thread to one user_thread; the
+// session layer decouples them so M concurrent clients share the N fixed
+// pipelines:
+//
+//   tlstm::core::runtime rt(cfg);
+//   auto s = rt.open_session();                 // thread-safe handle
+//   auto t = s.submit({task1, task2});          // round-robin routed
+//   auto u = s.submit_keyed(key, {task3});      // key-affinity routed
+//   t.wait(); u.wait();                         // parked per-submission waits
+//
+// Each pipeline owns a bounded MPSC inbox drained by a dedicated driver
+// thread (the pipeline's single submitter, preserving the one-submitter
+// invariant of user_thread). Full inboxes backpressure clients by parking
+// them on the inbox gate; each submission returns a ticket that parks on
+// the pipeline's wait_gate until exactly that transaction's commit frontier
+// passes it, so clients drain individually instead of stalling the whole
+// pipeline.
+//
+// Domain note: sessions live in wall-clock land. The pipelines' virtual
+// clocks keep running underneath (drivers are the submitting user-threads
+// of §5), but ticket waits use unstamped frontier loads — a session client
+// has no worker_clock to join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/thread_state.hpp"
+#include "sched/inbox.hpp"
+
+namespace tlstm::core {
+
+class runtime;
+class session_front;
+
+namespace detail {
+/// Shared completion state of one session submission. Ticket waiting is
+/// point-to-point (no thundering herd on the pipeline gate): the driver
+/// wakes `install_gate` once when it assigns the commit serial, and the
+/// committing worker wakes its own slot's gate — on which a ticket for that
+/// serial parks — once per commit.
+struct ticket_state {
+  /// Serial of the transaction's commit-task; 0 until the driver installs
+  /// the transaction (the commit frontier passing this serial == done).
+  std::atomic<std::uint64_t> commit_serial{0};
+  sched::wait_gate install_gate;
+  thread_state* thr = nullptr;          ///< routed pipeline
+  const sched::wait_params* waits = nullptr;
+};
+}  // namespace detail
+
+/// Completion handle for one session submission. Copyable; wait() may be
+/// called from any thread, any number of times — but not after the owning
+/// runtime is destroyed (runtime::stop() completes every ticket first, so
+/// waiting before shutdown always terminates).
+class ticket {
+ public:
+  ticket() = default;
+
+  /// Blocks (bounded spin, then parked on the pipeline's gate) until the
+  /// submitted transaction has committed.
+  void wait();
+  /// Non-blocking completion probe.
+  bool done() const noexcept;
+  bool valid() const noexcept { return st_ != nullptr; }
+
+ private:
+  friend class session_front;
+  explicit ticket(std::shared_ptr<detail::ticket_state> st) : st_(std::move(st)) {}
+  std::shared_ptr<detail::ticket_state> st_;
+};
+
+/// Thread-safe submission handle over a runtime's session front-end.
+/// Cheap to copy; all handles of one runtime share the pipelines. Valid
+/// until the runtime stops.
+class session {
+ public:
+  /// Submits one transaction to the next pipeline (round-robin). Parks on
+  /// the inbox while the pipeline's backlog is full. Throws
+  /// std::invalid_argument on an empty/oversized decomposition and
+  /// std::runtime_error once the runtime is stopping.
+  ticket submit(std::vector<task_fn> tasks);
+  ticket submit_single(task_fn fn);
+
+  /// Key-affinity routing: all submissions with equal keys go to the same
+  /// pipeline, so a client's per-key transactions run in submission order.
+  ticket submit_keyed(std::uint64_t key, std::vector<task_fn> tasks);
+
+  unsigned pipelines() const noexcept;
+
+ private:
+  friend class runtime;
+  explicit session(session_front& fr) : front_(&fr) {}
+  session_front* front_;
+};
+
+/// The runtime-owned session machinery: one inbox + driver per pipeline.
+/// Internal — created lazily by runtime::open_session(), stopped (drained)
+/// by runtime::stop() before the pipelines themselves quiesce.
+class session_front {
+ public:
+  explicit session_front(runtime& rt);
+  ~session_front();
+  session_front(const session_front&) = delete;
+  session_front& operator=(const session_front&) = delete;
+
+  ticket enqueue(unsigned pipe, std::vector<task_fn> tasks);
+  unsigned route_next() noexcept;
+  unsigned route_key(std::uint64_t key) const noexcept;
+  unsigned pipelines() const noexcept { return static_cast<unsigned>(pipes_.size()); }
+
+  /// Drains every inbox, submits the backlog, drains the pipelines and
+  /// joins the drivers. Idempotent; further submissions throw.
+  void stop();
+
+ private:
+  struct submission {
+    std::vector<task_fn> tasks;
+    std::shared_ptr<detail::ticket_state> tk;
+  };
+  struct pipe {
+    explicit pipe(std::size_t capacity) : inbox(capacity) {}
+    sched::bounded_inbox<submission> inbox;
+    std::thread driver;
+  };
+
+  void driver_main(unsigned t);
+  /// Drops the pending-enqueue count and, when stopping, wakes every
+  /// driver (any of them may be parked on the count's zero crossing).
+  void finish_enqueue() noexcept;
+
+  runtime& rt_;
+  std::vector<std::unique_ptr<pipe>> pipes_;
+  std::atomic<std::uint64_t> rr_{0};
+  std::atomic<bool> stopping_{false};
+  /// Enqueues between their stopping_ check and their completed push.
+  /// Drivers honour the stop flag only once this is zero (seq_cst Dekker
+  /// pairing with stopping_), so a submission that passed the check is
+  /// always drained — no racing push can strand a ticket in a dead inbox.
+  std::atomic<std::uint64_t> pending_enqueues_{0};
+};
+
+}  // namespace tlstm::core

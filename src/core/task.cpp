@@ -1,8 +1,12 @@
-// Transactional operations of TLSTM — paper Algorithms 1 and 2
-// (read-word, write-word, validate-task, cm-should-abort) plus the
-// timestamp-extension and periodic-validation machinery.
+// Transactional operations of TLSTM — paper Algorithms 1 and 2 (read-word,
+// write-word) plus the timestamp-extension and periodic-validation
+// machinery. Validate-task and cm-should-abort moved to core/commit.cpp and
+// core/contention.cpp; everything here operates on task_env, the narrow
+// internal interface behind the user-facing task_ctx.
 #include <cstdint>
 
+#include "core/commit.hpp"
+#include "core/contention.hpp"
 #include "core/runtime.hpp"
 #include "core/task.hpp"
 #include "core/thread_state.hpp"
@@ -15,70 +19,69 @@ constexpr unsigned read_retry_cap = 4096;   // version double-check retries
 constexpr unsigned chain_hop_cap = 4096;    // defensive bound on chain walks
 }  // namespace
 
+void runtime::validate_now(task_env& env) {
+  env.check_safepoint();
+  if (!validate_task(env.thr, env.slot, env.clock, env.stats, cfg_.costs) ||
+      !task_extend(env)) {
+    env.thr.raise_fence(env.serial(), env.clock);
+    env.stats.abort_validation++;
+    throw stm::tx_abort{stm::tx_abort::reason::validation};
+  }
+  env.slot.last_writer = env.thr.completed_writer.load_unstamped();
+}
+
+void runtime::maybe_periodic_validation(task_env& env) {
+  const unsigned period = cfg_.validate_every_n_reads;
+  if (period != 0 && ++env.slot.reads_since_validation >= period) {
+    env.slot.reads_since_validation = 0;
+    validate_now(env);
+  }
+}
+
 // ---------------------------------------------------------------------------
-// task_ctx forwarding surface
+// task_env / task_ctx forwarding surface
 // ---------------------------------------------------------------------------
 
-stm::word task_ctx::read(const stm::word* addr) { return rt_.task_read(*this, addr); }
-void task_ctx::write(stm::word* addr, stm::word value) { rt_.task_write(*this, addr, value); }
-
-void task_ctx::work(std::uint64_t n) noexcept {
-  clock_.advance(n * rt_.cfg().costs.user_work_unit);
-}
-
-std::uint64_t task_ctx::serial() const noexcept {
-  return slot_.serial.load(std::memory_order_relaxed);
-}
-
-void task_ctx::abort_self() {
-  thr_.raise_fence(serial(), clock_);
-  throw stm::tx_abort{stm::tx_abort::reason::explicit_abort};
-}
-
-void task_ctx::log_alloc_undo(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
-  slot_.logs.alloc_undo.push_back({obj, fn, ctx});
-}
-void task_ctx::log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
-  slot_.logs.commit_retire.push_back({obj, fn, ctx});
-}
-
-void task_ctx::check_safepoint() {
-  if (thr_.fence_covers_unstamped(serial())) {
+void task_env::check_safepoint() const {
+  if (thr.fence_covers_unstamped(serial())) {
     throw stm::tx_abort{stm::tx_abort::reason::fence};
   }
 }
 
-void task_ctx::validate() {
-  check_safepoint();
-  if (!rt_.validate_task(thr_, slot_, clock_, stats_) || !rt_.task_extend(*this)) {
-    thr_.raise_fence(serial(), clock_);
-    stats_.abort_validation++;
-    throw stm::tx_abort{stm::tx_abort::reason::validation};
-  }
-  slot_.last_writer = thr_.completed_writer.load_unstamped();
+stm::word task_ctx::read(const stm::word* addr) { return env_.rt.task_read(env_, addr); }
+void task_ctx::write(stm::word* addr, stm::word value) { env_.rt.task_write(env_, addr, value); }
+
+void task_ctx::work(std::uint64_t n) noexcept {
+  env_.clock.advance(n * env_.rt.cfg().costs.user_work_unit);
 }
 
-void task_ctx::maybe_periodic_validation() {
-  const unsigned period = rt_.cfg().validate_every_n_reads;
-  if (period != 0 && ++slot_.reads_since_validation >= period) {
-    slot_.reads_since_validation = 0;
-    validate();
-  }
+void task_ctx::abort_self() {
+  env_.thr.raise_fence(serial(), env_.clock);
+  throw stm::tx_abort{stm::tx_abort::reason::explicit_abort};
 }
+
+void task_ctx::log_alloc_undo(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
+  env_.slot.logs.alloc_undo.push_back({obj, fn, ctx});
+}
+void task_ctx::log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx) {
+  env_.slot.logs.commit_retire.push_back({obj, fn, ctx});
+}
+
+void task_ctx::validate() { env_.rt.validate_now(env_); }
 
 // ---------------------------------------------------------------------------
 // read-word (paper Alg. 1, lines 5-16)
 // ---------------------------------------------------------------------------
 
-stm::word runtime::task_read(task_ctx& ctx, const stm::word* addr) {
-  ctx.check_safepoint();
-  ctx.maybe_periodic_validation();
-  thread_state& thr = ctx.thr_;
-  task_slot& slot = ctx.slot_;
+stm::word runtime::task_read(task_env& env, const stm::word* addr) {
+  env.check_safepoint();
+  maybe_periodic_validation(env);
+  thread_state& thr = env.thr;
+  task_slot& slot = env.slot;
   slot.karma.store(slot.karma.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
-  vt::worker_clock& clk = ctx.clock_;
-  const std::uint64_t my_serial = ctx.serial();
+  vt::worker_clock& clk = env.clock;
+  const std::uint64_t my_serial = env.serial();
   stm::lock_pair& pair = table_.for_addr(addr);
   util::backoff bo;
 
@@ -87,7 +90,7 @@ stm::word runtime::task_read(task_ctx& ctx, const stm::word* addr) {
     if (head == nullptr || head->ptid() != thr.ptid) {
       // Unlocked, or locked by another user-thread: SwissTM committed read —
       // other threads' speculative values are invisible (paper line 16).
-      return task_read_committed(ctx, addr, pair);
+      return task_read_committed(env, addr, pair);
     }
 
     // Stripe is write-locked by our own user-thread: find the newest entry
@@ -102,7 +105,7 @@ stm::word runtime::task_read(task_ctx& ctx, const stm::word* addr) {
         break;
       }
       clk.advance(cfg_.costs.chain_hop);
-      ctx.stats_.chain_hops++;
+      env.stats.chain_hops++;
       const std::uint64_t id = e->ident.load(std::memory_order_relaxed);
       if (stm::entry_ident::ptid(id) != thr.ptid) {
         stale = true;  // entry recycled under us — restart the walk
@@ -115,38 +118,38 @@ stm::word runtime::task_read(task_ctx& ctx, const stm::word* addr) {
       }
     }
     if (stale) {
-      ctx.check_safepoint();
+      env.check_safepoint();
       bo.spin();
       continue;
     }
     if (best == nullptr) {
       // Only future tasks (or other addresses) wrote here; our past view is
       // the committed state (paper: loop at line 8 exhausts the chain).
-      return task_read_committed(ctx, addr, pair);
+      return task_read_committed(env, addr, pair);
     }
     if (best->serial() == my_serial) {
       // Read-after-write from our own log needs no validation (line 10).
       clk.advance(cfg_.costs.read_own_write);
-      ctx.stats_.reads_speculative++;
+      env.stats.reads_speculative++;
       return best->value.load(std::memory_order_relaxed);
     }
 
     // Speculative read from a past task: wait until the writer has completed
-    // (paper line 11) so the value is final.
+    // (paper line 11) so the value is final. Parked wait on the thread's
+    // gate — completion advances and fence raises both wake it.
     const std::uint64_t writer_serial = best->serial();
     const std::uint32_t writer_inc = best->incarnation.load(std::memory_order_relaxed);
-    while (thr.completed_task.load(clk) < writer_serial) {
-      ctx.check_safepoint();  // writer rolling back fences us too
-      ctx.stats_.wait_spins++;
-      bo.spin();
-    }
+    thr.gate.await(cfg_.waits, env.stats.wait_spins, env.stats.wait_parks, [&] {
+      env.check_safepoint();  // writer rolling back fences us too
+      return thr.completed_task.load(clk) >= writer_serial;
+    });
     // Re-verify identity: the writer may have been rolled back and its log
     // recycled while we waited (then our fence check would normally fire,
     // but a cleared fence can race us — the identity check closes it).
     if (best->incarnation.load(std::memory_order_relaxed) != writer_inc ||
         best->ident.load(std::memory_order_relaxed) !=
             stm::entry_ident::pack(thr.ptid, writer_serial)) {
-      ctx.check_safepoint();
+      env.check_safepoint();
       bo.spin();
       continue;
     }
@@ -157,119 +160,63 @@ stm::word runtime::task_read(task_ctx& ctx, const stm::word* addr) {
     // trigger threshold, not a data dependency (DESIGN.md §5).
     const std::uint64_t cw = thr.completed_writer.load_unstamped();
     if (cw > slot.last_writer) {
-      if (!validate_task(thr, slot, clk, ctx.stats_)) {
+      if (!validate_task(thr, slot, clk, env.stats, cfg_.costs)) {
         thr.raise_fence(my_serial, clk);
-        ctx.stats_.abort_war++;
+        env.stats.abort_war++;
         throw stm::tx_abort{stm::tx_abort::reason::war};
       }
       slot.last_writer = cw;
     }
     slot.logs.task_read_log.push_back({&pair, addr, writer_serial, writer_inc});
     clk.advance(cfg_.costs.read_speculative);
-    ctx.stats_.reads_speculative++;
+    env.stats.reads_speculative++;
     return value;
   }
 }
 
-stm::word runtime::task_read_committed(task_ctx& ctx, const stm::word* addr,
+stm::word runtime::task_read_committed(task_env& env, const stm::word* addr,
                                        stm::lock_pair& pair) {
-  vt::worker_clock& clk = ctx.clock_;
+  vt::worker_clock& clk = env.clock;
   util::backoff bo;
   for (unsigned tries = 0; tries < read_retry_cap; ++tries) {
     const stm::word v1 = pair.r_lock.load(clk);
     if (v1 == stm::r_lock_locked) {
-      ctx.check_safepoint();
-      ctx.stats_.wait_spins++;
+      // A foreign committer is writing the stripe back — a short critical
+      // section, so this stays a (yielding) spin rather than a park: the
+      // publisher is another thread's commit path, which does not wake our
+      // gate.
+      env.check_safepoint();
+      env.stats.wait_spins++;
       bo.spin();
       continue;
     }
     const stm::word val = stm::load_word(addr);
     const stm::word v2 = pair.r_lock.load_unstamped();
     if (v1 != v2) continue;
-    if (v1 > ctx.slot_.valid_ts && !task_extend(ctx)) {
-      ctx.thr_.raise_fence(ctx.serial(), clk);
-      ctx.stats_.abort_validation++;
+    if (v1 > env.slot.valid_ts && !task_extend(env)) {
+      env.thr.raise_fence(env.serial(), clk);
+      env.stats.abort_validation++;
       throw stm::tx_abort{stm::tx_abort::reason::validation};
     }
-    ctx.slot_.logs.read_log.push_back({&pair, addr, v1});
+    env.slot.logs.read_log.push_back({&pair, addr, v1});
     clk.advance(cfg_.costs.read_committed);
-    ctx.stats_.reads_committed++;
+    env.stats.reads_committed++;
     return val;
   }
-  ctx.thr_.raise_fence(ctx.serial(), clk);
-  ctx.stats_.abort_validation++;
+  env.thr.raise_fence(env.serial(), clk);
+  env.stats.abort_validation++;
   throw stm::tx_abort{stm::tx_abort::reason::validation};
 }
 
-bool runtime::task_extend(task_ctx& ctx) {
+bool runtime::task_extend(task_env& env) {
   const stm::word ts = commit_ts_.load(std::memory_order_acquire);
-  for (const stm::read_log_entry& e : ctx.slot_.logs.read_log) {
-    if (e.locks->r_lock.load(ctx.clock_) != e.version) return false;
+  for (const stm::read_log_entry& e : env.slot.logs.read_log) {
+    if (e.locks->r_lock.load(env.clock) != e.version) return false;
   }
-  ctx.slot_.valid_ts = ts;
-  ctx.clock_.advance(cfg_.costs.ts_extend_fixed +
-                     cfg_.costs.log_entry_validate * ctx.slot_.logs.read_log.size());
-  ctx.stats_.ts_extensions++;
-  return true;
-}
-
-// ---------------------------------------------------------------------------
-// validate-task (paper Alg. 1, lines 17-31)
-// ---------------------------------------------------------------------------
-
-bool runtime::validate_task(thread_state& thr, task_slot& slot, vt::worker_clock& clk,
-                            util::stat_block& stats) {
-  stats.task_validations++;
-  const std::uint64_t my_serial = slot.serial.load(std::memory_order_relaxed);
-
-  // 1. Speculative reads: for each address we read from a past task, the
-  //    newest past entry *for that address* (skipping futures, our own
-  //    writes, and colliding addresses on the shared stripe) must still be
-  //    the exact entry we read (lines 18-25, address-refined — the paper's
-  //    per-location logic at stripe granularity would deadlock on stripe
-  //    collisions, see read_log_entry).
-  for (const stm::task_read_log_entry& e : slot.logs.task_read_log) {
-    stm::write_entry* w = e.locks->w_lock.load(clk);
-    if (w == nullptr || w->ptid() != thr.ptid) {
-      // The writer's transaction committed or aborted in the meantime —
-      // conservatively invalid (paper line 25).
-      return false;
-    }
-    unsigned hops = 0;
-    while (w != nullptr &&
-           (w->serial() >= my_serial ||
-            w->addr.load(std::memory_order_relaxed) != e.addr)) {
-      if (w->ptid() != thr.ptid || ++hops > chain_hop_cap) return false;
-      w = w->prev.load(std::memory_order_acquire);
-      clk.advance(cfg_.costs.chain_hop);
-    }
-    if (w == nullptr || w->ptid() != thr.ptid || w->serial() != e.serial ||
-        w->incarnation.load(std::memory_order_relaxed) != e.incarnation) {
-      return false;
-    }
-  }
-
-  // 2. Committed reads: a past task speculatively writing an *address* we
-  //    read from committed state is a WAR conflict (lines 26-31). Colliding
-  //    addresses on the same stripe are not conflicts — the stripe version
-  //    check at commit covers inter-thread safety.
-  for (const stm::read_log_entry& e : slot.logs.read_log) {
-    stm::write_entry* w = e.locks->w_lock.load(clk);
-    if (w == nullptr || w->ptid() != thr.ptid) continue;
-    unsigned hops = 0;
-    while (w != nullptr) {
-      if (w->ptid() != thr.ptid || ++hops > chain_hop_cap) return false;
-      if (w->serial() < my_serial &&
-          w->addr.load(std::memory_order_relaxed) == e.addr) {
-        return false;  // a past task overwrote the value we read
-      }
-      w = w->prev.load(std::memory_order_acquire);
-      clk.advance(cfg_.costs.chain_hop);
-    }
-  }
-
-  clk.advance(cfg_.costs.task_log_validate *
-              (slot.logs.task_read_log.size() + slot.logs.read_log.size()));
+  env.slot.valid_ts = ts;
+  env.clock.advance(cfg_.costs.ts_extend_fixed +
+                    cfg_.costs.log_entry_validate * env.slot.logs.read_log.size());
+  env.stats.ts_extensions++;
   return true;
 }
 
@@ -277,15 +224,15 @@ bool runtime::validate_task(thread_state& thr, task_slot& slot, vt::worker_clock
 // write-word (paper Alg. 2, lines 33-53)
 // ---------------------------------------------------------------------------
 
-void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
-  ctx.check_safepoint();
-  ctx.maybe_periodic_validation();
-  thread_state& thr = ctx.thr_;
-  task_slot& slot = ctx.slot_;
+void runtime::task_write(task_env& env, stm::word* addr, stm::word value) {
+  env.check_safepoint();
+  maybe_periodic_validation(env);
+  thread_state& thr = env.thr;
+  task_slot& slot = env.slot;
   slot.karma.store(slot.karma.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
-  vt::worker_clock& clk = ctx.clock_;
-  const std::uint64_t my_serial = ctx.serial();
+  vt::worker_clock& clk = env.clock;
+  const std::uint64_t my_serial = env.serial();
   stm::lock_pair& pair = table_.for_addr(addr);
   util::backoff bo;
   unsigned polite_left = cfg_.cm_polite_spins;
@@ -294,7 +241,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
     // Structural chain pushes pause while a rollback is popping entries
     // (DESIGN.md §4.3 keeps pop/push mutually ordered this way).
     if (thr.fence_active_unstamped()) {
-      ctx.check_safepoint();
+      env.check_safepoint();
       bo.spin();
       return false;
     }
@@ -318,20 +265,20 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
 
   auto post_push_checks = [&] {
     slot.wrote.store(true, std::memory_order_relaxed);
-    ctx.stats_.writes++;
+    env.stats.writes++;
     clk.advance(cfg_.costs.write_word);
     // Paper line 52: the stripe may carry a version newer than our snapshot.
-    if (pair.r_lock.load(clk) > slot.valid_ts && !task_extend(ctx)) {
+    if (pair.r_lock.load(clk) > slot.valid_ts && !task_extend(env)) {
       thr.raise_fence(my_serial, clk);
-      ctx.stats_.abort_validation++;
+      env.stats.abort_validation++;
       throw stm::tx_abort{stm::tx_abort::reason::validation};
     }
     // Paper line 53: WAR validation trigger (unstamped snapshot).
     const std::uint64_t cw = thr.completed_writer.load_unstamped();
     if (cw > slot.last_writer) {
-      if (!validate_task(thr, slot, clk, ctx.stats_)) {
+      if (!validate_task(thr, slot, clk, env.stats, cfg_.costs)) {
         thr.raise_fence(my_serial, clk);
-        ctx.stats_.abort_war++;
+        env.stats.abort_war++;
         throw stm::tx_abort{stm::tx_abort::reason::war};
       }
       slot.last_writer = cw;
@@ -339,7 +286,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
   };
 
   for (;;) {
-    ctx.check_safepoint();
+    env.check_safepoint();
     stm::write_entry* head = pair.w_lock.load(clk);
 
     if (head == nullptr) {
@@ -357,18 +304,21 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
 
     if (hptid != thr.ptid) {
       // Write/write conflict with another user-thread (paper lines 41-43).
+      // Foreign-owner waits stay spinning: the owner's release path commits
+      // on another thread's gate, so there is no wake publication to park
+      // on; the backoff reaches OS-yield granularity quickly.
       if (polite_left > 0) {
         --polite_left;
-        ctx.stats_.wait_spins++;
+        env.stats.wait_spins++;
         bo.spin();
         continue;
       }
-      if (cm_should_abort(ctx, head)) {
+      if (cm_.should_abort(env, head)) {
         thr.raise_fence(my_serial, clk);
-        ctx.stats_.abort_cm++;
+        env.stats.abort_cm++;
         throw stm::tx_abort{stm::tx_abort::reason::cm};
       }
-      ctx.stats_.wait_spins++;
+      env.stats.wait_spins++;
       bo.spin();
       continue;
     }
@@ -379,10 +329,14 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
       // gate keeps the rolled-back futures parked until we complete, so the
       // stripe hand-off cannot livelock on an oversubscribed core.
       thr.waw_gate.store(my_serial, std::memory_order_relaxed);
-      if (thr.raise_fence(hserial, clk)) ctx.stats_.abort_waw_signalled++;
-      ctx.check_safepoint();
-      ctx.stats_.wait_spins++;
-      bo.spin();
+      if (thr.raise_fence(hserial, clk)) env.stats.abort_waw_signalled++;
+      env.check_safepoint();
+      // Park until the rollback coordinator pops the future's entries (its
+      // fence release wakes the gate) or our own fence covers us.
+      thr.gate.await(cfg_.waits, env.stats.wait_spins, env.stats.wait_parks, [&] {
+        return pair.w_lock.load_unstamped() != head ||
+               thr.fence_covers_unstamped(my_serial);
+      });
       continue;
     }
 
@@ -407,7 +361,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
         if (s == my_serial) {
           if (e->addr.load(std::memory_order_relaxed) == addr) {
             e->value.store(value, std::memory_order_relaxed);
-            ctx.stats_.writes++;
+            env.stats.writes++;
             clk.advance(cfg_.costs.write_word);
             return;
           }
@@ -424,7 +378,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
           thr.completed_task.load(clk) < newest_past->serial()) {
         // Past writer still running — we are from its future (paper line 45).
         thr.raise_fence(my_serial, clk);
-        ctx.stats_.abort_waw_past_running++;
+        env.stats.abort_waw_past_running++;
         throw stm::tx_abort{stm::tx_abort::reason::waw_past_running};
       }
       if (push_entry(head)) {
@@ -438,7 +392,7 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
     if (thr.completed_task.load(clk) < hserial) {
       // Still running: one running writer per location (paper line 45).
       thr.raise_fence(my_serial, clk);
-      ctx.stats_.abort_waw_past_running++;
+      env.stats.abort_waw_past_running++;
       throw stm::tx_abort{stm::tx_abort::reason::waw_past_running};
     }
     // Completed: stack a new entry on top (paper line 51).
@@ -447,100 +401,6 @@ void runtime::task_write(task_ctx& ctx, stm::word* addr, stm::word value) {
       return;
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-// cm-should-abort (paper Alg. 2, lines 54-64) — task-aware inter-thread CM
-// ---------------------------------------------------------------------------
-
-bool runtime::cm_should_abort(task_ctx& ctx, stm::write_entry* head) {
-  auto* other = static_cast<thread_state*>(head->owner_thread.load(std::memory_order_relaxed));
-  thread_state& thr = ctx.thr_;
-  if (other == nullptr || other == &thr) return false;
-
-  const std::uint64_t owner_serial = head->serial();
-  task_slot& oslot = other->slot_for(owner_serial);
-  if (oslot.serial.load(std::memory_order_acquire) != owner_serial) {
-    return false;  // stale peek (slot recycled); caller re-reads the lock
-  }
-  const std::uint64_t owner_tx_start = oslot.tx_start_serial.load(std::memory_order_relaxed);
-
-  if (cfg_.cm_task_aware) {
-    // Progress = completed tasks of the transaction so far (paper lines
-    // 55-56): the more progressed side is less speculative and more likely
-    // to commit.
-    // Unstamped peeks: the comparison is a heuristic; joining another
-    // thread's completion stamp would drag our timeline for a decision
-    // that transfers no data.
-    const auto my_progress =
-        static_cast<std::int64_t>(thr.completed_task.load_unstamped()) -
-        static_cast<std::int64_t>(ctx.slot_.tx_start_serial.load(std::memory_order_relaxed));
-    const auto owner_progress =
-        static_cast<std::int64_t>(other->completed_task.load_unstamped()) -
-        static_cast<std::int64_t>(owner_tx_start);
-
-    if (my_progress > owner_progress) {
-      if (other->raise_fence(owner_tx_start, ctx.clock_)) ctx.stats_.abort_tx_inter++;
-      return false;  // wait for the victim to release the stripe
-    }
-    if (my_progress < owner_progress) return true;
-  }
-
-  // Tie: the configured classic CM decides (lines 61-64; the paper ships
-  // two-phase greedy and names this layer pluggable).
-  switch (cfg_.cm_tie_break) {
-    case cm_policy::aggressive:
-      // The requester always wins — maximal progress for the attacker,
-      // livelock-prone under symmetric contention (the ablation shows it).
-      if (other->raise_fence(owner_tx_start, ctx.clock_)) ctx.stats_.abort_tx_inter++;
-      return false;
-    case cm_policy::polite:
-      // The requester yields after its polite spins — but only boundedly:
-      // a requester that can never abort an owner deadlocks on the crossed
-      // stripe cycle of paper §3.2, so after repeated consecutive losses we
-      // escalate to the greedy decision below.
-      if (ctx.slot_.consecutive_restarts < cfg_.cm_polite_abort_cap) return true;
-      break;  // escalate: greedy decides
-    case cm_policy::karma: {
-      // More transactional accesses = more work to lose = higher priority.
-      // Relaxed foreign peeks: the comparison is a heuristic (see the
-      // progress peeks above); ties fall through to greedy.
-      const std::uint64_t mine =
-          tx_karma(thr, ctx.slot_.tx_start_serial.load(std::memory_order_relaxed),
-                   ctx.slot_.tx_commit_serial.load(std::memory_order_relaxed));
-      const std::uint64_t theirs =
-          tx_karma(*other, owner_tx_start,
-                   oslot.tx_commit_serial.load(std::memory_order_relaxed));
-      if (mine > theirs) {
-        if (other->raise_fence(owner_tx_start, ctx.clock_)) ctx.stats_.abort_tx_inter++;
-        return false;
-      }
-      if (mine < theirs) return true;
-      break;  // karma tie → greedy
-    }
-    case cm_policy::greedy:
-      break;
-  }
-  if (ctx.slot_.tx_greedy_ts.load(std::memory_order_relaxed) <
-      oslot.tx_greedy_ts.load(std::memory_order_relaxed)) {
-    if (other->raise_fence(owner_tx_start, ctx.clock_)) ctx.stats_.abort_tx_inter++;
-    return false;
-  }
-  return true;
-}
-
-/// Karma priority of a transaction: accesses performed so far by its active
-/// tasks. Foreign slots are peeked relaxed and identity-checked — a recycled
-/// slot contributes garbage only to a heuristic.
-std::uint64_t runtime::tx_karma(thread_state& thr, std::uint64_t tx_start,
-                                std::uint64_t tx_commit) const {
-  std::uint64_t sum = 0;
-  for (std::uint64_t s = tx_start; s <= tx_commit && s < tx_start + thr.depth; ++s) {
-    task_slot& sl = thr.slot_for(s);
-    if (sl.serial.load(std::memory_order_acquire) != s) continue;
-    sum += sl.karma.load(std::memory_order_relaxed);
-  }
-  return sum;
 }
 
 }  // namespace tlstm::core

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "sched/wait_gate.hpp"
 #include "stm/descriptor.hpp"
 #include "stm/lock_table.hpp"
 #include "util/epoch.hpp"
@@ -73,6 +74,13 @@ struct task_slot {
 
   // --- Coordination. ---
   vt::stamped_atomic<std::uint32_t> phase;  ///< task_phase values
+  /// Point-to-point wait gate (DESIGN.md §8): waits with a single known
+  /// waker park here — the slot's worker awaiting its install, the
+  /// submitter awaiting slot reuse, and the commit-serialization wait of
+  /// the slot's task (woken by the completion of serial-1). Keeping these
+  /// off the thread-wide gate avoids waking every parked worker of a deep
+  /// pipeline on every publication (thundering herd).
+  sched::wait_gate gate;
 
   // --- Oracle support (commit-task only; valid when record_commits). ---
   stm::word commit_ts_value = 0;
@@ -85,13 +93,33 @@ struct task_slot {
   }
 };
 
+/// Narrow internal execution context of one running task incarnation — the
+/// only surface the transactional ops (task.cpp), the commit pipeline
+/// (core/commit.cpp) and the contention manager (core/contention.cpp) see.
+/// task_ctx, the user-facing API, wraps one of these; nothing befriends or
+/// reaches into task_ctx anymore, so the internal components stay
+/// independently testable against a plain aggregate of references.
+struct task_env {
+  runtime& rt;
+  thread_state& thr;
+  task_slot& slot;
+  vt::worker_clock& clock;
+  util::stat_block& stats;
+  util::reclaimer& reclaimer;
+
+  std::uint64_t serial() const noexcept {
+    return slot.serial.load(std::memory_order_relaxed);
+  }
+  /// Fence poll — every runtime entry point passes through here; throws
+  /// stm::tx_abort when the thread's restart fence covers this task.
+  void check_safepoint() const;
+};
+
 /// The context handed to task closures — the TLSTM transactional API.
 /// Mirrors swiss_thread's surface so workloads are generic over either.
 class task_ctx {
  public:
-  task_ctx(runtime& rt, thread_state& thr, task_slot& slot, vt::worker_clock& clk,
-           util::stat_block& stats, util::reclaimer& rec)
-      : rt_(rt), thr_(thr), slot_(slot), clock_(clk), stats_(stats), reclaimer_(rec) {}
+  explicit task_ctx(task_env& env) : env_(env) {}
 
   /// Transactional word read (paper Alg. 1, read-word).
   stm::word read(const stm::word* addr);
@@ -102,37 +130,28 @@ class task_ctx {
   /// Reports `n` completed workload-level operations. Buffered per
   /// incarnation and folded into stat_block::user_ops only at transaction
   /// commit, so re-executed attempts never inflate throughput.
-  void count_ops(std::uint64_t n) noexcept { slot_.ops_reported += n; }
+  void count_ops(std::uint64_t n) noexcept { env_.slot.ops_reported += n; }
   /// Forces a full consistency validation now (inconsistent-read guard).
   void validate();
   /// User-requested restart of the current task.
   [[noreturn]] void abort_self();
+  /// Cooperative abort point: throws when the thread's restart fence covers
+  /// this task. Long non-transactional stretches inside a closure may call
+  /// this to abandon doomed work early; every read/write already polls it.
+  void check_safepoint() { env_.check_safepoint(); }
 
   /// Registers an allocation to undo if this task rolls back.
   void log_alloc_undo(void* obj, util::reclaimer::deleter_fn fn, void* ctx);
   /// Registers a free to execute (post grace period) once the tx commits.
   void log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void* ctx);
 
-  std::uint64_t serial() const noexcept;
-  util::stat_block& stats() noexcept { return stats_; }
-  vt::worker_clock& clock() noexcept { return clock_; }
-  util::reclaimer& reclaimer() noexcept { return reclaimer_; }
+  std::uint64_t serial() const noexcept { return env_.serial(); }
+  util::stat_block& stats() noexcept { return env_.stats; }
+  vt::worker_clock& clock() noexcept { return env_.clock; }
+  util::reclaimer& reclaimer() noexcept { return env_.reclaimer; }
 
  private:
-  friend class runtime;
-
-  /// Fence poll — every runtime entry point passes through here.
-  void check_safepoint();
-  stm::word read_committed(const stm::word* addr, stm::lock_pair& pair);
-  bool extend();
-  void maybe_periodic_validation();
-
-  runtime& rt_;
-  thread_state& thr_;
-  task_slot& slot_;
-  vt::worker_clock& clock_;
-  util::stat_block& stats_;
-  util::reclaimer& reclaimer_;
+  task_env& env_;
 };
 
 }  // namespace tlstm::core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/task.hpp"
+#include "sched/wait_gate.hpp"
 #include "util/cache.hpp"
 #include "util/spin.hpp"
 #include "vt/adapt_controller.hpp"
@@ -92,6 +93,23 @@ struct thread_state {
   /// no return, closing the fence-vs-commit race (DESIGN.md §4.3).
   stamped_mutex rollback_mu;
 
+  /// The thread's frontier gate (DESIGN.md §8): waits on shared state with
+  /// many potential wakers or waiters — completion/commit frontier
+  /// advances, the fence, the WAW gate, rollback election, drain, session
+  /// tickets — park here. Point-to-point waits park on the per-slot gates
+  /// (task_slot::gate); every publication wakes exactly the gates whose
+  /// predicates it can flip.
+  sched::wait_gate gate;
+
+  /// Broadcast wake for fence raises/releases, window moves and shutdown:
+  /// fence-sensitive predicates park on *both* gate classes (e.g. the
+  /// commit-serialization wait polls the fence from a slot gate), so these
+  /// rare events wake everything.
+  void wake_fence_event() noexcept {
+    gate.wake_all();
+    for (task_slot& sl : owners) sl.gate.wake_all();
+  }
+
   std::atomic<bool> shutdown{false};
 
   /// Commit journal (oracle tests); appended by commit-tasks under
@@ -112,6 +130,10 @@ struct thread_state {
       lowered = true;
     }
     rollback_mu.unlock(clk);
+    // Fence raises flip wait predicates (safepoint polls inside parked
+    // waits, the rollback election) — wake so no covered task sleeps
+    // through its own abort.
+    if (lowered) wake_fence_event();
     return lowered;
   }
 

@@ -1,0 +1,40 @@
+// The restart backoff ladder (DESIGN.md §8). Extracted from
+// runtime::run_one_incarnation, where its constants were hard-coded: the
+// early levels damp immediate re-collision; the late levels reach OS
+// scheduler granularity, which is what actually breaks inter-thread CM
+// livelocks on oversubscribed cores — the repeat loser must stay off-CPU
+// long enough for the winner's worker to observe the released stripe and
+// commit.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "sched/params.hpp"
+#include "util/spin.hpp"
+
+namespace tlstm::sched {
+
+/// One pause of the ladder at escalation `level` (the task's consecutive
+/// restart count, starting at 1). `max_shift` bounds the randomized relax
+/// burst to 2^max_shift iterations (config::backoff_max_shift). `rng` must
+/// expose next_below(bound).
+template <typename Rng>
+void ladder_pause(const ladder_params& p, unsigned level, unsigned max_shift,
+                  Rng& rng) {
+  if (level <= p.relax_levels) {
+    const std::uint64_t iters = rng.next_below(
+        std::uint64_t{1} << std::min<std::uint64_t>(level + 4, max_shift));
+    for (std::uint64_t i = 0; i < iters; ++i) util::cpu_relax();
+  } else if (level <= p.yield_levels) {
+    std::this_thread::yield();
+  } else {
+    const unsigned steps = std::min(level - p.yield_levels, p.sleep_cap_steps);
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        p.sleep_base_us + rng.next_below(p.sleep_step_us * steps)));
+  }
+}
+
+}  // namespace tlstm::sched

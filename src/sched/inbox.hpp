@@ -1,0 +1,114 @@
+// Bounded MPSC inbox (DESIGN.md §8): the submission queue between many
+// session clients (producers) and one pipeline driver (the single consumer).
+//
+// The ring is the classic bounded sequence-number queue: each cell carries a
+// sequence counter that encodes whether it is free for the producer of a
+// given position or holds data for the consumer. Producers claim positions
+// with a CAS on `tail_`; the single consumer owns `head_` outright.
+// Blocking is layered on top with two wait_gates — producers park while the
+// ring is full (backpressure), the consumer parks while it is empty — so a
+// stalled pipeline never costs its clients CPU.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "sched/wait_gate.hpp"
+#include "util/cache.hpp"
+
+namespace tlstm::sched {
+
+template <typename T>
+class bounded_inbox {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit bounded_inbox(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T&& v) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell& c = cells_[pos & mask_];
+      const std::size_t seq = c.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::ptrdiff_t>(seq) -
+                       static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          c.val = std::move(v);
+          c.seq.store(pos + 1, std::memory_order_release);
+          not_empty_.wake_one();  // single consumer
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Blocking push: parks on the not-full gate while the ring is full.
+  void push_wait(const wait_params& p, T&& v) {
+    not_full_.await(p, [&] { return try_push(std::move(v)); });
+  }
+
+  /// Consumer side — single consumer only. Returns false when empty.
+  bool try_pop(T& out) {
+    cell& c = cells_[head_ & mask_];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    if (seq != head_ + 1) return false;  // empty (or producer mid-publish)
+    out = std::move(c.val);
+    c.val = T{};  // drop captured resources before the slot idles
+    c.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    not_full_.wake_one();  // one freed slot admits exactly one producer
+    return true;
+  }
+
+  /// Blocking pop: parks while empty. Returns false only when `stopped()`
+  /// is true AND the ring has been fully drained — pending submissions are
+  /// always delivered before a shutdown is honoured.
+  template <typename Stop>
+  bool pop_wait(const wait_params& p, T& out, Stop&& stopped) {
+    bool got = false;
+    not_empty_.await(p, [&] {
+      got = try_pop(out);
+      return got || stopped();
+    });
+    return got;
+  }
+
+  /// Wakes both sides — for shutdown flags that live outside the inbox.
+  void wake_all() noexcept {
+    not_empty_.wake_all();
+    not_full_.wake_all();
+  }
+
+ private:
+  struct cell {
+    std::atomic<std::size_t> seq{0};
+    T val{};
+  };
+
+  std::unique_ptr<cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(util::cache_line_size) std::atomic<std::size_t> tail_{0};
+  alignas(util::cache_line_size) std::size_t head_ = 0;
+  wait_gate not_full_;
+  wait_gate not_empty_;
+};
+
+}  // namespace tlstm::sched

@@ -1,0 +1,37 @@
+// Tunables of the scheduling substrate (DESIGN.md §8): how runtime waits
+// behave (bounded spin, then park) and how restarted tasks back off. Kept in
+// a dependency-free header so core/config.hpp can embed them without pulling
+// the wait machinery into every include chain.
+#pragma once
+
+#include <cstdint>
+
+namespace tlstm::sched {
+
+/// Policy for every predicate wait that goes through a wait_gate.
+struct wait_params {
+  /// Park on the gate's futex once the spin budget is exhausted. Disabling
+  /// this reproduces the pre-parking runtime (pure bounded-backoff spinning)
+  /// — the baseline column of bench/abl_sessions.
+  bool park = true;
+  /// Failed predicate checks (each with escalating util::backoff pauses)
+  /// before the waiter parks. Small values favour CPU time; larger values
+  /// favour wake latency when the predicate flips quickly.
+  std::uint32_t spin_rounds = 64;
+};
+
+/// The escalating restart backoff ladder applied between incarnations of an
+/// aborted task (sched::ladder_pause). Levels 1..relax_levels pause for a
+/// randomized number of cpu_relax iterations; levels up to yield_levels
+/// yield to the OS scheduler; beyond that the loser sleeps for a randomized,
+/// linearly growing interval — the off-CPU stretch that breaks inter-thread
+/// CM livelocks on oversubscribed cores (see runtime::run_one_incarnation).
+struct ladder_params {
+  unsigned relax_levels = 6;
+  unsigned yield_levels = 10;
+  unsigned sleep_base_us = 100;
+  unsigned sleep_step_us = 250;
+  unsigned sleep_cap_steps = 8;
+};
+
+}  // namespace tlstm::sched

@@ -1,0 +1,105 @@
+// The parked-waiting substrate (DESIGN.md §8).
+//
+// Every predicate wait in the runtime used to be an unbounded spin; on hosts
+// where workers outnumber cores that turns the whole system into busy-wait
+// thrash. A wait_gate replaces those spins with *bounded* spinning followed
+// by a futex park (std::atomic::wait), without changing what the waits
+// observe: the predicate still performs the exact same (virtual-time
+// stamped) loads, so §5 stall detection and causality joins are identical
+// whether a waiter spun or parked.
+//
+// Protocol. The gate is a single epoch counter. Writers publish state, then
+// call wake_all(), which bumps the epoch and notifies parked waiters.
+// Waiters snapshot the epoch, re-check the predicate, and only then park on
+// the snapshotted value. A wake that lands between the snapshot and the park
+// makes the park return immediately (the epoch no longer matches), so a
+// waiter can never sleep through a publication — provided every
+// predicate-changing store is followed by a wake_all on the gate the waiter
+// parks on. The runtime's wake-publication points are enumerated in
+// DESIGN.md §8.
+//
+// Memory ordering: wake_all bumps the epoch with release after the state
+// store; a waiter that reads the bumped epoch (acquire) therefore sees the
+// published state when it re-checks the predicate. A waiter that reads the
+// old epoch parks, and the notify wakes it to re-check.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "sched/params.hpp"
+#include "util/spin.hpp"
+
+namespace tlstm::sched {
+
+class wait_gate {
+ public:
+  wait_gate() = default;
+  wait_gate(const wait_gate&) = delete;
+  wait_gate& operator=(const wait_gate&) = delete;
+
+  /// Publishes "relevant state changed": every parked waiter re-checks its
+  /// predicate. Callers must issue this *after* the predicate-visible store.
+  /// Cheap when nobody is parked (libstdc++ elides the futex syscall).
+  void wake_all() noexcept {
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+  }
+
+  /// Wakes at most one parked waiter. Correct only when the published state
+  /// change can satisfy exactly one waiter (e.g. one freed ring slot admits
+  /// one producer): a woken waiter whose predicate stays false re-parks and
+  /// rides the next wake; waiters parked before this bump stay asleep until
+  /// some wake picks them (futex semantics — blocked waiters don't observe
+  /// epoch changes).
+  void wake_one() noexcept {
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_one();
+  }
+
+  /// Waits until `pred()` returns true: `spin_rounds` backoff-paced checks,
+  /// then parks between checks (or spins forever when parking is off).
+  /// `spins` counts failed pre-park checks (the old wait_spins semantics);
+  /// `parks` counts futex sleeps. Exceptions thrown by the predicate
+  /// propagate (the runtime's waits poll the restart fence inside `pred`).
+  template <typename Pred>
+  void await(const wait_params& p, std::uint64_t& spins, std::uint64_t& parks,
+             Pred&& pred) {
+    if (pred()) return;
+    util::backoff bo;
+    std::uint32_t rounds = 0;
+    for (;;) {
+      if (!p.park || rounds < p.spin_rounds) {
+        ++spins;
+        ++rounds;
+        bo.spin();
+        if (pred()) return;
+        continue;
+      }
+      const std::uint32_t e = epoch_.load(std::memory_order_acquire);
+      if (pred()) return;  // final check against the snapshotted epoch
+      ++parks;
+      epoch_.wait(e, std::memory_order_acquire);
+      if (pred()) return;
+    }
+  }
+
+  /// Counter-less convenience for callers without a stat block (tests,
+  /// session clients).
+  template <typename Pred>
+  void await(const wait_params& p, Pred&& pred) {
+    std::uint64_t spins = 0, parks = 0;
+    await(p, spins, parks, std::forward<Pred>(pred));
+  }
+
+  /// Epoch snapshot — diagnostic only.
+  std::uint32_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> epoch_{0};
+};
+
+}  // namespace tlstm::sched

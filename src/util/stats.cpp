@@ -27,6 +27,7 @@ void stat_block::accumulate(const stat_block& other) noexcept {
   ts_extensions += other.ts_extensions;
   chain_hops += other.chain_hops;
   wait_spins += other.wait_spins;
+  wait_parks += other.wait_parks;
   user_ops += other.user_ops;
   window_shrinks += other.window_shrinks;
   window_grows += other.window_grows;
@@ -52,7 +53,7 @@ std::ostream& operator<<(std::ostream& os, const stat_block& s) {
      << " rd_spec=" << s.reads_speculative << " wr=" << s.writes
      << " validations=" << s.task_validations << " ext=" << s.ts_extensions
      << " hops=" << s.chain_hops << " spins=" << s.wait_spins
-     << " user_ops=" << s.user_ops << "} adapt{shrinks=" << s.window_shrinks
+     << " parks=" << s.wait_parks << " user_ops=" << s.user_ops << "} adapt{shrinks=" << s.window_shrinks
      << " grows=" << s.window_grows << " deferred=" << s.tasks_deferred
      << " win_stalls=" << s.window_stalls << " drain_stalls=" << s.drain_stalls
      << "}";

@@ -41,6 +41,7 @@ struct alignas(cache_line_size) stat_block {
   std::uint64_t ts_extensions = 0;
   std::uint64_t chain_hops = 0;        // redo-chain entries traversed
   std::uint64_t wait_spins = 0;        // failed predicate checks in waits
+  std::uint64_t wait_parks = 0;        // futex parks after the spin budget
 
   // Workload-reported operations (count_ops); committed work only — the
   // harness falls back to committed_tx * ops_per_tx when this stays 0.

@@ -1,0 +1,99 @@
+// Oversubscription stress (DESIGN.md §8): worker counts at >= 4x the host's
+// hardware concurrency must run to completion — deadlock-free parking, no
+// lost wakeups — and stay serializable. Runs under the stress label with
+// both the parked substrate (default) and the pure-spin baseline, plus a
+// contention storm where every transaction collides on a shared cursor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/session.hpp"
+#include "support/replay.hpp"
+#include "support/word_programs.hpp"
+#include "support/word_runners.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+/// threads x depth >= 4x cores (bounded: gigantic CI hosts cap at 256
+/// workers, which still oversubscribes anything with <= 64 cores).
+core::config oversubscribed_cfg(unsigned threads) {
+  const unsigned hc = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned target = std::min(4 * hc, 256u);
+  core::config cfg;
+  cfg.num_threads = threads;
+  cfg.spec_depth = std::max(2u, (target + threads - 1) / threads);
+  cfg.log2_table = 12;
+  return cfg;
+}
+
+void run_and_check(core::config cfg, std::uint64_t txs_per_thread,
+                   unsigned tasks_per_tx) {
+  cfg.record_commits = true;
+  const support::program_shape shape{40, 5, /*write_heavy=*/true};
+  const std::uint64_t seed = 0x0eb5cf1bull + cfg.num_threads;
+  const auto run =
+      support::run_tlstm(cfg, txs_per_thread, tasks_per_tx, seed, shape);
+  std::string err;
+  const auto order =
+      support::global_commit_order(run.journals, txs_per_thread, &err);
+  ASSERT_FALSE(order.empty()) << err;
+  EXPECT_EQ(run.mem, support::replay_sequential(order, seed, tasks_per_tx, shape));
+}
+
+TEST(OversubscribeStress, ParkedFourTimesCoresSerializable) {
+  run_and_check(oversubscribed_cfg(4), /*txs_per_thread=*/60, /*tasks_per_tx=*/2);
+}
+
+TEST(OversubscribeStress, SpinBaselineFourTimesCoresSerializable) {
+  auto cfg = oversubscribed_cfg(4);
+  cfg.waits.park = false;  // the pre-parking runtime must still be correct
+  run_and_check(cfg, /*txs_per_thread=*/40, /*tasks_per_tx=*/2);
+}
+
+TEST(OversubscribeStress, DeepPipelinesEagerParking) {
+  auto cfg = oversubscribed_cfg(2);
+  cfg.spec_depth = std::max(cfg.spec_depth, 3u);  // room for 3-task txs
+  cfg.waits.spin_rounds = 0;  // park on the first failed check everywhere
+  run_and_check(cfg, /*txs_per_thread=*/50, /*tasks_per_tx=*/3);
+}
+
+TEST(OversubscribeStress, SessionsContentionStormAtFourTimesCores) {
+  // Many clients, few oversubscribed pipelines, every transaction bumping a
+  // shared cursor: the CM + fence + parking machinery under total conflict.
+  auto cfg = oversubscribed_cfg(4);
+  cfg.session_inbox_capacity = 4;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  constexpr unsigned n_clients = 32;
+  constexpr std::uint64_t per_client = 8;
+  word cursor = 0;
+  std::vector<word> cells(64, 0);
+  word* cp = &cursor;
+  word* mp = cells.data();
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<core::ticket> mine;
+      for (std::uint64_t i = 0; i < per_client; ++i) {
+        mine.push_back(s.submit_keyed(c, {[=](core::task_ctx& t) {
+          const word pos = t.read(cp);
+          t.write(cp, pos + 1);
+          t.write(&mp[(c * 17 + pos) % 64], pos);
+        }}));
+      }
+      for (auto& t : mine) t.wait();
+    });
+  }
+  for (auto& t : clients) t.join();
+  rt.stop();
+  EXPECT_EQ(cursor, n_clients * per_client);
+}
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Session front-end (DESIGN.md §8): many concurrent clients multiplexed
+// onto few pipelines through bounded inboxes, per-submission tickets, and
+// routing. The centerpiece is a 64-client / 4-pipeline linearizability
+// check: every transaction appends its identity to a transactionally
+// maintained history log, and replaying the logged order through the
+// sequential reference engine (tests/support/word_programs.hpp) must
+// reproduce the exact final memory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/session.hpp"
+#include "support/word_programs.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+core::config small_cfg(unsigned threads, unsigned depth) {
+  core::config cfg;
+  cfg.num_threads = threads;
+  cfg.spec_depth = depth;
+  cfg.log2_table = 10;
+  return cfg;
+}
+
+TEST(Session, SingleClientTicketsComplete) {
+  core::runtime rt(small_cfg(2, 2));
+  auto s = rt.open_session();
+  EXPECT_EQ(s.pipelines(), 2u);
+  std::vector<word> cells(16, 0);
+  auto* mem = cells.data();
+  std::vector<core::ticket> tickets;
+  for (unsigned i = 0; i < 16; ++i) {
+    tickets.push_back(s.submit_single([mem, i](core::task_ctx& c) {
+      c.write(&mem[i], c.read(&mem[i]) + (i + 1));
+    }));
+  }
+  for (auto& t : tickets) {
+    t.wait();
+    EXPECT_TRUE(t.done());
+  }
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(cells[i], i + 1);
+  rt.stop();
+}
+
+TEST(Session, SubmitValidatesDecomposition) {
+  core::runtime rt(small_cfg(1, 2));
+  auto s = rt.open_session();
+  EXPECT_THROW(s.submit({}), std::invalid_argument);
+  std::vector<core::task_fn> three(3, [](core::task_ctx&) {});
+  EXPECT_THROW(s.submit(std::move(three)), std::invalid_argument);
+  rt.stop();
+}
+
+TEST(Session, MultiTaskTransactionsThroughSessions) {
+  core::runtime rt(small_cfg(2, 3));
+  auto s = rt.open_session();
+  word shared[2] = {0, 0};
+  std::vector<core::ticket> tickets;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<core::task_fn> tasks;
+    tasks.push_back([&shared](core::task_ctx& c) {
+      c.write(&shared[0], c.read(&shared[0]) + 1);
+    });
+    tasks.push_back([&shared](core::task_ctx& c) {
+      // Reads the sibling task's speculative value: intra-tx dependency.
+      c.write(&shared[1], c.read(&shared[0]) * 2);
+    });
+    tickets.push_back(s.submit(std::move(tasks)));
+  }
+  for (auto& t : tickets) t.wait();
+  EXPECT_EQ(shared[0], 30u);
+  EXPECT_EQ(shared[1], shared[0] * 2);
+  rt.stop();
+}
+
+TEST(Session, KeyedAffinityPreservesSubmissionOrder) {
+  // All submissions of one key land on one pipeline in FIFO order, so the
+  // last submitted write wins. (Round-robin gives no such guarantee.)
+  core::runtime rt(small_cfg(4, 2));
+  auto s = rt.open_session();
+  word cell = 0;
+  constexpr std::uint64_t n = 200;
+  core::ticket last;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    last = s.submit_keyed(42, {[&cell, i](core::task_ctx& c) {
+      (void)c.read(&cell);
+      c.write(&cell, i);
+    }});
+  }
+  last.wait();
+  EXPECT_EQ(cell, n);
+  rt.stop();
+}
+
+TEST(Session, BackpressureOnTinyInboxCompletes) {
+  auto cfg = small_cfg(1, 2);
+  cfg.session_inbox_capacity = 1;  // every burst overflows: clients park
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  constexpr unsigned n_clients = 4;
+  constexpr std::uint64_t per_client = 50;
+  std::vector<word> counters(n_clients, 0);
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      word* cell = &counters[c];
+      std::vector<core::ticket> mine;
+      for (std::uint64_t i = 0; i < per_client; ++i) {
+        mine.push_back(s.submit_single([cell](core::task_ctx& t) {
+          t.write(cell, t.read(cell) + 1);
+        }));
+      }
+      for (auto& t : mine) t.wait();
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (unsigned c = 0; c < n_clients; ++c) EXPECT_EQ(counters[c], per_client);
+  rt.stop();
+}
+
+TEST(Session, SubmitAfterStopThrows) {
+  core::runtime rt(small_cfg(1, 1));
+  auto s = rt.open_session();
+  s.submit_single([](core::task_ctx&) {}).wait();
+  rt.stop();
+  EXPECT_THROW(s.submit_single([](core::task_ctx&) {}), std::runtime_error);
+  EXPECT_THROW(rt.open_session(), std::logic_error);
+}
+
+TEST(Session, StopDeliversQueuedSubmissions) {
+  // Tickets issued before stop() must all complete by the time it returns.
+  core::runtime rt(small_cfg(2, 2));
+  auto s = rt.open_session();
+  word cell = 0;
+  std::vector<core::ticket> tickets;
+  for (int i = 0; i < 40; ++i) {
+    tickets.push_back(s.submit_single([&cell](core::task_ctx& c) {
+      c.write(&cell, c.read(&cell) + 1);
+    }));
+  }
+  rt.stop();
+  for (auto& t : tickets) EXPECT_TRUE(t.done());
+  EXPECT_EQ(cell, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// 64 clients over 4 pipelines, linearizable against the sequential
+// reference model. Every transaction (a) applies its seeded word program
+// and (b) transactionally appends its identity to a history log guarded by
+// a shared cursor. Serializability makes the history the linearization
+// order; replaying it sequentially must reproduce the final memory exactly.
+// ---------------------------------------------------------------------------
+
+TEST(Session, SixtyFourClientsLinearizeAgainstReferenceModel) {
+  constexpr unsigned n_clients = 64;
+  constexpr std::uint64_t txs_per_client = 4;
+  constexpr unsigned tasks_per_tx = 2;
+  constexpr std::uint64_t total = n_clients * txs_per_client;
+  const support::program_shape shape{32, 3, /*write_heavy=*/true};
+  const std::uint64_t seed = 0xc11e9752ull;
+
+  auto cfg = small_cfg(4, 3);
+  cfg.session_inbox_capacity = 8;  // exercise backpressure too
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+
+  std::vector<word> mem(shape.n_words, 0);
+  word hist_next = 0;
+  std::vector<word> hist(total, 0);
+  word* mp = mem.data();
+  word* hp = hist.data();
+  word* hn = &hist_next;
+
+  std::vector<std::thread> clients;
+  clients.reserve(n_clients);
+  for (unsigned c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<core::ticket> mine;
+      for (std::uint64_t tx = 0; tx < txs_per_client; ++tx) {
+        std::vector<core::task_fn> tasks;
+        for (unsigned task = 0; task < tasks_per_tx; ++task) {
+          const bool last = task == tasks_per_tx - 1;
+          tasks.push_back([=](core::task_ctx& t) {
+            support::apply_task(
+                seed, c, tx, task, shape,
+                [&](unsigned i) { return t.read(&mp[i]); },
+                [&](unsigned i, word v) { t.write(&mp[i], v); });
+            if (last) {
+              // Transactional history append: the shared cursor makes the
+              // commit order observable, at the price of total conflict.
+              const word idx = t.read(hn);
+              t.write(hn, idx + 1);
+              t.write(&hp[idx], c * txs_per_client + tx + 1);
+            }
+          });
+        }
+        mine.push_back(s.submit(std::move(tasks)));
+      }
+      for (auto& t : mine) t.wait();
+    });
+  }
+  for (auto& t : clients) t.join();
+  rt.stop();
+
+  ASSERT_EQ(hist_next, total);
+  // The log is a permutation of every (client, tx) identity.
+  std::vector<word> sorted = hist;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t i = 0; i < total; ++i) ASSERT_EQ(sorted[i], i + 1);
+
+  // Sequential replay of the logged order == the reference model's memory.
+  std::vector<word> ref(shape.n_words, 0);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::uint64_t id = hist[i] - 1;
+    const unsigned c = static_cast<unsigned>(id / txs_per_client);
+    const std::uint64_t tx = id % txs_per_client;
+    support::apply_tx_sequential(ref, seed, c, tx, tasks_per_tx, shape);
+  }
+  EXPECT_EQ(mem, ref);
+}
+
+}  // namespace
