@@ -16,6 +16,18 @@
 //   hardware cores, same burst/lull rhythm — the thread-topology collapse
 //   the paper's one-core-per-worker testbed never sees.
 //
+//   batched/<B>: the submission-amortization experiment (DESIGN.md §8.5).
+//   32 clients stream tiny single-increment transactions through
+//   submit_batch in chunks of B (1, 8, 64); one inbox push/pop/wake and
+//   one driver high-water read cover B transactions, so small-transaction
+//   submission throughput should scale strongly with B. Acceptance: B=64
+//   sustains >= 2x the submissions/sec of B=1 at equal client count.
+//
+//   async/<M>: the completion-inversion experiment. M fire-and-forget
+//   clients attach ticket::then() callbacks and exit without ever calling
+//   wait(); the pipeline drivers run every completion, so the storm needs
+//   zero client-side waiting threads.
+//
 // Lulls are barrier-coordinated: every burst round ends at a barrier, a
 // coordinator sleeps through the lull, and the next round starts at the
 // same barrier — so the idle window (and its timer overshoot) is identical
@@ -91,6 +103,27 @@ core::config base_cfg(bool park, unsigned threads, unsigned depth) {
   return cfg;
 }
 
+/// The shared measurement frame of every experiment: wall time
+/// (steady_clock) and process CPU time (getrusage) around `body`, which
+/// builds/drives/stops its runtime and returns the run's wait_parks;
+/// `total_txs` prices the committed work for the throughput column.
+template <typename Body>
+host_result timed_host_run(double total_txs, Body&& body) {
+  rusage ru0{};
+  getrusage(RUSAGE_SELF, &ru0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t parks = body();
+  const auto t1 = std::chrono::steady_clock::now();
+  rusage ru1{};
+  getrusage(RUSAGE_SELF, &ru1);
+  host_result r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.cpu_ms = cpu_ms(ru0, ru1);
+  r.tx_per_s = total_txs / std::max(r.wall_ms / 1e3, 1e-9);
+  r.parks = parks;
+  return r;
+}
+
 /// M bursty session clients over n_pipelines pipelines; each transaction
 /// touches a client-striped word plus one mildly shared word and does real
 /// host work.
@@ -102,11 +135,7 @@ host_result run_sessions(bool park, unsigned n_clients) {
   // backpressured clients steal timeslices from the very pipelines they
   // are waiting on.
   cfg.session_inbox_capacity = 1024;
-  rusage ru0{};
-  getrusage(RUSAGE_SELF, &ru0);
-  const auto t0 = std::chrono::steady_clock::now();
-  std::uint64_t parks = 0;
-  {
+  return timed_host_run(static_cast<double>(n_clients) * n_bursts * burst_txs, [&] {
     core::runtime rt(cfg);
     auto s = rt.open_session();
     std::vector<word> mem(n_words, 0);
@@ -149,18 +178,8 @@ host_result run_sessions(bool park, unsigned n_clients) {
     }
     for (auto& t : clients) t.join();
     rt.stop();
-    parks = rt.aggregated_stats().wait_parks;
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  rusage ru1{};
-  getrusage(RUSAGE_SELF, &ru1);
-  host_result r;
-  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  r.cpu_ms = cpu_ms(ru0, ru1);
-  r.tx_per_s = static_cast<double>(n_clients) * n_bursts * burst_txs /
-               std::max(r.wall_ms / 1e3, 1e-9);
-  r.parks = parks;
-  return r;
+    return rt.aggregated_stats().wait_parks;
+  });
 }
 
 /// Direct pipeline driving at num_threads x spec_depth = 4x hardware cores
@@ -172,11 +191,7 @@ host_result run_oversub(bool park) {
   const unsigned depth = std::max(2u, std::min(4 * hc, 128u) / threads);
   auto cfg = base_cfg(park, threads, depth);
   constexpr std::uint64_t burst_per_thread = 60;
-  rusage ru0{};
-  getrusage(RUSAGE_SELF, &ru0);
-  const auto t0 = std::chrono::steady_clock::now();
-  std::uint64_t parks = 0;
-  {
+  return timed_host_run(static_cast<double>(threads) * n_bursts * burst_per_thread, [&] {
     core::runtime rt(cfg);
     std::vector<word> mem(n_words, 0);
     word* mp = mem.data();
@@ -212,18 +227,92 @@ host_result run_oversub(bool park) {
     }
     for (auto& d : drivers) d.join();
     rt.stop();
-    parks = rt.aggregated_stats().wait_parks;
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  rusage ru1{};
-  getrusage(RUSAGE_SELF, &ru1);
-  host_result r;
-  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  r.cpu_ms = cpu_ms(ru0, ru1);
-  r.tx_per_s = static_cast<double>(threads) * n_bursts * burst_per_thread /
-               std::max(r.wall_ms / 1e3, 1e-9);
-  r.parks = parks;
-  return r;
+    return rt.aggregated_stats().wait_parks;
+  });
+}
+
+/// Batched closed loop: n_clients clients push `txs_per_client` tiny
+/// single-task transactions each via submit_batch_keyed in chunks of
+/// `batch`, waiting once per batch on its last ticket (keyed routing keeps
+/// each client's tickets FIFO on one pipeline, so the last drains the
+/// batch). Batch 1 is therefore exactly the pre-batching regime the
+/// tentpole targets — one inbox hop AND one parked client wait per
+/// transaction — while batch B pays both once per B transactions.
+host_result run_batched(unsigned batch, unsigned n_clients) {
+  auto cfg = base_cfg(/*park=*/true, n_pipelines, pipe_depth);
+  cfg.session_inbox_capacity = 256;
+  cfg.session_batch_max = 64;  // chunks == the requested batch for B <= 64
+  // Eager parking: a reactive server's per-transaction waits park (between
+  // requests there is nothing to spin for); resolving them inside the spin
+  // budget — which loaded 1-core CI hosts otherwise do — would hide the
+  // very futex round trips the batch amortizes.
+  cfg.waits.spin_rounds = 0;
+  constexpr std::uint64_t txs_per_client = 1024;
+  return timed_host_run(static_cast<double>(n_clients) * txs_per_client, [&] {
+    core::runtime rt(cfg);
+    auto s = rt.open_session();
+    std::vector<word> mem(n_words, 0);
+    word* mp = mem.data();
+    std::vector<std::thread> clients;
+    clients.reserve(n_clients);
+    for (unsigned c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::uint64_t i = 0; i < txs_per_client; i += batch) {
+          const std::uint64_t n = std::min<std::uint64_t>(batch, txs_per_client - i);
+          std::vector<std::vector<core::task_fn>> txs;
+          txs.reserve(n);
+          for (std::uint64_t k = 0; k < n; ++k) {
+            txs.push_back({[=](core::task_ctx& t) {
+              word* mine = &mp[(c * 7 + i + k) % n_words];
+              t.write(mine, t.read(mine) + 1);
+            }});
+          }
+          s.submit_batch_keyed(c, std::move(txs)).back().wait();
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    rt.stop();
+    return rt.aggregated_stats().wait_parks;
+  });
+}
+
+/// Async completion storm: M clients fire-and-forget with then()
+/// callbacks; nobody ever calls wait(). The main thread only observes the
+/// driver-side completion count converge.
+host_result run_async(unsigned n_clients) {
+  auto cfg = base_cfg(/*park=*/true, n_pipelines, pipe_depth);
+  cfg.session_inbox_capacity = 64;
+  constexpr std::uint64_t txs_per_client = 320;
+  return timed_host_run(static_cast<double>(n_clients) * txs_per_client, [&] {
+    core::runtime rt(cfg);
+    auto s = rt.open_session();
+    std::vector<word> mem(n_words, 0);
+    word* mp = mem.data();
+    std::atomic<std::uint64_t> completions{0};
+    std::vector<std::thread> clients;
+    clients.reserve(n_clients);
+    for (unsigned c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::uint64_t i = 0; i < txs_per_client; ++i) {
+          s.submit_keyed(c, {[=](core::task_ctx& t) {
+             word* mine = &mp[(c * 7 + i) % n_words];
+             t.write(mine, t.read(mine) + 1);
+             real_work(200);
+           }}).then([&completions] {
+            completions.fetch_add(1, std::memory_order_relaxed);
+          });
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    while (completions.load(std::memory_order_relaxed) <
+           std::uint64_t{n_clients} * txs_per_client) {
+      std::this_thread::yield();
+    }
+    rt.stop();
+    return rt.aggregated_stats().wait_parks;
+  });
 }
 
 std::map<std::string, host_result>& results() {
@@ -270,6 +359,22 @@ void BM_oversub(benchmark::State& state) {
   }
 }
 
+void BM_batched(benchmark::State& state) {
+  const auto batch = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    report(state, "batched/" + std::to_string(batch),
+           median_of_3([&] { return run_batched(batch, /*n_clients=*/32); }));
+  }
+}
+
+void BM_async(benchmark::State& state) {
+  const auto clients = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    report(state, "async/" + std::to_string(clients),
+           median_of_3([&] { return run_async(clients); }));
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_sessions)
@@ -281,6 +386,18 @@ BENCHMARK(BM_sessions)
 
 BENCHMARK(BM_oversub)
     ->Arg(0)->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_batched)
+    ->Arg(1)->Arg(8)->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_async)
+    ->Arg(32)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
@@ -311,7 +428,23 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(park->second.parks));
     }
   }
+  for (const char* row : {"batched/1", "batched/8", "batched/64", "async/32"}) {
+    const auto it = results().find(row);
+    if (it == results().end()) continue;
+    const auto& r = it->second;
+    wl::print_fig_row("abl_sessions", x, {r.wall_ms, r.cpu_ms, r.tx_per_s,
+                                          static_cast<double>(r.parks)});
+    x += 1;
+    std::printf("# %-12s wall %.1f ms, cpu %.1f ms, %.0f tx/s\n", row,
+                r.wall_ms, r.cpu_ms, r.tx_per_s);
+  }
+  const auto b1 = results().find("batched/1");
+  const auto b64 = results().find("batched/64");
+  if (b1 != results().end() && b64 != results().end()) {
+    std::printf("# batched      64 vs 1: submissions/sec %.2fx (expect >= 2.00)\n",
+                b64->second.tx_per_s / std::max(b1->second.tx_per_s, 1e-9));
+  }
   std::puts("# Expect: cpu ratio < 1.00 (parked waiting strictly cheaper) at"
-            " throughput ratio >= 1.00 on every row");
+            " throughput ratio >= 1.00 on every park/spin row");
   return 0;
 }

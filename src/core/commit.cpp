@@ -189,8 +189,8 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
     thr.committed_task.store(serial, clk);
     thr.rollback_mu.unlock(clk);
     thr.slot_for(serial + 1).gate.wake_all();  // next committer's serialization
-    slot.gate.wake_all();                      // a session ticket for this serial
     thr.gate.wake_all();                       // commit frontier advance
+    thr.wake_completion_hook();                // session driver retires tickets
     env.stats.tx_committed++;
     env.stats.tx_read_only++;
     clk.advance(cfg_.costs.commit_fixed);
@@ -280,8 +280,8 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
   thr.committed_task.store(serial, clk);
   thr.rollback_mu.unlock(clk);
   thr.slot_for(serial + 1).gate.wake_all();  // next committer's serialization
-  slot.gate.wake_all();                      // a session ticket for this serial
   thr.gate.wake_all();                       // commit + completion frontier advance
+  thr.wake_completion_hook();                // session driver retires tickets
 
   env.stats.tx_committed++;
   clk.advance(cfg_.costs.commit_fixed + cfg_.costs.commit_per_write * total_entries);

@@ -68,6 +68,11 @@ struct config {
   /// Capacity of each pipeline's session inbox (rounded up to a power of
   /// two). Full inboxes backpressure session clients; must be >= 1.
   unsigned session_inbox_capacity = 64;
+  /// Max transactions carried per inbox cell by session::submit_batch
+  /// (DESIGN.md §8.5); larger batches are split into chunks of this size.
+  /// Bounds per-cell memory and the latency head-of-line a giant batch can
+  /// impose on its pipeline; must be >= 1.
+  unsigned session_batch_max = 32;
   /// Inconsistent-read mitigation: force a full validation every N committed
   /// reads of a task (0 disables; paper §3.2 "Inconsistent Reads").
   unsigned validate_every_n_reads = 0;

@@ -121,6 +121,9 @@ config validated(config cfg) {
   if (cfg.session_inbox_capacity == 0) {
     throw std::invalid_argument("session_inbox_capacity must be >= 1");
   }
+  if (cfg.session_batch_max == 0) {
+    throw std::invalid_argument("session_batch_max must be >= 1");
+  }
   return cfg;
 }
 
@@ -194,6 +197,13 @@ util::stat_block runtime::aggregated_stats() const {
   util::stat_block total;
   for (const auto& wk : workers_) total.accumulate(wk->stats);
   for (const auto& ut : user_threads_) total.accumulate(ut->stats_);
+  {
+    // Session driver counters (batches, callbacks, driver parks). The lock
+    // only serializes against open_session creating the front; the counters
+    // themselves are exact after quiescence, like every other block here.
+    std::lock_guard<std::mutex> lk(session_mu_);
+    if (sessions_ != nullptr) sessions_->accumulate_stats(total);
+  }
   for (const auto& ad : adapters_) {
     if (ad == nullptr) continue;
     total.window_shrinks += ad->window_shrinks();

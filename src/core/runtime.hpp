@@ -84,8 +84,16 @@ class user_thread {
   /// spec_depth. Self-tuning generators can consult it to size their
   /// decompositions to what the runtime will actually admit.
   unsigned effective_window() const noexcept;
-  /// Commit journal (requires config.record_commits; call after drain()).
-  const std::vector<commit_record>& journal() const noexcept { return thr_.journal; }
+  /// Commit journal snapshot (requires config.record_commits; call after
+  /// drain()). The live journal is chunked (appends under rollback_mu never
+  /// regrow-copy); this copies it out so oracle/replay tooling keeps
+  /// consuming a plain vector.
+  std::vector<commit_record> journal() const {
+    std::vector<commit_record> out;
+    out.reserve(thr_.journal.size());
+    thr_.journal.for_each([&](const commit_record& r) { out.push_back(r); });
+    return out;
+  }
   std::uint32_t id() const noexcept { return thr_.ptid; }
 
  private:
@@ -221,7 +229,9 @@ class runtime {
   std::vector<std::unique_ptr<worker>> workers_;
   /// Session front-end (lazily created by open_session; stopped first).
   std::unique_ptr<session_front> sessions_;
-  std::mutex session_mu_;
+  /// Guards sessions_/stopped_; mutable so const statistics readers can
+  /// safely observe whether a front exists.
+  mutable std::mutex session_mu_;
   bool stopped_ = false;
 };
 

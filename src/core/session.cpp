@@ -1,7 +1,10 @@
 // Session front-end implementation: per-pipeline driver threads draining
-// bounded MPSC inboxes, ticket completion over the pipelines' wait gates.
+// bounded MPSC inboxes in three phases — drain (pop every published cell),
+// install (publish commit serials, submit), complete (retire tickets the
+// commit frontier passed, running their callbacks). See DESIGN.md §8.4/§8.5.
 #include "core/session.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -16,24 +19,38 @@ namespace tlstm::core {
 void ticket::wait() {
   if (st_ == nullptr) throw std::logic_error("ticket::wait on an empty ticket");
   detail::ticket_state& st = *st_;
-  // Phase 1: wait for the driver to assign the commit serial (it wakes our
-  // install gate right after the store).
-  st.install_gate.await(*st.waits, [&] {
-    return st.commit_serial.load(std::memory_order_acquire) != 0;
+  // Single completion edge: the driver stores `completed` (release) after
+  // the frontier passed the serial AND every callback ran, then wakes this
+  // gate. Everything the wait touches lives in the shared ticket state, so
+  // a wait racing (or following) runtime shutdown is safe — stop() retires
+  // every issued ticket before the runtime dies.
+  st.gate.await(st.waits, [&] {
+    return st.completed.load(std::memory_order_acquire);
   });
-  const std::uint64_t cs = st.commit_serial.load(std::memory_order_acquire);
-  // Phase 2: park on the commit serial's slot gate — the committing worker
-  // wakes exactly that gate (plus the thread gate) when the frontier passes
-  // cs, so completion is a point-to-point wake, not a herd broadcast.
-  st.thr->slot_for(cs).gate.await(*st.waits, [&] {
-    return st.thr->committed_task.load_unstamped() >= cs;
-  });
+  // Callback exceptions are never swallowed: the first one is rethrown by
+  // every wait() on this ticket (written happens-before the completed
+  // store).
+  if (st.callback_error) std::rethrow_exception(st.callback_error);
 }
 
 bool ticket::done() const noexcept {
-  if (st_ == nullptr) return false;
-  const std::uint64_t cs = st_->commit_serial.load(std::memory_order_acquire);
-  return cs != 0 && st_->thr->committed_task.load_unstamped() >= cs;
+  return st_ != nullptr && st_->completed.load(std::memory_order_acquire);
+}
+
+void ticket::then(std::function<void()> fn) {
+  if (st_ == nullptr) throw std::logic_error("ticket::then on an empty ticket");
+  detail::ticket_state& st = *st_;
+  {
+    std::lock_guard<std::mutex> lk(st.cb_mu);
+    if (!st.completing) {
+      st.callbacks.push_back(std::move(fn));
+      return;
+    }
+  }
+  // The driver already claimed the callback list (the completion edge has
+  // passed): run inline in the registering thread — still never a
+  // committing worker — and let exceptions propagate to the caller.
+  fn();
 }
 
 // ---------------------------------------------------------------------------
@@ -54,6 +71,15 @@ ticket session::submit_keyed(std::uint64_t key, std::vector<task_fn> tasks) {
   return front_->enqueue(front_->route_key(key), std::move(tasks));
 }
 
+std::vector<ticket> session::submit_batch(std::vector<std::vector<task_fn>> txs) {
+  return front_->enqueue_batch(front_->route_next(), std::move(txs));
+}
+
+std::vector<ticket> session::submit_batch_keyed(std::uint64_t key,
+                                                std::vector<std::vector<task_fn>> txs) {
+  return front_->enqueue_batch(front_->route_key(key), std::move(txs));
+}
+
 unsigned session::pipelines() const noexcept { return front_->pipelines(); }
 
 // ---------------------------------------------------------------------------
@@ -66,6 +92,14 @@ session_front::session_front(runtime& rt) : rt_(rt) {
   for (unsigned t = 0; t < n; ++t) {
     pipes_.push_back(std::make_unique<pipe>(rt.cfg().session_inbox_capacity));
   }
+  // Hook the commit frontier to the drivers' park gates *before* any driver
+  // (and hence any commit this front can cause) exists: committing workers
+  // wake the consumer gate so a driver parked for completions never sleeps
+  // through a frontier advance.
+  for (unsigned t = 0; t < n; ++t) {
+    rt.threads_[t]->completion_hook.store(&pipes_[t]->inbox.consumer_gate(),
+                                          std::memory_order_release);
+  }
   for (unsigned t = 0; t < n; ++t) {
     pipes_[t]->driver = std::thread([this, t] { driver_main(t); });
   }
@@ -74,8 +108,22 @@ session_front::session_front(runtime& rt) : rt_(rt) {
 session_front::~session_front() { stop(); }
 
 unsigned session_front::route_next() noexcept {
-  return static_cast<unsigned>(rr_.fetch_add(1, std::memory_order_relaxed) %
-                               pipes_.size());
+  const std::uint64_t i = rr_.fetch_add(1, std::memory_order_relaxed);
+  // Wrap fairness: fold the counter back into a small congruent value long
+  // before u64 overflow. At the wrap the raw modulo sequence would jump for
+  // non-power-of-two pipeline counts (2^64 mod n != 0), breaking the
+  // round-robin invariant; folding to i mod n preserves the phase exactly.
+  // Any fetch_add racing the fold either lands before the CAS (its value is
+  // part of `cur` and survives the fold mod n) or retries it.
+  constexpr std::uint64_t fold_at = std::uint64_t{1} << 62;
+  if (i >= fold_at) {
+    std::uint64_t cur = rr_.load(std::memory_order_relaxed);
+    while (cur >= fold_at &&
+           !rr_.compare_exchange_weak(cur, cur % pipes_.size(),
+                                      std::memory_order_relaxed)) {
+    }
+  }
+  return static_cast<unsigned>(i % pipes_.size());
 }
 
 unsigned session_front::route_key(std::uint64_t key) const noexcept {
@@ -85,6 +133,31 @@ unsigned session_front::route_key(std::uint64_t key) const noexcept {
   key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
   key ^= key >> 31;
   return static_cast<unsigned>(key % pipes_.size());
+}
+
+void session_front::validate_tx(const std::vector<task_fn>& tasks) const {
+  if (tasks.empty()) throw std::invalid_argument("transaction needs >= 1 task");
+  if (tasks.size() > rt_.cfg().spec_depth) {
+    throw std::invalid_argument("transaction has more tasks than spec_depth");
+  }
+}
+
+std::shared_ptr<detail::ticket_state> session_front::make_ticket_state() const {
+  auto st = std::make_shared<detail::ticket_state>();
+  st->waits = rt_.cfg().waits;  // by value: outlives the runtime
+  return st;
+}
+
+void session_front::begin_enqueue() {
+  // Dekker pairing with the drivers' stop predicate: the pending count is
+  // raised *before* the stopping check (both seq_cst), so either this
+  // enqueue observes stopping and backs out, or the drivers observe a
+  // non-zero pending count and keep draining until the push lands.
+  pending_enqueues_.fetch_add(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    finish_enqueue();
+    throw std::runtime_error("session front-end is stopping");
+  }
 }
 
 void session_front::finish_enqueue() noexcept {
@@ -97,55 +170,173 @@ void session_front::finish_enqueue() noexcept {
 }
 
 ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks) {
-  if (tasks.empty()) throw std::invalid_argument("transaction needs >= 1 task");
-  if (tasks.size() > rt_.cfg().spec_depth) {
-    throw std::invalid_argument("transaction has more tasks than spec_depth");
-  }
-  // Dekker pairing with the drivers' stop predicate: the pending count is
-  // raised *before* the stopping check (both seq_cst), so either this
-  // enqueue observes stopping and backs out, or the drivers observe a
-  // non-zero pending count and keep draining until the push lands.
-  pending_enqueues_.fetch_add(1, std::memory_order_seq_cst);
-  if (stopping_.load(std::memory_order_seq_cst)) {
-    finish_enqueue();
-    throw std::runtime_error("session front-end is stopping");
-  }
-  auto st = std::make_shared<detail::ticket_state>();
-  st->thr = rt_.threads_[pipe_idx].get();
-  st->waits = &rt_.cfg().waits;
-  submission s{std::move(tasks), st};
+  validate_tx(tasks);
+  begin_enqueue();
+  // Balance begin_enqueue on EVERY exit, exceptions included (e.g. an
+  // allocation failure building the submission): a leaked pending count
+  // would make the drivers' stop predicate unsatisfiable forever.
+  struct balance {
+    session_front& f;
+    ~balance() { f.finish_enqueue(); }
+  } guard{*this};
+  auto st = make_ticket_state();
+  submission s{detail::sub_tx{std::move(tasks), st}};
   pipes_[pipe_idx]->inbox.push_wait(rt_.cfg().waits, std::move(s));
-  finish_enqueue();
   return ticket(std::move(st));
+}
+
+std::vector<ticket> session_front::enqueue_batch(unsigned pipe_idx,
+                                                 std::vector<std::vector<task_fn>> txs) {
+  if (txs.empty()) throw std::invalid_argument("batch needs >= 1 transaction");
+  // All-or-nothing validation: reject the whole batch before any enqueue
+  // side effect, so a bad transaction in the middle cannot leave a prefix
+  // in flight.
+  for (const auto& tasks : txs) validate_tx(tasks);
+  begin_enqueue();
+  struct balance {
+    session_front& f;
+    ~balance() { f.finish_enqueue(); }
+  } guard{*this};
+  std::vector<ticket> out;
+  out.reserve(txs.size());
+  const std::size_t chunk_max = rt_.cfg().session_batch_max;
+  std::size_t i = 0;
+  while (i < txs.size()) {
+    const std::size_t n = std::min(chunk_max, txs.size() - i);
+    std::vector<detail::sub_tx> chunk;
+    chunk.reserve(n);
+    for (std::size_t k = 0; k < n; ++k, ++i) {
+      auto st = make_ticket_state();
+      out.push_back(ticket(st));
+      chunk.push_back(detail::sub_tx{std::move(txs[i]), std::move(st)});
+    }
+    submission s{std::move(chunk)};
+    pipes_[pipe_idx]->inbox.push_wait(rt_.cfg().waits, std::move(s));
+  }
+  return out;
+}
+
+void session_front::install_submission(unsigned t, submission& s,
+                                       std::deque<pending_ticket>& pending) {
+  user_thread& th = rt_.thread(t);
+  util::stat_block& st = pipes_[t]->stats;
+  st.session_batches++;
+  auto for_each_tx = [&](auto&& fn) {
+    if (auto* one = std::get_if<detail::sub_tx>(&s.body)) {
+      fn(*one);
+    } else {
+      for (detail::sub_tx& tx : std::get<std::vector<detail::sub_tx>>(s.body)) fn(tx);
+    }
+  };
+  // One high-water read covers the whole cell (the driver is the pipeline's
+  // only submitter, so serial assignment is deterministic from here), and
+  // every commit serial is published before the first submit: a done()/
+  // diagnostic probe racing the batch observes its serial even while an
+  // earlier transaction's submit is parked on slot backpressure.
+  std::uint64_t serial = th.submitted_serials();
+  for_each_tx([&](detail::sub_tx& tx) {
+    st.session_batch_txs++;
+    serial += tx.tasks.size();
+    tx.tk->commit_serial.store(serial, std::memory_order_release);
+  });
+  for_each_tx([&](detail::sub_tx& tx) {
+    const std::uint64_t cs = tx.tk->commit_serial.load(std::memory_order_relaxed);
+    th.submit(std::move(tx.tasks));
+    pending.push_back(pending_ticket{cs, std::move(tx.tk)});
+  });
+}
+
+void session_front::complete_ticket(detail::ticket_state& tk, util::stat_block& st) {
+  std::vector<std::function<void()>> cbs;
+  {
+    std::lock_guard<std::mutex> lk(tk.cb_mu);
+    tk.completing = true;  // late then() registrations now run inline
+    cbs.swap(tk.callbacks);
+  }
+  std::exception_ptr err;
+  for (auto& cb : cbs) {
+    st.session_callbacks++;
+    try {
+      cb();
+    } catch (...) {
+      // Never swallowed: counted, and the first one is rethrown by every
+      // wait() on this ticket.
+      st.session_callback_errors++;
+      if (!err) err = std::current_exception();
+    }
+  }
+  tk.callback_error = err;  // published by the completed release-store
+  tk.completed.store(true, std::memory_order_release);
+  tk.gate.wake_all();
+}
+
+void session_front::complete_passed(unsigned t, std::deque<pending_ticket>& pending) {
+  const thread_state& thr = *rt_.threads_[t];
+  const std::uint64_t frontier = thr.committed_task.load_unstamped();
+  while (!pending.empty() && pending.front().serial <= frontier) {
+    complete_ticket(*pending.front().tk, pipes_[t]->stats);
+    pending.pop_front();
+  }
 }
 
 void session_front::driver_main(unsigned t) {
   user_thread& th = rt_.thread(t);
+  thread_state& thr = *rt_.threads_[t];
   pipe& p = *pipes_[t];
   const sched::wait_params& waits = rt_.cfg().waits;
-  submission s;
   // Honour the stop flag only once no enqueue is mid-push (see
-  // pending_enqueues_): pop_wait keeps draining until the inbox is empty
-  // AND no racing submission can still land in it.
+  // pending_enqueues_): the drain keeps going until the inbox is empty AND
+  // no racing submission can still land in it.
   auto stopped = [&] {
     return stopping_.load(std::memory_order_seq_cst) &&
            pending_enqueues_.load(std::memory_order_seq_cst) == 0;
   };
-  while (p.inbox.pop_wait(waits, s, stopped)) {
-    // The driver is the pipeline's only submitter, so the commit-task's
-    // serial is exactly the current high-water mark plus the task count.
-    // Publish it before installing: once submit returns, the commit that
-    // completes the transaction is guaranteed to wake the serial's slot
-    // gate after this store, so a parked ticket cannot miss it.
-    s.tk->commit_serial.store(th.submitted_serials() + s.tasks.size(),
-                              std::memory_order_release);
-    s.tk->install_gate.wake_all();
-    th.submit(std::move(s.tasks));
-    s = submission{};  // release the ticket ref promptly
+  std::vector<submission> batch;
+  std::deque<pending_ticket> pending;
+  bool drained_out = false;
+  while (!drained_out) {
+    // --- drain phase: take every published inbox cell without blocking.
+    batch.clear();
+    p.inbox.try_pop_all(batch);
+    if (batch.empty()) {
+      if (pending.empty()) {
+        // Fully idle: park until a client pushes or the front stops.
+        submission s;
+        if (p.inbox.pop_wait(waits, s, stopped)) {
+          batch.push_back(std::move(s));
+          p.inbox.try_pop_all(batch);  // the rest of the burst, if any
+        } else {
+          drained_out = true;  // stopping, drained, no racing push
+        }
+      } else {
+        // Completions outstanding but no new work: park on the inbox's
+        // consumer gate, which producers wake on push and committing
+        // workers wake through the completion hook — whichever condition
+        // flips first resumes the loop.
+        const std::uint64_t head = pending.front().serial;
+        p.inbox.consumer_gate().await(
+            waits, p.stats.wait_spins, p.stats.wait_parks, [&] {
+              return !p.inbox.empty() ||
+                     thr.committed_task.load_unstamped() >= head || stopped();
+            });
+        if (p.inbox.empty() && stopped()) drained_out = true;
+      }
+    }
+    // --- install phase: publish serials, submit, queue the tickets.
+    for (submission& s : batch) install_submission(t, s, pending);
+    // --- complete phase: retire everything the frontier has passed.
+    complete_passed(t, pending);
   }
-  // Stopping and fully drained: quiesce the pipeline so every issued
-  // ticket completes before stop() returns.
+  // Stopping and fully drained: quiesce the pipeline, then retire the
+  // whole backlog — every issued ticket completes (callbacks included)
+  // before stop() returns.
   th.drain();
+  complete_passed(t, pending);
+  assert(pending.empty());
+}
+
+void session_front::accumulate_stats(util::stat_block& total) const {
+  for (const auto& p : pipes_) total.accumulate(p->stats);
 }
 
 void session_front::stop() {
@@ -153,9 +344,15 @@ void session_front::stop() {
   for (auto& p : pipes_) p->inbox.wake_all();
   // The drivers drain every already-admitted submission before honouring
   // the flag (pending_enqueues_ protocol in enqueue/driver_main), so after
-  // the joins every issued ticket has been installed and drained.
+  // the joins every issued ticket has been installed, drained and retired.
   for (auto& p : pipes_) {
     if (p->driver.joinable()) p->driver.join();
+  }
+  // Unhook the commit frontier: the gates die with this front, and the
+  // pipelines (which runtime::stop() drains next) must not wake freed
+  // memory.
+  for (unsigned t = 0; t < pipes_.size(); ++t) {
+    rt_.threads_[t]->completion_hook.store(nullptr, std::memory_order_release);
   }
 }
 

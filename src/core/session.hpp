@@ -8,31 +8,42 @@
 //   auto s = rt.open_session();                 // thread-safe handle
 //   auto t = s.submit({task1, task2});          // round-robin routed
 //   auto u = s.submit_keyed(key, {task3});      // key-affinity routed
-//   t.wait(); u.wait();                         // parked per-submission waits
+//   auto v = s.submit_batch(many_txs);          // one inbox hop, many txs
+//   t.then([] { /* runs on the driver */ });    // async completion
+//   u.wait(); for (auto& w : v) w.wait();       // parked per-ticket waits
 //
 // Each pipeline owns a bounded MPSC inbox drained by a dedicated driver
 // thread (the pipeline's single submitter, preserving the one-submitter
-// invariant of user_thread). Full inboxes backpressure clients by parking
-// them on the inbox gate; each submission returns a ticket that parks on
-// the pipeline's wait_gate until exactly that transaction's commit frontier
-// passes it, so clients drain individually instead of stalling the whole
-// pipeline.
+// invariant of user_thread). An inbox cell carries either one transaction
+// or a whole batch (§8.5), so bursty clients pay one push/pop/wake per
+// batch instead of per transaction. Full inboxes backpressure clients by
+// parking them on the inbox gate. Each submission returns a ticket; the
+// driver retires tickets in commit-serial order once the pipeline's commit
+// frontier passes them, running any `then()` callbacks and waking parked
+// `wait()` callers. Ticket state is self-contained (wait parameters are
+// snapshotted by value), so late `wait()`/`done()` calls after the runtime
+// stopped never touch freed runtime memory.
 //
 // Domain note: sessions live in wall-clock land. The pipelines' virtual
 // clocks keep running underneath (drivers are the submitting user-threads
-// of §5), but ticket waits use unstamped frontier loads — a session client
-// has no worker_clock to join.
+// of §5), but ticket completion uses unstamped frontier loads — a session
+// client has no worker_clock to join.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "core/task.hpp"
 #include "core/thread_state.hpp"
 #include "sched/inbox.hpp"
+#include "util/stats.hpp"
 
 namespace tlstm::core {
 
@@ -40,34 +51,71 @@ class runtime;
 class session_front;
 
 namespace detail {
-/// Shared completion state of one session submission. Ticket waiting is
-/// point-to-point (no thundering herd on the pipeline gate): the driver
-/// wakes `install_gate` once when it assigns the commit serial, and the
-/// committing worker wakes its own slot's gate — on which a ticket for that
-/// serial parks — once per commit.
+/// Shared completion state of one session submission. Entirely
+/// self-contained: the driver publishes the completion edge here (flag +
+/// gate owned by this object, wait parameters copied in at enqueue), so a
+/// ticket outliving the runtime stays safe to query.
 struct ticket_state {
   /// Serial of the transaction's commit-task; 0 until the driver installs
-  /// the transaction (the commit frontier passing this serial == done).
+  /// the transaction. Diagnostic — completion is the `completed` flag.
   std::atomic<std::uint64_t> commit_serial{0};
-  sched::wait_gate install_gate;
-  thread_state* thr = nullptr;          ///< routed pipeline
-  const sched::wait_params* waits = nullptr;
+  /// The completion edge: set by the driver after the commit frontier
+  /// passed `commit_serial` and every registered callback ran.
+  std::atomic<bool> completed{false};
+  /// Parked wait() callers sleep here; the driver wakes it at completion.
+  sched::wait_gate gate;
+  /// Wait policy snapshotted by value at enqueue — never a pointer into
+  /// the (possibly already destroyed) runtime config.
+  sched::wait_params waits{};
+
+  /// Callback registry. `completing` flips under the mutex when the driver
+  /// claims the list; a then() racing the completion runs its callback
+  /// inline in the registering thread (the edge has already passed).
+  std::mutex cb_mu;
+  bool completing = false;
+  std::vector<std::function<void()>> callbacks;
+  /// First exception thrown by a driver-run callback; rethrown by every
+  /// subsequent wait() on this ticket (written before the `completed`
+  /// release-store, read after the acquire-load — no lock needed).
+  std::exception_ptr callback_error;
+};
+
+/// One transaction riding in an inbox cell.
+struct sub_tx {
+  std::vector<task_fn> tasks;
+  std::shared_ptr<ticket_state> tk;
 };
 }  // namespace detail
 
-/// Completion handle for one session submission. Copyable; wait() may be
-/// called from any thread, any number of times — but not after the owning
-/// runtime is destroyed (runtime::stop() completes every ticket first, so
-/// waiting before shutdown always terminates).
+/// Completion handle for one session submission. Copyable; wait()/done()/
+/// then() may be called from any thread, any number of times — including
+/// after the owning runtime stopped (runtime::stop() completes every ticket
+/// first, so waiting before shutdown always terminates and late calls read
+/// only the ticket's own state).
 class ticket {
  public:
   ticket() = default;
 
-  /// Blocks (bounded spin, then parked on the pipeline's gate) until the
-  /// submitted transaction has committed.
+  /// Blocks (bounded spin, then parked on the ticket's own gate) until the
+  /// driver retired the submission — i.e. the transaction committed and its
+  /// callbacks ran. Rethrows the first callback exception, if any.
   void wait();
   /// Non-blocking completion probe.
   bool done() const noexcept;
+  /// Registers a completion callback, executed by the pipeline's driver
+  /// (never by a committing worker) when the commit frontier passes this
+  /// ticket's serial. May be called repeatedly — callbacks run in
+  /// registration order before any wait() on this ticket returns. If the
+  /// ticket already completed, the callback runs inline in the calling
+  /// thread (its exceptions then propagate to the caller directly).
+  ///
+  /// Callbacks run INLINE ON THE DRIVER and must not block: never wait()
+  /// on another ticket and never submit against a possibly-full inbox from
+  /// inside one — the driver is the only consumer that could drain the
+  /// condition, so a blocking callback deadlocks its whole pipeline.
+  /// Intended uses are bookkeeping, notification, and handing follow-up
+  /// work to another executor.
+  void then(std::function<void()> fn);
   bool valid() const noexcept { return st_ != nullptr; }
 
  private:
@@ -92,6 +140,18 @@ class session {
   /// pipeline, so a client's per-key transactions run in submission order.
   ticket submit_keyed(std::uint64_t key, std::vector<task_fn> tasks);
 
+  /// Batched submission (DESIGN.md §8.5): carries the whole vector of
+  /// transactions to ONE pipeline in chunks of config.session_batch_max
+  /// per inbox cell — one push/pop/wake per chunk instead of per
+  /// transaction. Returns one ticket per transaction, in order; the batch
+  /// executes in submission order on its pipeline. Validates every
+  /// transaction before enqueuing anything.
+  std::vector<ticket> submit_batch(std::vector<std::vector<task_fn>> txs);
+  /// Batched submission with key affinity: batches of equal keys share a
+  /// pipeline, so per-key FIFO order spans batches of one client.
+  std::vector<ticket> submit_batch_keyed(std::uint64_t key,
+                                         std::vector<std::vector<task_fn>> txs);
+
   unsigned pipelines() const noexcept;
 
  private:
@@ -111,26 +171,58 @@ class session_front {
   session_front& operator=(const session_front&) = delete;
 
   ticket enqueue(unsigned pipe, std::vector<task_fn> tasks);
+  std::vector<ticket> enqueue_batch(unsigned pipe,
+                                    std::vector<std::vector<task_fn>> txs);
   unsigned route_next() noexcept;
   unsigned route_key(std::uint64_t key) const noexcept;
   unsigned pipelines() const noexcept { return static_cast<unsigned>(pipes_.size()); }
 
-  /// Drains every inbox, submits the backlog, drains the pipelines and
-  /// joins the drivers. Idempotent; further submissions throw.
+  /// Folds the drivers' counters (batches, callbacks, driver parks) into
+  /// `total`. Quiesce (stop) first for exact values.
+  void accumulate_stats(util::stat_block& total) const;
+
+  /// Drains every inbox, submits the backlog, drains the pipelines,
+  /// retires every outstanding ticket and joins the drivers. Idempotent;
+  /// further submissions throw.
   void stop();
 
  private:
+  /// One inbox cell: a single transaction (the submit() fast path — no
+  /// batch-vector allocation) or a batch of them (submit_batch chunks).
   struct submission {
-    std::vector<task_fn> tasks;
+    std::variant<detail::sub_tx, std::vector<detail::sub_tx>> body;
+  };
+  /// Driver-local completion queue entry. Entries are appended in commit-
+  /// serial order (the driver is the pipeline's single submitter), so the
+  /// queue head is always the oldest outstanding serial.
+  struct pending_ticket {
+    std::uint64_t serial = 0;
     std::shared_ptr<detail::ticket_state> tk;
   };
   struct pipe {
     explicit pipe(std::size_t capacity) : inbox(capacity) {}
     sched::bounded_inbox<submission> inbox;
+    /// Driver-side counters (batches drained, callbacks run, driver
+    /// parks); folded into runtime::aggregated_stats().
+    util::stat_block stats;
     std::thread driver;
   };
 
   void driver_main(unsigned t);
+  /// Throws std::invalid_argument unless `tasks` is a valid decomposition.
+  void validate_tx(const std::vector<task_fn>& tasks) const;
+  std::shared_ptr<detail::ticket_state> make_ticket_state() const;
+  /// Install phase: publishes every transaction's commit serial under one
+  /// submitted_serials() read, then submits them and queues their tickets.
+  void install_submission(unsigned t, submission& s,
+                          std::deque<pending_ticket>& pending);
+  /// Complete phase: retires every queued ticket whose serial the commit
+  /// frontier has passed (runs callbacks, publishes the completion edge).
+  void complete_passed(unsigned t, std::deque<pending_ticket>& pending);
+  void complete_ticket(detail::ticket_state& tk, util::stat_block& st);
+  /// Raises the pending-enqueue count and checks the stop flag (Dekker
+  /// pairing, see pending_enqueues_); throws once the front is stopping.
+  void begin_enqueue();
   /// Drops the pending-enqueue count and, when stopping, wakes every
   /// driver (any of them may be parked on the count's zero crossing).
   void finish_enqueue() noexcept;

@@ -9,6 +9,7 @@
 #include "core/task.hpp"
 #include "sched/wait_gate.hpp"
 #include "util/cache.hpp"
+#include "util/chunked_vector.hpp"
 #include "util/spin.hpp"
 #include "vt/adapt_controller.hpp"
 #include "vt/vclock.hpp"
@@ -110,11 +111,28 @@ struct thread_state {
     for (task_slot& sl : owners) sl.gate.wake_all();
   }
 
+  /// Session completion hook (DESIGN.md §8.5): when a session front drives
+  /// this pipeline, points at the driver's park gate (the inbox's consumer
+  /// gate). Every commit-frontier advance wakes it so the driver can retire
+  /// tickets and run completion callbacks. Workers never park on this gate,
+  /// so the driver's parking steals no worker wakes; null when no session
+  /// front is attached (the wake is then skipped entirely).
+  std::atomic<sched::wait_gate*> completion_hook{nullptr};
+
+  void wake_completion_hook() noexcept {
+    if (sched::wait_gate* hook = completion_hook.load(std::memory_order_acquire)) {
+      hook->wake_all();
+    }
+  }
+
   std::atomic<bool> shutdown{false};
 
   /// Commit journal (oracle tests); appended by commit-tasks under
-  /// rollback_mu, read by the driver after drain().
-  std::vector<commit_record> journal;
+  /// rollback_mu, read by the driver after drain(). Chunked so an append
+  /// never regrow-copies the whole journal inside the stamped commit
+  /// critical section (long-lived servers would otherwise pay reallocation
+  /// spikes under rollback_mu — ROADMAP "journal scalability").
+  util::chunked_vector<commit_record, 256> journal;
 
   task_slot& slot_for(std::uint64_t serial) noexcept { return owners[(serial - 1) % depth]; }
 

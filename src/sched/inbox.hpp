@@ -8,12 +8,21 @@
 // Blocking is layered on top with two wait_gates — producers park while the
 // ring is full (backpressure), the consumer parks while it is empty — so a
 // stalled pipeline never costs its clients CPU.
+//
+// Cells may be heavyweight batch payloads (e.g. the session layer's
+// variant-of-one-or-many-transactions submission, DESIGN.md §8.5); the ring
+// only requires T to be default-constructible and move-assignable. The
+// consumer side supports burst draining (`try_pop_all`) and exposes its
+// gate (`consumer_gate`) so external publishers — the commit pipeline's
+// completion hook — can wake the consumer to multiplex "new cell" with
+// conditions of their own, without stealing the producers' not-full wakes.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "sched/wait_gate.hpp"
 #include "util/cache.hpp"
@@ -78,6 +87,25 @@ class bounded_inbox {
     return true;
   }
 
+  /// Consumer-side burst drain: appends every currently published cell to
+  /// `out` (FIFO) without blocking. Returns the number popped.
+  std::size_t try_pop_all(std::vector<T>& out) {
+    std::size_t n = 0;
+    T v{};
+    while (try_pop(v)) {
+      out.push_back(std::move(v));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Consumer-side emptiness probe (single consumer only). A producer
+  /// mid-publish counts as empty — its completed publication wakes the
+  /// consumer gate, so a parked consumer never misses it.
+  bool empty() const noexcept {
+    return cells_[head_ & mask_].seq.load(std::memory_order_acquire) != head_ + 1;
+  }
+
   /// Blocking pop: parks while empty. Returns false only when `stopped()`
   /// is true AND the ring has been fully drained — pending submissions are
   /// always delivered before a shutdown is honoured.
@@ -90,6 +118,13 @@ class bounded_inbox {
     });
     return got;
   }
+
+  /// The consumer's park gate. External publishers whose state the consumer
+  /// also waits on (the session driver parks here for *either* a new cell
+  /// or a commit-frontier advance, DESIGN.md §8.5) wake this gate directly;
+  /// it is distinct from the producers' not-full gate, so external wake_alls
+  /// can never swallow a backpressured producer's wake.
+  wait_gate& consumer_gate() noexcept { return not_empty_; }
 
   /// Wakes both sides — for shutdown flags that live outside the inbox.
   void wake_all() noexcept {

@@ -45,6 +45,13 @@ class chunked_vector {
     return chunks_[chunk][slot];
   }
 
+  /// Value appends — only a fresh chunk is ever allocated; existing elements
+  /// are never moved (unlike std::vector::push_back, whose regrow copies the
+  /// whole array — intolerable inside stamped critical sections, see
+  /// thread_state::journal).
+  void push_back(const T& v) { emplace_back() = v; }
+  void push_back(T&& v) { emplace_back() = std::move(v); }
+
   T& operator[](std::size_t i) noexcept { return chunks_[i / ChunkSize][i & (ChunkSize - 1)]; }
   const T& operator[](std::size_t i) const noexcept {
     return chunks_[i / ChunkSize][i & (ChunkSize - 1)];

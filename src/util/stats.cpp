@@ -29,6 +29,10 @@ void stat_block::accumulate(const stat_block& other) noexcept {
   wait_spins += other.wait_spins;
   wait_parks += other.wait_parks;
   user_ops += other.user_ops;
+  session_batches += other.session_batches;
+  session_batch_txs += other.session_batch_txs;
+  session_callbacks += other.session_callbacks;
+  session_callback_errors += other.session_callback_errors;
   window_shrinks += other.window_shrinks;
   window_grows += other.window_grows;
   tasks_deferred += other.tasks_deferred;
@@ -53,7 +57,10 @@ std::ostream& operator<<(std::ostream& os, const stat_block& s) {
      << " rd_spec=" << s.reads_speculative << " wr=" << s.writes
      << " validations=" << s.task_validations << " ext=" << s.ts_extensions
      << " hops=" << s.chain_hops << " spins=" << s.wait_spins
-     << " parks=" << s.wait_parks << " user_ops=" << s.user_ops << "} adapt{shrinks=" << s.window_shrinks
+     << " parks=" << s.wait_parks << " user_ops=" << s.user_ops
+     << "} session{batches=" << s.session_batches << " txs=" << s.session_batch_txs
+     << " cbs=" << s.session_callbacks << " cb_errs=" << s.session_callback_errors
+     << "} adapt{shrinks=" << s.window_shrinks
      << " grows=" << s.window_grows << " deferred=" << s.tasks_deferred
      << " win_stalls=" << s.window_stalls << " drain_stalls=" << s.drain_stalls
      << "}";

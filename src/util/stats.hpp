@@ -47,6 +47,12 @@ struct alignas(cache_line_size) stat_block {
   // harness falls back to committed_tx * ops_per_tx when this stays 0.
   std::uint64_t user_ops = 0;
 
+  // Session front-end drivers (DESIGN.md §8.5).
+  std::uint64_t session_batches = 0;         // inbox cells drained by drivers
+  std::uint64_t session_batch_txs = 0;       // transactions those cells carried
+  std::uint64_t session_callbacks = 0;       // ticket::then callbacks run
+  std::uint64_t session_callback_errors = 0; // callbacks that threw (rethrown by wait)
+
   // Adaptive speculation (DESIGN.md §5a).
   std::uint64_t window_shrinks = 0;  // controller narrowed the window
   std::uint64_t window_grows = 0;    // controller widened the window

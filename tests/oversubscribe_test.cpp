@@ -64,6 +64,99 @@ TEST(OversubscribeStress, DeepPipelinesEagerParking) {
   run_and_check(cfg, /*txs_per_thread=*/50, /*tasks_per_tx=*/3);
 }
 
+TEST(OversubscribeStress, BatchedKeyedFifoAtFourTimesCores) {
+  // Batched submission under 4x oversubscription: every client streams
+  // batches keyed by its own id, so all of its transactions share one
+  // pipeline and must run in submission order even when batches were split
+  // into multiple inbox cells. Each transaction checks the FIFO invariant
+  // transactionally (the previous value of its per-client cell must be its
+  // own predecessor) and records violations in committed state.
+  auto cfg = oversubscribed_cfg(4);
+  cfg.session_inbox_capacity = 4;  // force splitting AND backpressure
+  cfg.session_batch_max = 8;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  constexpr unsigned n_clients = 16;
+  constexpr std::uint64_t rounds = 3;
+  constexpr std::uint64_t per_round = 20;
+  std::vector<word> cells(n_clients, 0);
+  std::vector<word> violations(n_clients, 0);
+  word* cp = cells.data();
+  word* vp = violations.data();
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<core::ticket> mine;
+      for (std::uint64_t r = 0; r < rounds; ++r) {
+        std::vector<std::vector<core::task_fn>> txs;
+        for (std::uint64_t i = 0; i < per_round; ++i) {
+          const std::uint64_t seq = r * per_round + i + 1;
+          txs.push_back({[=](core::task_ctx& t) {
+            if (t.read(&cp[c]) != seq - 1) t.write(&vp[c], t.read(&vp[c]) + 1);
+            t.write(&cp[c], seq);
+          }});
+        }
+        auto tickets = s.submit_batch_keyed(c, std::move(txs));
+        mine.insert(mine.end(), tickets.begin(), tickets.end());
+      }
+      for (auto& t : mine) t.wait();
+    });
+  }
+  for (auto& t : clients) t.join();
+  rt.stop();
+  for (unsigned c = 0; c < n_clients; ++c) {
+    EXPECT_EQ(cells[c], rounds * per_round) << "client " << c;
+    EXPECT_EQ(violations[c], 0u) << "client " << c << " saw out-of-order txs";
+  }
+  const auto stats = rt.aggregated_stats();
+  EXPECT_EQ(stats.session_batch_txs, n_clients * rounds * per_round);
+  // per_round > session_batch_max: batches really were split into cells.
+  EXPECT_GT(stats.session_batches, n_clients * rounds);
+}
+
+TEST(OversubscribeStress, ThenDrivenStormHasNoClientWaiters) {
+  // The 32-client contention storm, completion-inverted: clients register
+  // then() callbacks and exit without ever calling wait() — the drivers
+  // run every completion, so the storm needs zero client-side waiting
+  // threads. The main thread observes the callback count converge before
+  // it stops the runtime.
+  auto cfg = oversubscribed_cfg(4);
+  cfg.session_inbox_capacity = 4;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  constexpr unsigned n_clients = 32;
+  constexpr std::uint64_t per_client = 8;
+  std::atomic<std::uint64_t> completions{0};
+  word cursor = 0;
+  std::vector<word> cells(64, 0);
+  word* cp = &cursor;
+  word* mp = cells.data();
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < n_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::uint64_t i = 0; i < per_client; ++i) {
+        s.submit_keyed(c, {[=](core::task_ctx& t) {
+           const word pos = t.read(cp);
+           t.write(cp, pos + 1);
+           t.write(&mp[(c * 17 + pos) % 64], pos);
+         }}).then([&completions] {
+          completions.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      // Fire-and-forget: no ticket retained, no wait() ever issued.
+    });
+  }
+  for (auto& t : clients) t.join();
+  // All completion work happens on the drivers; this loop only observes.
+  while (completions.load(std::memory_order_relaxed) < n_clients * per_client) {
+    std::this_thread::yield();
+  }
+  rt.stop();
+  EXPECT_EQ(cursor, n_clients * per_client);
+  EXPECT_EQ(completions.load(), n_clients * per_client);
+  EXPECT_GE(rt.aggregated_stats().session_callbacks, n_clients * per_client);
+}
+
 TEST(OversubscribeStress, SessionsContentionStormAtFourTimesCores) {
   // Many clients, few oversubscribed pipelines, every transaction bumping a
   // shared cursor: the CM + fence + parking machinery under total conflict.

@@ -160,6 +160,23 @@ TEST(BoundedInbox, FifoUnderMultipleProducers) {
   for (unsigned p = 0; p < n_producers; ++p) EXPECT_EQ(next[p], per_producer);
 }
 
+TEST(BoundedInbox, TryPopAllDrainsPublishedPrefixInOrder) {
+  sched::bounded_inbox<int> q(8);
+  EXPECT_TRUE(q.empty());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(int{i}));
+  EXPECT_FALSE(q.empty());
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_all(out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.try_pop_all(out), 0u);  // appends nothing when empty
+  EXPECT_EQ(out.size(), 5u);
+  // The drain freed every slot: a full ring's worth fits again.
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_FALSE(q.try_push(99));
+}
+
 TEST(BoundedInbox, PopWaitHonoursStopOnlyWhenDrained) {
   sched::bounded_inbox<int> q(4);
   std::atomic<bool> stop{false};

@@ -152,6 +152,185 @@ TEST(Session, StopDeliversQueuedSubmissions) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched submission (DESIGN.md §8.5)
+// ---------------------------------------------------------------------------
+
+TEST(SessionBatch, BatchExecutesInSubmissionOrder) {
+  // One pipeline: the batch's transactions run FIFO, so the last write to a
+  // shared cell wins and every running count is observed in order.
+  core::runtime rt(small_cfg(1, 2));
+  auto s = rt.open_session();
+  word cell = 0;
+  word order_ok = 1;
+  constexpr std::uint64_t n = 100;
+  std::vector<std::vector<core::task_fn>> txs;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    txs.push_back({[&cell, &order_ok, i](core::task_ctx& c) {
+      if (c.read(&cell) != i - 1) c.write(&order_ok, 0);
+      c.write(&cell, i);
+    }});
+  }
+  auto tickets = s.submit_batch(std::move(txs));
+  ASSERT_EQ(tickets.size(), n);
+  for (auto& t : tickets) t.wait();
+  for (auto& t : tickets) EXPECT_TRUE(t.done());
+  EXPECT_EQ(cell, n);
+  EXPECT_EQ(order_ok, 1u);
+  rt.stop();
+}
+
+TEST(SessionBatch, SplitsOverBatchMaxAndCountsCells) {
+  auto cfg = small_cfg(1, 2);
+  cfg.session_batch_max = 4;  // 10 transactions -> cells of 4, 4, 2
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  word cell = 0;
+  std::vector<std::vector<core::task_fn>> txs;
+  for (int i = 0; i < 10; ++i) {
+    txs.push_back({[&cell](core::task_ctx& c) { c.write(&cell, c.read(&cell) + 1); }});
+  }
+  for (auto& t : s.submit_batch(std::move(txs))) t.wait();
+  EXPECT_EQ(cell, 10u);
+  rt.stop();
+  const auto stats = rt.aggregated_stats();
+  EXPECT_EQ(stats.session_batches, 3u);
+  EXPECT_EQ(stats.session_batch_txs, 10u);
+}
+
+TEST(SessionBatch, ValidatesWholeBatchBeforeEnqueuing) {
+  core::runtime rt(small_cfg(1, 2));
+  auto s = rt.open_session();
+  word cell = 0;
+  std::vector<std::vector<core::task_fn>> bad;
+  bad.push_back({[&cell](core::task_ctx& c) { c.write(&cell, 1); }});
+  bad.push_back({});  // invalid in the middle: nothing may enqueue
+  EXPECT_THROW(s.submit_batch(std::move(bad)), std::invalid_argument);
+  std::vector<std::vector<core::task_fn>> oversized;
+  oversized.push_back(
+      std::vector<core::task_fn>(3, [](core::task_ctx&) {}));  // > spec_depth
+  EXPECT_THROW(s.submit_batch(std::move(oversized)), std::invalid_argument);
+  EXPECT_THROW(s.submit_batch({}), std::invalid_argument);
+  // The front stays healthy and the rejected prefix never ran.
+  s.submit_single([&cell](core::task_ctx& c) { c.write(&cell, c.read(&cell) + 10); }).wait();
+  EXPECT_EQ(cell, 10u);
+  rt.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Async completion: ticket::then (DESIGN.md §8.5)
+// ---------------------------------------------------------------------------
+
+TEST(SessionThen, CallbacksLinearizeWithTheCommitJournal) {
+  // One pipeline, commits recorded: the driver retires tickets in commit-
+  // serial order, so the callback sequence must equal the journal's commit
+  // order (and the submission order).
+  auto cfg = small_cfg(1, 2);
+  cfg.record_commits = true;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  word cell = 0;
+  constexpr std::uint64_t n = 50;
+  std::vector<std::uint64_t> callback_order;  // driver-thread only
+  std::vector<core::ticket> tickets;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    tickets.push_back(s.submit_single([&cell](core::task_ctx& c) {
+      c.write(&cell, c.read(&cell) + 1);
+    }));
+    tickets.back().then([&callback_order, i] { callback_order.push_back(i); });
+  }
+  for (auto& t : tickets) t.wait();
+  rt.stop();  // joins the driver: callback_order is safely readable now
+  ASSERT_EQ(callback_order.size(), n);
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(callback_order[i], i);
+  const auto journal = rt.thread(0).journal();
+  ASSERT_EQ(journal.size(), n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Single-task transactions: commit serial i+1 belongs to submission i.
+    EXPECT_EQ(journal[i].tx_commit_serial, i + 1);
+  }
+  EXPECT_GE(rt.aggregated_stats().session_callbacks, n);
+}
+
+TEST(SessionThen, ThenThenWaitObserveTheSameCompletionEdge) {
+  core::runtime rt(small_cfg(1, 1));
+  auto s = rt.open_session();
+  word cell = 0;
+  std::atomic<int> seq{0};
+  int first = 0, second = 0;
+  auto t = s.submit_single([&cell](core::task_ctx& c) { c.write(&cell, 7); });
+  t.then([&] { first = ++seq; });
+  t.then([&] { second = ++seq; });
+  t.wait();
+  // Both callbacks ran (in registration order) before wait() returned.
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+  EXPECT_EQ(cell, 7u);
+  rt.stop();
+}
+
+TEST(SessionThen, RegisteredAfterCompletionRunsInline) {
+  core::runtime rt(small_cfg(1, 1));
+  auto s = rt.open_session();
+  auto t = s.submit_single([](core::task_ctx&) {});
+  t.wait();
+  bool ran = false;
+  t.then([&ran] { ran = true; });  // edge already passed: runs in this thread
+  EXPECT_TRUE(ran);
+  rt.stop();
+  // Late registration after the runtime stopped is equally safe.
+  bool late = false;
+  t.then([&late] { late = true; });
+  EXPECT_TRUE(late);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(SessionThen, CallbackExceptionIsRethrownByWait) {
+  core::runtime rt(small_cfg(1, 2));
+  auto s = rt.open_session();
+  // Hold the pipeline on a blocker transaction so the target's callback is
+  // registered before the driver can possibly retire it (FIFO pipeline:
+  // the target cannot commit before the blocker finishes).
+  std::atomic<bool> release{false};
+  word cell = 0;
+  auto blocker = s.submit_single([&release](core::task_ctx&) {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  auto target = s.submit_single([&cell](core::task_ctx& c) { c.write(&cell, 1); });
+  bool other_ran = false;
+  target.then([] { throw std::runtime_error("callback boom"); });
+  target.then([&other_ran] { other_ran = true; });
+  release.store(true, std::memory_order_release);
+  EXPECT_THROW(target.wait(), std::runtime_error);
+  EXPECT_THROW(target.wait(), std::runtime_error);  // sticky, every wait
+  EXPECT_TRUE(target.done());
+  EXPECT_TRUE(other_ran);  // one throwing callback never starves the rest
+  blocker.wait();
+  // The transaction itself committed; the front keeps serving submissions.
+  EXPECT_EQ(cell, 1u);
+  s.submit_single([&cell](core::task_ctx& c) { c.write(&cell, 2); }).wait();
+  EXPECT_EQ(cell, 2u);
+  rt.stop();
+  EXPECT_EQ(rt.aggregated_stats().session_callback_errors, 1u);
+}
+
+TEST(SessionThen, TicketsStaySafeAfterRuntimeStops) {
+  // Ticket state is self-contained: wait()/done() after stop() (and even
+  // after the session handle's front is gone) terminate immediately
+  // instead of touching freed runtime memory.
+  core::ticket t;
+  EXPECT_FALSE(t.valid());
+  {
+    core::runtime rt(small_cfg(1, 1));
+    auto s = rt.open_session();
+    t = s.submit_single([](core::task_ctx&) {});
+    rt.stop();
+  }  // runtime destroyed
+  EXPECT_TRUE(t.valid());
+  EXPECT_TRUE(t.done());
+  t.wait();  // completes without dereferencing the dead runtime
+}
+
+// ---------------------------------------------------------------------------
 // 64 clients over 4 pipelines, linearizable against the sequential
 // reference model. Every transaction (a) applies its seeded word program
 // and (b) transactionally appends its identity to a history log guarded by
