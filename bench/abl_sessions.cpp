@@ -98,8 +98,11 @@ core::config base_cfg(bool park, unsigned threads, unsigned depth) {
   // hand the CPU to the producer and waits self-resolve without parking, so
   // the substrate never engages. Parking after the pause rounds makes the
   // lulls actually sleep. (The spin baseline ignores the budget — it spins
-  // with yielding backoff forever, the pre-substrate behavior.)
+  // with yielding backoff forever, the pre-substrate behavior.) Pinned
+  // static so the A9 park-vs-spin rows keep measuring the substrate, not
+  // the wait governor (bench/abl_waits is the governor's ablation).
   cfg.waits.spin_rounds = 8;
+  cfg.waits.adaptive = false;
   return cfg;
 }
 
@@ -245,8 +248,9 @@ host_result run_batched(unsigned batch, unsigned n_clients) {
   // Eager parking: a reactive server's per-transaction waits park (between
   // requests there is nothing to spin for); resolving them inside the spin
   // budget — which loaded 1-core CI hosts otherwise do — would hide the
-  // very futex round trips the batch amortizes.
-  cfg.waits.spin_rounds = 0;
+  // very futex round trips the batch amortizes. (1 is the minimum budget
+  // config::validate accepts; adaptive stays off so it cannot regrow.)
+  cfg.waits.spin_rounds = 1;
   constexpr std::uint64_t txs_per_client = 1024;
   return timed_host_run(static_cast<double>(n_clients) * txs_per_client, [&] {
     core::runtime rt(cfg);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in machine-readable perf trajectory files
+# (BENCH_*.json at the repo root) from the benches that support --json.
+#
+#   scripts/collect_bench.sh          # rebuild + run every trajectory bench
+#
+# Each bench runs its full configuration matrix (median-of-3 per row), so
+# this takes a few minutes on a small host; the checked-in files let later
+# sessions diff wait-subsystem performance without rerunning anything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target abl_waits >/dev/null
+
+echo "=== abl_waits -> BENCH_waits.json ==="
+./build/bench/abl_waits --json BENCH_waits.json

@@ -5,9 +5,12 @@
 // owning thread's wait_gate — bounded spin, then futex park — and every
 // publication that can flip one of those predicates (completion/commit
 // frontier advances, phase transitions, fence raises and releases) is
-// followed by a wake_all on that gate. Predicates perform the same
-// virtual-time stamped loads the old spin loops did, so §5 stall accounting
-// is identical whether a waiter spun or parked.
+// followed by a wake_all on that gate. Stripe-release publications (commit
+// write-back restoring r_lock, abort restoring saved versions, rollback
+// popping chain entries) additionally wake the stripe's gate-table shard,
+// where *foreign* threads' waiters park (DESIGN.md §8.6). Predicates
+// perform the same virtual-time stamped loads the old spin loops did, so
+// §5 stall accounting is identical whether a waiter spun or parked.
 #include "core/commit.hpp"
 
 #include <algorithm>
@@ -93,7 +96,7 @@ void commit_pipeline::task_commit(task_env& env) {
   // == our slot), and fence raises broadcast to every slot gate, so the
   // fence poll inside the predicate still aborts a parked committer
   // promptly.
-  slot.gate.await(cfg_.waits, env.stats.wait_spins, env.stats.wait_parks, [&] {
+  gov_.await(slot.gate, sched::gate_class::handoff, env.stats, [&] {
     env.check_safepoint();
     return thr.completed_task.load(clk) >= serial - 1;
   });
@@ -125,7 +128,7 @@ void commit_pipeline::task_commit(task_env& env) {
     thr.gate.wake_all();
     const std::uint64_t tx_commit =
         slot.tx_commit_serial.load(std::memory_order_relaxed);
-    thr.gate.await(cfg_.waits, env.stats.wait_spins, env.stats.wait_parks, [&] {
+    gov_.await(thr.gate, sched::gate_class::handoff, env.stats, [&] {
       env.check_safepoint();
       return thr.committed_task.load(clk) >= tx_commit;
     });
@@ -203,7 +206,12 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
   locked_stripes locked;
   locked.reserve(total_entries);
   auto unlock_r_locks = [&] {
-    for (auto& [lp, ver] : locked) lp->r_lock.store(ver, clk);
+    for (auto& [lp, ver] : locked) {
+      lp->r_lock.store(ver, clk);
+      // Abort path: foreign committed-readers may be parked on the stripe's
+      // shard waiting out the r_lock sentinel (DESIGN.md §8.6 wake map).
+      gates_.wake(lp);
+    }
   };
   for (std::uint64_t s = tx_start; s <= serial; ++s) {
     thr.slot_for(s).logs.write_log.for_each([&](stm::write_entry& e) {
@@ -261,6 +269,11 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
       succ->prev.store(nullptr, std::memory_order_release);
     }
     lp->r_lock.store(ts, clk);
+    // Release publication for the stripe's shard (DESIGN.md §8.6): foreign
+    // committed-readers parked on the r_lock sentinel and W/W waiters
+    // parked on our chain ownership both re-check here. One uncontended RMW
+    // + relaxed load when nobody is parked.
+    gates_.wake(lp);
   }
 
   // Bookkeeping + retires, then publish completion (lines 93-94).
@@ -417,7 +430,7 @@ void commit_pipeline::rollback_parked_wait(task_env& env) {
     // Park until the picture can have changed: the fence moved (raise and
     // release both wake the gate) or a peer's phase flipped (every phase
     // store wakes). The probe is unstamped; the loop top re-reads stamped.
-    thr.gate.await(cfg_.waits, env.stats.wait_spins, env.stats.wait_parks, [&] {
+    gov_.await(thr.gate, sched::gate_class::rollback, env.stats, [&] {
       const std::uint64_t fx = thr.fence.load_unstamped();
       if (fx == thread_state::no_fence || fx > my_serial) return true;
       return election_ready_unstamped(thr, fx, my_serial);
@@ -501,6 +514,10 @@ void commit_pipeline::unlink_entry(stm::write_entry& e, vt::worker_clock& clk) {
   stm::write_entry* head = lp->w_lock.load_unstamped();
   if (head == &e) {
     lp->w_lock.store(e.prev.load(std::memory_order_relaxed), clk);
+    // Chain-pop publication (DESIGN.md §8.6 wake map): foreign W/W waiters
+    // (a CM victim's released stripe) and our own chain-hand-off waiters
+    // park on the stripe's shard and watch the head's ownership.
+    gates_.wake(lp);
     return;
   }
   // Defensive interior unlink (normally pops are exactly chain prefixes).
@@ -508,6 +525,7 @@ void commit_pipeline::unlink_entry(stm::write_entry& e, vt::worker_clock& clk) {
        p = p->prev.load(std::memory_order_acquire)) {
     if (p->prev.load(std::memory_order_acquire) == &e) {
       p->prev.store(e.prev.load(std::memory_order_relaxed), std::memory_order_release);
+      gates_.wake(lp);
       return;
     }
   }

@@ -13,6 +13,7 @@
 
 #include "core/config.hpp"
 #include "core/task.hpp"
+#include "sched/gate_table.hpp"
 #include "stm/lock_table.hpp"
 
 namespace tlstm::core {
@@ -30,8 +31,13 @@ class commit_pipeline {
   /// Stripe locks saved for abort: (stripe, pre-lock r_lock version).
   using locked_stripes = std::vector<std::pair<stm::lock_pair*, stm::word>>;
 
-  commit_pipeline(const config& cfg, std::atomic<stm::word>& commit_ts)
-      : cfg_(cfg), commit_ts_(commit_ts) {}
+  /// `gates` is the runtime's stripe gate table: every stripe-release
+  /// publication here (commit write-back, abort version restore, rollback
+  /// chain pop) wakes the stripe's shard so parked foreign waiters resume
+  /// (DESIGN.md §8.6). `gov` tunes the pipeline's own wait budgets.
+  commit_pipeline(const config& cfg, std::atomic<stm::word>& commit_ts,
+                  sched::gate_table& gates, sched::wait_governor& gov)
+      : cfg_(cfg), commit_ts_(commit_ts), gates_(gates), gov_(gov) {}
 
   /// Task commit (Alg. 3 lines 65-77): serialize completions, validate,
   /// publish completion; intermediate tasks park until the commit-task
@@ -53,10 +59,12 @@ class commit_pipeline {
 
  private:
   void coordinate_rollback(task_env& env);
-  static void unlink_entry(stm::write_entry& e, vt::worker_clock& clk);
+  void unlink_entry(stm::write_entry& e, vt::worker_clock& clk);
 
   const config& cfg_;
   std::atomic<stm::word>& commit_ts_;
+  sched::gate_table& gates_;
+  sched::wait_governor& gov_;
 };
 
 }  // namespace tlstm::core

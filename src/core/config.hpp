@@ -60,10 +60,16 @@ struct config {
   /// (sched::ladder_pause): randomized relax bursts, then scheduler yields,
   /// then escalating randomized sleeps.
   sched::ladder_params restart_backoff{};
-  /// Wait policy of the parked-waiting substrate (DESIGN.md §8): every
-  /// runtime predicate wait spins `waits.spin_rounds` backoff-paced checks,
-  /// then parks on the owning thread's wait_gate. `waits.park = false`
-  /// reproduces the pure-spinning runtime (the bench/abl_sessions baseline).
+  /// Wait policy of the parked-waiting substrate (DESIGN.md §8/§8.6): every
+  /// runtime predicate wait spins a bounded number of backoff-paced checks,
+  /// then parks on a wait_gate. With `waits.adaptive` (default) the budget
+  /// is tuned per gate class by the wait_governor within [4, 4096], seeded
+  /// from `waits.spin_rounds`; `waits.adaptive = false` pins every class to
+  /// the static `waits.spin_rounds`, and `waits.park = false` reproduces
+  /// the pure-spinning runtime (the bench/abl_sessions and bench/abl_waits
+  /// baselines). `waits.gate_shards` (nonzero power of two) sizes the
+  /// cross-thread stripe gate table that foreign-stripe waiters park on.
+  /// Validation: spin_rounds >= 1, gate_shards a nonzero power of two.
   sched::wait_params waits{};
   /// Capacity of each pipeline's session inbox (rounded up to a power of
   /// two). Full inboxes backpressure session clients; must be >= 1.

@@ -88,6 +88,29 @@ bool contention_manager::should_abort(task_env& env, stm::write_entry* head) con
   return false;
 }
 
+void contention_manager::wait_for_release(task_env& env, stm::lock_pair& pair,
+                                          stm::write_entry* head,
+                                          sched::gate_table& gates,
+                                          sched::wait_governor& gov) const {
+  const std::uint64_t my_serial = env.serial();
+  // Identity snapshot beyond the head pointer: a rolled-back victim that
+  // restarts re-pushes a recycled entry at the *same address* (its chunked
+  // write log was merely reset), so a pointer-only predicate ABAs straight
+  // past the pop + re-push and sleeps through the re-decision the old spin
+  // made every round. The incarnation is bumped by every rollback before
+  // the chain pops (and their shard wakes) happen, so any owner-incarnation
+  // boundary — commit, abort, restart — flips this predicate; the caller
+  // then re-runs the CM decision against whatever owns the stripe now.
+  const std::uint64_t hid = head->ident.load(std::memory_order_relaxed);
+  const std::uint32_t hinc = head->incarnation.load(std::memory_order_relaxed);
+  gov.await(gates.shard_for(&pair), sched::gate_class::cm, env.stats, [&] {
+    return pair.w_lock.load_unstamped() != head ||
+           head->ident.load(std::memory_order_relaxed) != hid ||
+           head->incarnation.load(std::memory_order_relaxed) != hinc ||
+           env.thr.fence_covers_unstamped(my_serial);
+  });
+}
+
 std::uint64_t contention_manager::tx_karma(thread_state& thr, std::uint64_t tx_start,
                                            std::uint64_t tx_commit) {
   std::uint64_t sum = 0;

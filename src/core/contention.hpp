@@ -11,6 +11,7 @@
 
 #include "core/config.hpp"
 #include "core/task.hpp"
+#include "sched/gate_table.hpp"
 #include "stm/lock_table.hpp"
 
 namespace tlstm::core {
@@ -50,6 +51,21 @@ class contention_manager {
   /// Paper Alg. 2 cm-should-abort. True → the caller must abort itself;
   /// false → keep waiting (the owner may have been signalled to abort).
   bool should_abort(task_env& env, stm::write_entry* head) const;
+
+  /// The polite-CM victim wait (DESIGN.md §8.6): after should_abort ruled
+  /// "keep waiting", park on the stripe's gate-table shard until the chain
+  /// head moves away from the `head` we decided against — the owner's
+  /// commit write-back, abort version-restore and rollback chain pops all
+  /// wake the shard — or our own restart fence covers us (fence raises
+  /// broadcast to every shard). A head pushed *on top* flips the predicate
+  /// without a wake, but the owner holding the stripe must eventually
+  /// commit or pop it (both wake), so the sleep always ends; returning on
+  /// any head change (rather than full release) keeps the caller's loop
+  /// re-running the CM decision against whichever transaction owns the
+  /// stripe now, exactly as the old spin did. Unstamped probes; the
+  /// caller's retry loop re-reads the lock word stamped.
+  void wait_for_release(task_env& env, stm::lock_pair& pair, stm::write_entry* head,
+                        sched::gate_table& gates, sched::wait_governor& gov) const;
 
   /// Karma CM priority: transactional accesses of a transaction's live
   /// tasks. Foreign slots are peeked relaxed and identity-checked — a

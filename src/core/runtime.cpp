@@ -40,8 +40,8 @@ void user_thread::submit(std::vector<task_fn> tasks) {
       return tx_start > thr_.committed_task.load_unstamped() + 2 * std::uint64_t{win};
     }();
     if (blocked) {
-      const bool stalled =
-          charged_wait(thr_.gate, rt_.cfg().costs.window_stall, [&] {
+      const bool stalled = charged_wait(
+          thr_.gate, sched::gate_class::handoff, rt_.cfg().costs.window_stall, [&] {
             const std::uint64_t win = thr_.adapt->effective_window();
             return tx_start <= thr_.committed_task.load(clock_) + 2 * std::uint64_t{win};
           });
@@ -54,7 +54,8 @@ void user_thread::submit(std::vector<task_fn> tasks) {
     // Window backpressure: the residue slot frees only when its previous
     // task's transaction committed; the charged wait prices the stall.
     // Point-to-point (the slot's worker frees it) — park on the slot gate.
-    if (charged_wait(slot.gate, rt_.cfg().costs.window_stall,
+    if (charged_wait(slot.gate, sched::gate_class::handoff,
+                     rt_.cfg().costs.window_stall,
                      [&] { return slot.load_phase(clock_) == task_phase::free; })) {
       stats_.window_stalls++;
     }
@@ -87,7 +88,7 @@ void user_thread::drain() {
   // The stamped load max-joins the committing worker's clock, so drain-side
   // waiting lands in this submitter's virtual timeline (and via makespan()
   // in the reported makespan); the charged wait prices the wakeup itself.
-  if (charged_wait(thr_.gate, rt_.cfg().costs.window_stall,
+  if (charged_wait(thr_.gate, sched::gate_class::handoff, rt_.cfg().costs.window_stall,
                    [&] { return thr_.committed_task.load(clock_) >= next_serial_ - 1; })) {
     stats_.drain_stalls++;
   }
@@ -124,19 +125,35 @@ config validated(config cfg) {
   if (cfg.session_batch_max == 0) {
     throw std::invalid_argument("session_batch_max must be >= 1");
   }
+  if (cfg.waits.spin_rounds == 0) {
+    // The governor treats spin_rounds as the initial per-class budget and
+    // the static-park baseline; "park on the first failed check" is
+    // spin_rounds = 1 (the first check is free), never 0.
+    throw std::invalid_argument("waits.spin_rounds must be >= 1");
+  }
+  if (cfg.waits.gate_shards == 0 ||
+      (cfg.waits.gate_shards & (cfg.waits.gate_shards - 1)) != 0) {
+    throw std::invalid_argument("waits.gate_shards must be a nonzero power of two");
+  }
   return cfg;
 }
 
 }  // namespace
 
 runtime::runtime(config cfg)
-    : cfg_(validated(cfg)), table_(cfg.log2_table), commit_(cfg_, commit_ts_), cm_(cfg_) {
+    : cfg_(validated(cfg)),
+      table_(cfg.log2_table),
+      stripe_gates_(cfg_.waits.gate_shards),
+      governor_(cfg_.waits),
+      commit_(cfg_, commit_ts_, stripe_gates_, governor_),
+      cm_(cfg_) {
   threads_.reserve(cfg_.num_threads);
   user_threads_.reserve(cfg_.num_threads);
   adapters_.resize(cfg_.num_threads);
   workers_.reserve(std::size_t{cfg_.num_threads} * cfg_.spec_depth);
   for (unsigned t = 0; t < cfg_.num_threads; ++t) {
     threads_.push_back(std::make_unique<thread_state>(t, cfg_.spec_depth));
+    threads_[t]->stripe_gates = &stripe_gates_;
     user_threads_.push_back(
         std::unique_ptr<user_thread>(new user_thread(*this, *threads_[t])));
     if (cfg_.adapt_window) {
@@ -291,7 +308,7 @@ bool runtime::wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot&
   // (the submitter, or shutdown's broadcast), so an idle pipeline parks
   // without herding the thread-wide gate.
   bool installed = false;
-  slot.gate.await(cfg_.waits, wk.stats.wait_spins, wk.stats.wait_parks, [&] {
+  governor_.await(slot.gate, sched::gate_class::inbox, wk.stats, [&] {
     if (slot.load_phase(wk.clock) == task_phase::ready &&
         slot.serial.load(std::memory_order_acquire) == serial) {
       installed = true;
@@ -307,7 +324,7 @@ bool runtime::wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot&
   // events broadcast; commit advances and window moves wake the thread
   // gate), so park there.
   bool deferred = false;
-  thr.gate.await(cfg_.waits, wk.stats.wait_spins, wk.stats.wait_parks, [&] {
+  governor_.await(thr.gate, sched::gate_class::rollback, wk.stats, [&] {
     // Never start a task into an active rollback that covers it.
     if (!thr.fence_covers(serial, wk.clock)) {
       if (window_admits(thr, slot)) {
@@ -366,7 +383,7 @@ void runtime::run_one_incarnation(task_env& env, worker& wk) {
       if (thr.fence_covers(my_serial, wk.clock)) {
         commit_.rollback_parked_wait(env);
       } else {
-        thr.gate.await(cfg_.waits, wk.stats.wait_spins, wk.stats.wait_parks, [&] {
+        governor_.await(thr.gate, sched::gate_class::handoff, wk.stats, [&] {
           const std::uint64_t g = thr.waw_gate.load(std::memory_order_relaxed);
           return g == 0 || g >= my_serial ||
                  thr.completed_task.load(wk.clock) >= g ||

@@ -105,11 +105,12 @@ class user_thread {
   /// window_stall) when that publication lay in our virtual future — a
   /// genuine stall on the virtual machine, independent of host scheduling.
   /// Waiting parks on `gate` (DESIGN.md §8: the slot gate for reuse waits,
-  /// the thread gate for frontier waits); the predicate's loads — and
-  /// hence stall detection — are identical to the spin days. Returns true
-  /// iff it stalled.
+  /// the thread gate for frontier waits) under the governor's budget for
+  /// `cls`; the predicate's loads — and hence stall detection — are
+  /// identical to the spin days. Returns true iff it stalled.
   template <typename Pred>
-  bool charged_wait(sched::wait_gate& gate, vt::vtime stall_cost, Pred&& pred);
+  bool charged_wait(sched::wait_gate& gate, sched::gate_class cls,
+                    vt::vtime stall_cost, Pred&& pred);
 
   runtime& rt_;
   thread_state& thr_;
@@ -141,6 +142,10 @@ class runtime {
   session open_session();
 
   stm::lock_table& table() noexcept { return table_; }
+  /// The sharded cross-thread stripe gate table and the adaptive wait
+  /// governor (DESIGN.md §8.6).
+  sched::gate_table& stripe_gates() noexcept { return stripe_gates_; }
+  sched::wait_governor& governor() noexcept { return governor_; }
   /// Global commit clock — plain atomic, not vtime-stamped (see the
   /// rationale on swiss_runtime::commit_ts).
   std::atomic<stm::word>& commit_ts() noexcept { return commit_ts_; }
@@ -215,6 +220,11 @@ class runtime {
   std::atomic<stm::word> commit_ts_{0};
   std::atomic<std::uint64_t> greedy_counter_{1};
   util::epoch_domain epochs_;
+  /// Cross-thread waiting substrate (DESIGN.md §8.6): stripe-address-sharded
+  /// gates foreign waiters park on, and the per-gate-class adaptive spin
+  /// budgets. Declared before the pipeline components that hold references.
+  sched::gate_table stripe_gates_;
+  sched::wait_governor governor_;
   /// The commit pipeline and contention manager (core/commit.*,
   /// core/contention.*) — stateless policy components over task_env.
   commit_pipeline commit_;
@@ -236,10 +246,10 @@ class runtime {
 };
 
 template <typename Pred>
-bool user_thread::charged_wait(sched::wait_gate& gate, vt::vtime stall_cost, Pred&& pred) {
+bool user_thread::charged_wait(sched::wait_gate& gate, sched::gate_class cls,
+                               vt::vtime stall_cost, Pred&& pred) {
   const vt::vtime t0 = clock_.now;
-  gate.await(rt_.cfg().waits, stats_.wait_spins, stats_.wait_parks,
-             std::forward<Pred>(pred));
+  rt_.governor_.await(gate, cls, stats_, std::forward<Pred>(pred));
   if (clock_.now > t0) {
     clock_.advance(stall_cost);
     return true;

@@ -181,7 +181,10 @@ ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks) {
   } guard{*this};
   auto st = make_ticket_state();
   submission s{detail::sub_tx{std::move(tasks), st}};
-  pipes_[pipe_idx]->inbox.push_wait(rt_.cfg().waits, std::move(s));
+  // Backpressure parks under the governed inbox budget (clients have no
+  // stat block, so the outcome is not recorded — drivers train the class).
+  pipes_[pipe_idx]->inbox.push_wait(rt_.governor().params(sched::gate_class::inbox),
+                                    std::move(s));
   return ticket(std::move(st));
 }
 
@@ -211,7 +214,8 @@ std::vector<ticket> session_front::enqueue_batch(unsigned pipe_idx,
       chunk.push_back(detail::sub_tx{std::move(txs[i]), std::move(st)});
     }
     submission s{std::move(chunk)};
-    pipes_[pipe_idx]->inbox.push_wait(rt_.cfg().waits, std::move(s));
+    pipes_[pipe_idx]->inbox.push_wait(rt_.governor().params(sched::gate_class::inbox),
+                                      std::move(s));
   }
   return out;
 }
@@ -283,7 +287,7 @@ void session_front::driver_main(unsigned t) {
   user_thread& th = rt_.thread(t);
   thread_state& thr = *rt_.threads_[t];
   pipe& p = *pipes_[t];
-  const sched::wait_params& waits = rt_.cfg().waits;
+  sched::wait_governor& gov = rt_.governor();
   // Honour the stop flag only once no enqueue is mid-push (see
   // pending_enqueues_): the drain keeps going until the inbox is empty AND
   // no racing submission can still land in it.
@@ -300,9 +304,16 @@ void session_front::driver_main(unsigned t) {
     p.inbox.try_pop_all(batch);
     if (batch.empty()) {
       if (pending.empty()) {
-        // Fully idle: park until a client pushes or the front stops.
+        // Fully idle: park until a client pushes or the front stops. Waits
+        // go through the governor's inbox class (and are recorded, so lulls
+        // train the budget down) on the inbox's own consumer gate.
         submission s;
-        if (p.inbox.pop_wait(waits, s, stopped)) {
+        bool got = false;
+        gov.await(p.inbox.consumer_gate(), sched::gate_class::inbox, p.stats, [&] {
+          got = p.inbox.try_pop(s);
+          return got || stopped();
+        });
+        if (got) {
           batch.push_back(std::move(s));
           p.inbox.try_pop_all(batch);  // the rest of the burst, if any
         } else {
@@ -314,11 +325,10 @@ void session_front::driver_main(unsigned t) {
         // workers wake through the completion hook — whichever condition
         // flips first resumes the loop.
         const std::uint64_t head = pending.front().serial;
-        p.inbox.consumer_gate().await(
-            waits, p.stats.wait_spins, p.stats.wait_parks, [&] {
-              return !p.inbox.empty() ||
-                     thr.committed_task.load_unstamped() >= head || stopped();
-            });
+        gov.await(p.inbox.consumer_gate(), sched::gate_class::inbox, p.stats, [&] {
+          return !p.inbox.empty() ||
+                 thr.committed_task.load_unstamped() >= head || stopped();
+        });
         if (p.inbox.empty() && stopped()) drained_out = true;
       }
     }

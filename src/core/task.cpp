@@ -139,7 +139,7 @@ stm::word runtime::task_read(task_env& env, const stm::word* addr) {
     // gate — completion advances and fence raises both wake it.
     const std::uint64_t writer_serial = best->serial();
     const std::uint32_t writer_inc = best->incarnation.load(std::memory_order_relaxed);
-    thr.gate.await(cfg_.waits, env.stats.wait_spins, env.stats.wait_parks, [&] {
+    governor_.await(thr.gate, sched::gate_class::handoff, env.stats, [&] {
       env.check_safepoint();  // writer rolling back fences us too
       return thr.completed_task.load(clk) >= writer_serial;
     });
@@ -177,17 +177,23 @@ stm::word runtime::task_read(task_env& env, const stm::word* addr) {
 stm::word runtime::task_read_committed(task_env& env, const stm::word* addr,
                                        stm::lock_pair& pair) {
   vt::worker_clock& clk = env.clock;
-  util::backoff bo;
   for (unsigned tries = 0; tries < read_retry_cap; ++tries) {
     const stm::word v1 = pair.r_lock.load(clk);
     if (v1 == stm::r_lock_locked) {
-      // A foreign committer is writing the stripe back — a short critical
-      // section, so this stays a (yielding) spin rather than a park: the
-      // publisher is another thread's commit path, which does not wake our
-      // gate.
+      // A foreign committer is writing the stripe back. Park on the
+      // stripe's gate-table shard (DESIGN.md §8.6): the committer's unlock
+      // — both the commit's version store and the abort's version restore —
+      // wakes the shard, and a fence raised against us broadcasts to every
+      // shard, so the unstamped probes below can never sleep through either
+      // edge. The loop top re-reads the r_lock stamped, keeping virtual
+      // time park-blind.
       env.check_safepoint();
-      env.stats.wait_spins++;
-      bo.spin();
+      governor_.await(stripe_gates_.shard_for(&pair), sched::gate_class::stripe,
+                      env.stats, [&] {
+                        return pair.r_lock.load_unstamped() != stm::r_lock_locked ||
+                               env.thr.fence_covers_unstamped(env.serial());
+                      });
+      env.check_safepoint();
       continue;
     }
     const stm::word val = stm::load_word(addr);
@@ -303,13 +309,16 @@ void runtime::task_write(task_env& env, stm::word* addr, stm::word value) {
     const std::uint64_t hserial = stm::entry_ident::serial(hid);
 
     if (hptid != thr.ptid) {
-      // Write/write conflict with another user-thread (paper lines 41-43).
-      // Foreign-owner waits stay spinning: the owner's release path commits
-      // on another thread's gate, so there is no wake publication to park
-      // on; the backoff reaches OS-yield granularity quickly.
+      // Write/write conflict with another user-thread (paper lines 41-43):
+      // polite spins first (the owner's release may be imminent), then the
+      // CM decides. A requester that must keep waiting parks on the
+      // stripe's gate-table shard until the owner thread stops heading the
+      // chain — its commit, abort and rollback paths all wake that shard
+      // (DESIGN.md §8.6) — instead of the old unbounded yielding spin.
       if (polite_left > 0) {
         --polite_left;
         env.stats.wait_spins++;
+        env.stats.wait_spins_cm++;
         bo.spin();
         continue;
       }
@@ -318,8 +327,7 @@ void runtime::task_write(task_env& env, stm::word* addr, stm::word value) {
         env.stats.abort_cm++;
         throw stm::tx_abort{stm::tx_abort::reason::cm};
       }
-      env.stats.wait_spins++;
-      bo.spin();
+      cm_.wait_for_release(env, pair, head, stripe_gates_, governor_);
       continue;
     }
 
@@ -331,12 +339,24 @@ void runtime::task_write(task_env& env, stm::word* addr, stm::word value) {
       thr.waw_gate.store(my_serial, std::memory_order_relaxed);
       if (thr.raise_fence(hserial, clk)) env.stats.abort_waw_signalled++;
       env.check_safepoint();
-      // Park until the rollback coordinator pops the future's entries (its
-      // fence release wakes the gate) or our own fence covers us.
-      thr.gate.await(cfg_.waits, env.stats.wait_spins, env.stats.wait_parks, [&] {
-        return pair.w_lock.load_unstamped() != head ||
-               thr.fence_covers_unstamped(my_serial);
-      });
+      // Park on the stripe's shard until the chain head moves — the rollback
+      // coordinator's chain pops wake the shard per entry — or our own fence
+      // covers us (fence raises broadcast to every shard). Head-identity
+      // predicate: a pushed-on-top head flips it without a wake, but the
+      // fence we just raised guarantees the future eventually pops (waking
+      // the shard) or its fence release broadcasts, so the sleep always
+      // ends; and re-checking per head change lets the loop re-raise the
+      // fence if a resumed future re-acquired the stripe. The ident +
+      // incarnation snapshots close the recycled-entry ABA (a restarted
+      // task re-pushes the same entry address — see cm wait_for_release).
+      const std::uint32_t hinc = head->incarnation.load(std::memory_order_relaxed);
+      governor_.await(stripe_gates_.shard_for(&pair), sched::gate_class::stripe,
+                      env.stats, [&] {
+                        return pair.w_lock.load_unstamped() != head ||
+                               head->ident.load(std::memory_order_relaxed) != hid ||
+                               head->incarnation.load(std::memory_order_relaxed) != hinc ||
+                               thr.fence_covers_unstamped(my_serial);
+                      });
       continue;
     }
 

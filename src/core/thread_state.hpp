@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/task.hpp"
+#include "sched/gate_table.hpp"
 #include "sched/wait_gate.hpp"
 #include "util/cache.hpp"
 #include "util/chunked_vector.hpp"
@@ -102,13 +103,22 @@ struct thread_state {
   /// predicates it can flip.
   sched::wait_gate gate;
 
+  /// The runtime's cross-thread stripe gate table (DESIGN.md §8.6); set by
+  /// the runtime before workers spawn. Fence events must broadcast to it:
+  /// this thread's tasks may be parked on foreign stripes' shards, whose
+  /// predicates poll our fence but whose publications are other threads'
+  /// commits.
+  sched::gate_table* stripe_gates = nullptr;
+
   /// Broadcast wake for fence raises/releases, window moves and shutdown:
-  /// fence-sensitive predicates park on *both* gate classes (e.g. the
-  /// commit-serialization wait polls the fence from a slot gate), so these
-  /// rare events wake everything.
+  /// fence-sensitive predicates park on *all* gate classes (e.g. the
+  /// commit-serialization wait polls the fence from a slot gate, stripe
+  /// waiters poll it from a gate-table shard), so these rare events wake
+  /// everything.
   void wake_fence_event() noexcept {
     gate.wake_all();
     for (task_slot& sl : owners) sl.gate.wake_all();
+    if (stripe_gates != nullptr) stripe_gates->wake_all_shards();
   }
 
   /// Session completion hook (DESIGN.md §8.5): when a session front drives

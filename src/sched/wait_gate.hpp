@@ -58,6 +58,23 @@ class wait_gate {
     epoch_.notify_one();
   }
 
+  /// wake_all for publishers on hot paths (the commit write-back waking a
+  /// gate_table shard): the epoch bump is unconditional, but the notify —
+  /// and its waiter-table scan / futex syscall — is skipped when no waiter
+  /// is registered. The bump must stay: a plain relaxed load of `waiters_`
+  /// after the predicate-visible store is a classic Dekker lost-wake (the
+  /// publisher's load can complete before its store drains, while the
+  /// waiter registers and re-checks the still-stale predicate). The acq_rel
+  /// RMW on the epoch orders the waiter-count load after the publication,
+  /// and a waiter always registers *before* its final pre-park predicate
+  /// check, so either this load observes the registration (and notifies)
+  /// or the waiter's park fails the epoch comparison / its re-check sees
+  /// the published state. Uncontended cost: one RMW + one relaxed load.
+  void wake_all_if_parked() noexcept {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    if (waiters_.load(std::memory_order_relaxed) != 0) epoch_.notify_all();
+  }
+
   /// Waits until `pred()` returns true: `spin_rounds` backoff-paced checks,
   /// then parks between checks (or spins forever when parking is off).
   /// `spins` counts failed pre-park checks (the old wait_spins semantics);
@@ -78,9 +95,23 @@ class wait_gate {
         continue;
       }
       const std::uint32_t e = epoch_.load(std::memory_order_acquire);
-      if (pred()) return;  // final check against the snapshotted epoch
+      // Register before the final check so wake_all_if_parked publishers
+      // cannot elide the notify while we are between check and park.
+      waiters_.fetch_add(1, std::memory_order_acq_rel);
+      bool done = false;
+      try {
+        done = pred();  // final check against the snapshotted epoch
+      } catch (...) {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        throw;
+      }
+      if (done) {
+        waiters_.fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
       ++parks;
       epoch_.wait(e, std::memory_order_acquire);
+      waiters_.fetch_sub(1, std::memory_order_relaxed);
       if (pred()) return;
     }
   }
@@ -98,8 +129,16 @@ class wait_gate {
     return epoch_.load(std::memory_order_relaxed);
   }
 
+  /// Registered (about-to-park or parked) waiters — diagnostics and tests.
+  std::uint32_t waiters() const noexcept {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::uint32_t> epoch_{0};
+  /// Waiters registered between their epoch snapshot and futex return; lets
+  /// wake_all_if_parked skip the notify when the gate is idle.
+  std::atomic<std::uint32_t> waiters_{0};
 };
 
 }  // namespace tlstm::sched

@@ -28,6 +28,16 @@ void stat_block::accumulate(const stat_block& other) noexcept {
   chain_hops += other.chain_hops;
   wait_spins += other.wait_spins;
   wait_parks += other.wait_parks;
+  wait_spins_handoff += other.wait_spins_handoff;
+  wait_parks_handoff += other.wait_parks_handoff;
+  wait_spins_inbox += other.wait_spins_inbox;
+  wait_parks_inbox += other.wait_parks_inbox;
+  wait_spins_rollback += other.wait_spins_rollback;
+  wait_parks_rollback += other.wait_parks_rollback;
+  wait_spins_stripe += other.wait_spins_stripe;
+  wait_parks_stripe += other.wait_parks_stripe;
+  wait_spins_cm += other.wait_spins_cm;
+  wait_parks_cm += other.wait_parks_cm;
   user_ops += other.user_ops;
   session_batches += other.session_batches;
   session_batch_txs += other.session_batch_txs;
@@ -58,6 +68,11 @@ std::ostream& operator<<(std::ostream& os, const stat_block& s) {
      << " validations=" << s.task_validations << " ext=" << s.ts_extensions
      << " hops=" << s.chain_hops << " spins=" << s.wait_spins
      << " parks=" << s.wait_parks << " user_ops=" << s.user_ops
+     << "} waits{handoff=" << s.wait_spins_handoff << "/" << s.wait_parks_handoff
+     << " inbox=" << s.wait_spins_inbox << "/" << s.wait_parks_inbox
+     << " rollback=" << s.wait_spins_rollback << "/" << s.wait_parks_rollback
+     << " stripe=" << s.wait_spins_stripe << "/" << s.wait_parks_stripe
+     << " cm=" << s.wait_spins_cm << "/" << s.wait_parks_cm
      << "} session{batches=" << s.session_batches << " txs=" << s.session_batch_txs
      << " cbs=" << s.session_callbacks << " cb_errs=" << s.session_callback_errors
      << "} adapt{shrinks=" << s.window_shrinks

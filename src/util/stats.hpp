@@ -40,8 +40,26 @@ struct alignas(cache_line_size) stat_block {
   std::uint64_t task_validations = 0;
   std::uint64_t ts_extensions = 0;
   std::uint64_t chain_hops = 0;        // redo-chain entries traversed
-  std::uint64_t wait_spins = 0;        // failed predicate checks in waits
-  std::uint64_t wait_parks = 0;        // futex parks after the spin budget
+  std::uint64_t wait_spins = 0;        // failed predicate checks in waits (all classes)
+  std::uint64_t wait_parks = 0;        // futex parks after the spin budget (all classes)
+
+  // Waits split by gate class (sched::gate_class, DESIGN.md §8.6) so the
+  // wait governor's per-class behaviour is observable: *_handoff =
+  // completion/commit frontier waits, *_inbox = waiting-for-work (slot
+  // installs, session inbox, driver completion parks), *_rollback =
+  // restart-fence parking and window admission, *_stripe = foreign-stripe
+  // release waits on the gate table, *_cm = polite-CM victim waits. The
+  // aggregate wait_spins/wait_parks above include these.
+  std::uint64_t wait_spins_handoff = 0;
+  std::uint64_t wait_parks_handoff = 0;
+  std::uint64_t wait_spins_inbox = 0;
+  std::uint64_t wait_parks_inbox = 0;
+  std::uint64_t wait_spins_rollback = 0;
+  std::uint64_t wait_parks_rollback = 0;
+  std::uint64_t wait_spins_stripe = 0;
+  std::uint64_t wait_parks_stripe = 0;
+  std::uint64_t wait_spins_cm = 0;
+  std::uint64_t wait_parks_cm = 0;
 
   // Workload-reported operations (count_ops); committed work only — the
   // harness falls back to committed_tx * ops_per_tx when this stays 0.

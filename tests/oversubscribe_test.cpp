@@ -60,7 +60,8 @@ TEST(OversubscribeStress, SpinBaselineFourTimesCoresSerializable) {
 TEST(OversubscribeStress, DeepPipelinesEagerParking) {
   auto cfg = oversubscribed_cfg(2);
   cfg.spec_depth = std::max(cfg.spec_depth, 3u);  // room for 3-task txs
-  cfg.waits.spin_rounds = 0;  // park on the first failed check everywhere
+  cfg.waits.spin_rounds = 1;  // park after the first failed check everywhere
+  cfg.waits.adaptive = false;  // pin it there (the governor would regrow it)
   run_and_check(cfg, /*txs_per_thread=*/50, /*tasks_per_tx=*/3);
 }
 

@@ -243,6 +243,30 @@ TEST(ConfigValidation, RejectsZeroSessionInbox) {
   EXPECT_THROW(core::runtime rt(cfg), std::invalid_argument);
 }
 
+TEST(ConfigValidation, RejectsZeroSpinRounds) {
+  core::config cfg;
+  cfg.log2_table = 4;
+  cfg.waits.spin_rounds = 0;
+  EXPECT_THROW(core::runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, RejectsBadGateShards) {
+  core::config cfg;
+  cfg.log2_table = 4;
+  cfg.waits.gate_shards = 0;
+  EXPECT_THROW(core::runtime rt(cfg), std::invalid_argument);
+  cfg.waits.gate_shards = 48;  // not a power of two
+  EXPECT_THROW(core::runtime rt(cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidation, AcceptsSingleGateShard) {
+  core::config cfg;
+  cfg.log2_table = 4;
+  cfg.waits.gate_shards = 1;
+  core::runtime rt(cfg);
+  rt.stop();
+}
+
 TEST(ConfigValidation, AcceptsBoundaryTopology) {
   // Exactly the ptid space is fine (validation rejects only the overflow);
   // use a tiny depth so the check is about arithmetic, not resources.

@@ -32,10 +32,13 @@ inline std::vector<stm::word> run_sequential(std::uint64_t seed, std::uint64_t n
 }
 
 /// TLSTM run: cfg.num_threads driver threads, each submitting
-/// `txs_per_thread` transactions of `tasks_per_tx` tasks.
+/// `txs_per_thread` transactions of `tasks_per_tx` tasks. When `stats_out`
+/// is given, the run's aggregated statistics are accumulated into it (after
+/// quiescence, so the counters are exact).
 inline word_run run_tlstm(const core::config& cfg, std::uint64_t txs_per_thread,
                           unsigned tasks_per_tx, std::uint64_t seed,
-                          const program_shape& shape) {
+                          const program_shape& shape,
+                          util::stat_block* stats_out = nullptr) {
   word_run out;
   out.mem.assign(shape.n_words, 0);
   out.journals.resize(cfg.num_threads);
@@ -65,6 +68,7 @@ inline word_run run_tlstm(const core::config& cfg, std::uint64_t txs_per_thread,
   }
   for (auto& d : drivers) d.join();
   rt.stop();
+  if (stats_out != nullptr) stats_out->accumulate(rt.aggregated_stats());
   return out;
 }
 
