@@ -6,95 +6,22 @@
 // virtual time, matching DESIGN.md §5. Results are also stashed in a global
 // recorder so main() can print the paper-figure rows (series vs x) with
 // cross-series ratios after the run.
+//
+// The machine-readable pieces live in their own headers so tests can link
+// them without google-benchmark: json_recorder.hpp (`--json` trajectory
+// output) and latency_hist.hpp (log-bucket latency histograms, DESIGN.md §9).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
-#include <utility>
-#include <vector>
 
+#include "json_recorder.hpp"
+#include "latency_hist.hpp"
 #include "workloads/harness.hpp"
 
 namespace bench_util {
-
-/// Machine-readable perf-trajectory output: benches stash named metric rows
-/// here and main() writes them as JSON when the binary was invoked with
-/// `--json <path>` (see scripts/collect_bench.sh, which regenerates the
-/// checked-in BENCH_*.json files at the repo root).
-class json_recorder {
- public:
-  static json_recorder& instance() {
-    static json_recorder r;
-    return r;
-  }
-
-  void put(const std::string& row, const std::string& metric, double value) {
-    auto& metrics = row_for(row);
-    for (auto& [k, v] : metrics) {
-      if (k == metric) {
-        v = value;
-        return;
-      }
-    }
-    metrics.emplace_back(metric, value);
-  }
-
-  /// Strips a `--json <path>` (or `--json=<path>`) argument pair from argv
-  /// before google-benchmark sees it (benchmark::Initialize rejects flags
-  /// it does not know). Returns the path, or "" when absent.
-  static std::string consume_json_flag(int& argc, char** argv) {
-    std::string path;
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-        path = argv[++i];
-      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-        path = argv[i] + 7;
-      } else {
-        argv[out++] = argv[i];
-      }
-    }
-    argc = out;
-    return path;
-  }
-
-  /// Writes every recorded row to `path` as one JSON object. Returns false
-  /// (and leaves no partial file behind worth trusting) when the file
-  /// cannot be opened.
-  bool write(const std::string& path, const std::string& bench_name) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": {\n", bench_name.c_str());
-    for (std::size_t r = 0; r < rows_.size(); ++r) {
-      const auto& [row, metrics] = rows_[r];
-      std::fprintf(f, "    \"%s\": {", row.c_str());
-      for (std::size_t m = 0; m < metrics.size(); ++m) {
-        std::fprintf(f, "%s\"%s\": %.6g", m == 0 ? "" : ", ",
-                     metrics[m].first.c_str(), metrics[m].second);
-      }
-      std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
-    }
-    std::fprintf(f, "  }\n}\n");
-    std::fclose(f);
-    return true;
-  }
-
- private:
-  std::vector<std::pair<std::string, double>>& row_for(const std::string& row) {
-    for (auto& [k, v] : rows_) {
-      if (k == row) return v;
-    }
-    rows_.emplace_back(row, std::vector<std::pair<std::string, double>>{});
-    return rows_.back().second;
-  }
-
-  /// Insertion-ordered so the emitted file reads like the bench's output.
-  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> rows_;
-};
 
 class recorder {
  public:

@@ -1,0 +1,124 @@
+// Log-bucket latency histograms (DESIGN.md §9).
+//
+// Open-loop tail measurement needs a sample sink that is (a) cheap enough
+// to record into from a replay loop without perturbing the arrivals, and
+// (b) mergeable, so per-phase / per-rate histograms can be combined after a
+// run. This is the classic log-linear scheme (HdrHistogram's coarse
+// layout): values below 2^sub_bits get exact buckets, above that each
+// power-of-two octave is split into 2^sub_bits sub-buckets by the bits
+// just under the MSB — bounded relative error of 2^-sub_bits (12.5%) with
+// a fixed 496-bucket footprint covering the whole uint64 range. record()
+// is a bit-scan plus two increments; no allocation, ever.
+//
+// Quantiles report the upper edge of the bucket holding the rank-q sample,
+// clamped into [min, max] of the recorded data — so a one-sample histogram
+// answers every quantile exactly, and quantile(q) is monotone in q by
+// construction (tests/latency_hist_test.cpp pins all of this down).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace bench_util {
+
+class log_histogram {
+ public:
+  /// Sub-bucket resolution: 2^sub_bits sub-buckets per octave.
+  static constexpr unsigned sub_bits = 3;
+  static constexpr unsigned sub_count = 1u << sub_bits;
+  /// Octaves sub_bits..63 each contribute sub_count buckets on top of the
+  /// sub_count exact small-value buckets.
+  static constexpr unsigned n_buckets = (64 - sub_bits) * sub_count + sub_count;
+
+  /// Bucket index of `v`: exact below sub_count, log-linear above.
+  static constexpr unsigned bucket_index(std::uint64_t v) noexcept {
+    if (v < sub_count) return static_cast<unsigned>(v);
+    const unsigned o = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned sub =
+        static_cast<unsigned>((v >> (o - sub_bits)) & (sub_count - 1));
+    return (o - sub_bits + 1) * sub_count + sub;
+  }
+
+  /// Smallest value mapping to bucket `idx`.
+  static constexpr std::uint64_t bucket_lower(unsigned idx) noexcept {
+    if (idx < sub_count) return idx;
+    const unsigned blk = idx / sub_count;          // 1-based octave block
+    const unsigned sub = idx % sub_count;
+    const unsigned o = blk + sub_bits - 1;         // floor(log2) of members
+    return (std::uint64_t{sub_count} + sub) << (o - sub_bits);
+  }
+
+  /// Largest value mapping to bucket `idx` (buckets tile the range:
+  /// bucket_upper(i) + 1 == bucket_lower(i + 1)).
+  static constexpr std::uint64_t bucket_upper(unsigned idx) noexcept {
+    if (idx < sub_count) return idx;
+    const unsigned o = idx / sub_count + sub_bits - 1;
+    return bucket_lower(idx) + ((std::uint64_t{1} << (o - sub_bits)) - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++counts_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  /// Bucket-wise sum — the merge of disjoint sample sets. Associative and
+  /// commutative (plain integer addition per field).
+  void merge(const log_histogram& o) noexcept {
+    for (unsigned i = 0; i < n_buckets; ++i) counts_[i] += o.counts_[i];
+    if (o.count_ != 0) {
+      min_ = count_ == 0 ? o.min_ : std::min(min_, o.min_);
+      max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  /// Upper edge of the bucket holding the sample of rank ceil(q * count),
+  /// clamped into [min, max] of the recorded data. 0 on an empty histogram.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < n_buckets; ++i) {
+      cum += counts_[i];
+      if (cum >= target) return std::clamp(bucket_upper(i), min_, max_);
+    }
+    return max_;  // unreachable: cum reaches count_ >= target
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  friend bool operator==(const log_histogram& a, const log_histogram& b) noexcept {
+    if (a.count_ != b.count_ || a.sum_ != b.sum_ || a.min() != b.min() ||
+        a.max_ != b.max_) {
+      return false;
+    }
+    for (unsigned i = 0; i < n_buckets; ++i) {
+      if (a.counts_[i] != b.counts_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint64_t counts_[n_buckets]{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace bench_util

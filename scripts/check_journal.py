@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Offline commit-journal checker (DESIGN.md §9).
+
+Standalone mirror of tlstm::support::check_journal (tests/support/
+tracefile.hpp): validates a journal dump produced by bench/openloop_latency
+(--trace/--journal flags) against the trace it claims to be a run of, with
+zero knowledge of the run itself.
+
+    check_journal.py <trace-file> <journal-file>
+
+Exit 0 and "OK ..." on a valid dump; exit 1 and a one-line diagnostic whose
+prefix names the violated invariant otherwise. The diagnostic prefixes are
+a contract shared with the C++ checker (adversarial tests assert on them):
+
+  serial-gap / serial-overlap / duplicate-serial / record-shape
+      per pipeline, committed [tx_start, tx_commit] serial ranges must
+      tile 1..N densely, in order;
+  request-count / missing-request / duplicate-request
+      the dump places every trace id exactly once;
+  misrouted-request
+      placements must match session_route_hash(key) % pipelines;
+  missing-commit / unclaimed-commit
+      requests and journal records match one to one;
+  commit-ts-zero / commit-ts-duplicate
+      commit timestamps are real and globally unique;
+  fifo-violation
+      per key, commit serials and timestamps follow submission order.
+"""
+
+import sys
+
+MASK = (1 << 64) - 1
+
+
+def session_route_hash(key):
+    """splitmix64 finalizer — must match core::session_route_hash exactly."""
+    key = (key + 0x9E3779B97F4A7C15) & MASK
+    key = ((key ^ (key >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    key = ((key ^ (key >> 27)) * 0x94D049BB133111EB) & MASK
+    return key ^ (key >> 31)
+
+
+def read_trace(path):
+    with open(path, "r", encoding="ascii") as f:
+        lines = [ln.rstrip("\n") for ln in f]
+    if not lines or not lines[0].startswith("tlstm-trace v1"):
+        raise ValueError("bad trace header")
+    if len(lines) < 2 or not lines[1].startswith("spec "):
+        raise ValueError("bad trace spec line")
+    spec = [int(x) for x in lines[1].split()[1:]]
+    if len(spec) != 6:
+        raise ValueError("bad trace spec line")
+    reqs = []
+    for ln in lines[2:]:
+        if not ln or ln.startswith("#"):
+            continue
+        parts = ln.split()
+        if parts[0] != "R" or len(parts) != 6:
+            raise ValueError("bad trace record: " + ln)
+        # (id, key, arrival_ns, tasks, ops)
+        reqs.append(tuple(int(x) for x in parts[1:]))
+    if len(reqs) != spec[1]:
+        raise ValueError("trace record count mismatch")
+    return spec, reqs
+
+
+def read_journal(path):
+    with open(path, "r", encoding="ascii") as f:
+        lines = [ln.rstrip("\n") for ln in f]
+    if not lines or not lines[0].startswith("tlstm-journal v1"):
+        raise ValueError("bad journal header")
+    if len(lines) < 2 or not lines[1].startswith("dims "):
+        raise ValueError("bad journal dims line")
+    pipelines, n_requests = (int(x) for x in lines[1].split()[1:])
+    journals = [[] for _ in range(pipelines)]
+    requests = []
+    for ln in lines[2:]:
+        if not ln or ln.startswith("#"):
+            continue
+        parts = ln.split()
+        if parts[0] == "J" and len(parts) == 5:
+            p, start, commit, ts = (int(x) for x in parts[1:])
+            if p >= pipelines:
+                raise ValueError("bad journal record: " + ln)
+            journals[p].append((start, commit, ts))
+        elif parts[0] == "T" and len(parts) == 6:
+            rid, key, p, serial, tasks = (int(x) for x in parts[1:])
+            if p >= pipelines:
+                raise ValueError("bad placement record: " + ln)
+            requests.append((rid, key, p, serial, tasks))
+        else:
+            raise ValueError("unknown journal line: " + ln)
+    if len(requests) != n_requests:
+        raise ValueError("placement count mismatch")
+    return pipelines, journals, requests
+
+
+def check_journal(trace, pipelines, journals, requests):
+    """Returns None on success, else the diagnostic string."""
+    if pipelines == 0 or len(journals) != pipelines:
+        return "dump-shape: pipelines=%d journals=%d" % (pipelines, len(journals))
+
+    # 1. Per-pipeline serial density.
+    for p in range(pipelines):
+        expect = 1
+        prev = None
+        for start, commit, _ts in journals[p]:
+            if commit < start:
+                return "record-shape: pipeline %d serial [%d, %d] is inverted" % (
+                    p, start, commit)
+            if prev is not None and (start, commit) == prev:
+                return "duplicate-serial: pipeline %d committed serial %d twice" % (
+                    p, commit)
+            if start < expect:
+                return ("serial-overlap: pipeline %d tx_start %d re-enters "
+                        "committed range (expected %d)" % (p, start, expect))
+            if start > expect:
+                return ("serial-gap: pipeline %d expected tx_start %d but "
+                        "journal has %d" % (p, expect, start))
+            expect = commit + 1
+            prev = (start, commit)
+
+    # 2. Every trace id placed exactly once.
+    if len(requests) != len(trace):
+        return "request-count: trace has %d requests, dump places %d" % (
+            len(trace), len(requests))
+    by_id = {}
+    for r in requests:
+        rid = r[0]
+        if rid >= len(trace):
+            return "missing-request: placement id %d is outside the trace" % rid
+        if rid in by_id:
+            return "duplicate-request: id %d placed twice" % rid
+        by_id[rid] = r
+    for i in range(len(trace)):
+        if i not in by_id:
+            return "missing-request: trace id %d absent from the dump" % i
+
+    # 3. Placement matches routing hash, key and task shape.
+    for tid, tkey, _arr, ttasks, _ops in trace:
+        _rid, rkey, rpipe, _serial, rtasks = by_id[tid]
+        want = session_route_hash(tkey) % pipelines
+        if rkey != tkey or rtasks != ttasks or rpipe != want:
+            return ("misrouted-request: id %d key %d expected pipeline %d, "
+                    "dump says pipeline %d key %d tasks %d" % (
+                        tid, tkey, want, rpipe, rkey, rtasks))
+
+    # 4. Requests <-> journal records one to one.
+    by_commit = [dict() for _ in range(pipelines)]
+    for p in range(pipelines):
+        for rec in journals[p]:
+            by_commit[p][rec[1]] = rec
+    claimed = [0] * pipelines
+    for tid, _tkey, _arr, ttasks, _ops in trace:
+        _rid, _rkey, rpipe, serial, _rtasks = by_id[tid]
+        rec = by_commit[rpipe].get(serial)
+        if rec is None or rec[0] != serial - ttasks + 1:
+            return ("missing-commit: request %d (pipeline %d, serial %d, "
+                    "tasks %d) has no matching journal record" % (
+                        tid, rpipe, serial, ttasks))
+        claimed[rpipe] += 1
+    for p in range(pipelines):
+        if claimed[p] != len(journals[p]):
+            return ("unclaimed-commit: pipeline %d journal has %d records but "
+                    "only %d requests claim one" % (p, len(journals[p]), claimed[p]))
+
+    # 5. Commit timestamps nonzero and globally unique.
+    seen_ts = set()
+    for p in range(pipelines):
+        for _start, commit, ts in journals[p]:
+            if ts == 0:
+                return "commit-ts-zero: pipeline %d serial %d" % (p, commit)
+            if ts in seen_ts:
+                return "commit-ts-duplicate: ts %d" % ts
+            seen_ts.add(ts)
+
+    # 6. Per-key FIFO on serials and commit timestamps.
+    last_of_key = {}
+    for t in trace:
+        tid, tkey = t[0], t[1]
+        if tkey in last_of_key:
+            prev_t = last_of_key[tkey]
+            prev = by_id[prev_t[0]]
+            cur = by_id[tid]
+            prev_ts = by_commit[prev[2]][prev[3]][2]
+            cur_ts = by_commit[cur[2]][cur[3]][2]
+            if cur[3] <= prev[3] or cur_ts <= prev_ts:
+                return ("fifo-violation: key %d request %d (serial %d, ts %d) "
+                        "did not commit after request %d (serial %d, ts %d)" % (
+                            tkey, tid, cur[3], cur_ts, prev_t[0], prev[3], prev_ts))
+        last_of_key[tkey] = t
+    return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write("usage: check_journal.py <trace-file> <journal-file>\n")
+        return 2
+    try:
+        _spec, trace = read_trace(argv[1])
+        pipelines, journals, requests = read_journal(argv[2])
+    except (OSError, ValueError) as e:
+        sys.stderr.write("check_journal: %s\n" % e)
+        return 1
+    diag = check_journal(trace, pipelines, journals, requests)
+    if diag is not None:
+        sys.stderr.write("check_journal: FAIL %s\n" % diag)
+        return 1
+    n_records = sum(len(j) for j in journals)
+    print("OK %d requests, %d commit records across %d pipelines" % (
+        len(trace), n_records, pipelines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

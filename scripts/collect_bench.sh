@@ -13,7 +13,24 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target abl_waits >/dev/null
+cmake --build build -j "$JOBS" --target abl_waits openloop_latency >/dev/null
 
 echo "=== abl_waits -> BENCH_waits.json ==="
 ./build/bench/abl_waits --json BENCH_waits.json
+
+# The open-loop harness validates every rate step's commit journal inline
+# (nonzero exit on a checker failure) AND dumps the trace/journal pair so
+# the standalone python checker re-validates the smoke step from the files
+# alone — a BENCH_latency.json only gets checked in off a verified history.
+echo "=== openloop_latency -> BENCH_latency.json ==="
+OL_DUMP="$(mktemp -d)"
+trap 'rm -rf "$OL_DUMP"' EXIT
+./build/bench/openloop_latency --json BENCH_latency.json \
+  --trace "$OL_DUMP/ol" --journal "$OL_DUMP/ol"
+if command -v python3 >/dev/null 2>&1; then
+  for t in "$OL_DUMP"/ol.*.trace; do
+    python3 scripts/check_journal.py "$t" "${t%.trace}.journal"
+  done
+else
+  echo "python3 not found; skipping the standalone checker pass" >&2
+fi

@@ -103,6 +103,12 @@ struct config {
   /// Record (tx_start, tx_commit, commit_ts) per committed transaction; used
   /// by the serializability oracle tests.
   bool record_commits = false;
+  /// Stamp wall-clock capture points (submit / install / commit-observed /
+  /// callback, DESIGN.md §9) into every session ticket so open-loop
+  /// harnesses can build per-phase latency histograms. One steady_clock
+  /// read per point on the session paths only — workers never stamp — and
+  /// off by default so closed-loop benches pay nothing.
+  bool capture_latency = false;
 };
 
 }  // namespace tlstm::core

@@ -5,12 +5,25 @@
 #include "core/session.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "core/runtime.hpp"
 
 namespace tlstm::core {
+
+namespace {
+/// Latency capture clock (config.capture_latency): monotonic nanoseconds.
+/// Only read on session paths — submit, install, and the driver's complete
+/// phase — never by workers.
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ticket
@@ -53,6 +66,20 @@ void ticket::then(std::function<void()> fn) {
   fn();
 }
 
+ticket_latency ticket::latency() const noexcept {
+  ticket_latency out;
+  if (st_ == nullptr) return out;
+  // Acquire on the completion flag orders the relaxed stamp loads after a
+  // completed ticket's stores; a racing read of an in-flight ticket just
+  // sees the not-yet-reached points as 0.
+  (void)st_->completed.load(std::memory_order_acquire);
+  out.submit_ns = st_->t_submit_ns.load(std::memory_order_relaxed);
+  out.install_ns = st_->t_install_ns.load(std::memory_order_relaxed);
+  out.commit_ns = st_->t_commit_ns.load(std::memory_order_relaxed);
+  out.callback_ns = st_->t_callback_ns.load(std::memory_order_relaxed);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // session
 // ---------------------------------------------------------------------------
@@ -81,6 +108,10 @@ std::vector<ticket> session::submit_batch_keyed(std::uint64_t key,
 }
 
 unsigned session::pipelines() const noexcept { return front_->pipelines(); }
+
+unsigned session::pipeline_for_key(std::uint64_t key) const noexcept {
+  return front_->route_key(key);
+}
 
 // ---------------------------------------------------------------------------
 // session_front
@@ -127,12 +158,8 @@ unsigned session_front::route_next() noexcept {
 }
 
 unsigned session_front::route_key(std::uint64_t key) const noexcept {
-  // splitmix64 finalizer — cheap avalanche so clustered keys spread.
-  key += 0x9e3779b97f4a7c15ull;
-  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
-  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
-  key ^= key >> 31;
-  return static_cast<unsigned>(key % pipes_.size());
+  // The public hash (session.hpp) so offline checkers reproduce placement.
+  return static_cast<unsigned>(session_route_hash(key) % pipes_.size());
 }
 
 void session_front::validate_tx(const std::vector<task_fn>& tasks) const {
@@ -145,6 +172,11 @@ void session_front::validate_tx(const std::vector<task_fn>& tasks) const {
 std::shared_ptr<detail::ticket_state> session_front::make_ticket_state() const {
   auto st = std::make_shared<detail::ticket_state>();
   st->waits = rt_.cfg().waits;  // by value: outlives the runtime
+  if (rt_.cfg().capture_latency) {
+    // Submit capture point (§9): stamped before the inbox push, so
+    // submit→install includes backpressure parking and driver drain delay.
+    st->t_submit_ns.store(now_ns(), std::memory_order_relaxed);
+  }
   return st;
 }
 
@@ -243,14 +275,31 @@ void session_front::install_submission(unsigned t, submission& s,
     serial += tx.tasks.size();
     tx.tk->commit_serial.store(serial, std::memory_order_release);
   });
+  const bool capture = rt_.cfg().capture_latency;
   for_each_tx([&](detail::sub_tx& tx) {
     const std::uint64_t cs = tx.tk->commit_serial.load(std::memory_order_relaxed);
+    if (capture) {
+      // Install capture point (§9): the hand-off into the pipeline. The
+      // submit below may itself park on slot backpressure — that belongs
+      // to the install→commit phase (it is pipeline occupancy, not inbox
+      // queueing), so the stamp precedes it.
+      tx.tk->t_install_ns.store(now_ns(), std::memory_order_relaxed);
+    }
     th.submit(std::move(tx.tasks));
     pending.push_back(pending_ticket{cs, std::move(tx.tk)});
   });
 }
 
 void session_front::complete_ticket(detail::ticket_state& tk, util::stat_block& st) {
+  const bool capture = rt_.cfg().capture_latency;
+  if (capture) {
+    // Commit-observed capture point (§9): the driver saw the commit
+    // frontier pass this serial. The true commit happened up to one
+    // completion-hook wake earlier; that observation delay is part of what
+    // a session client experiences, so it is deliberately included here
+    // rather than stamped by the committing worker.
+    tk.t_commit_ns.store(now_ns(), std::memory_order_relaxed);
+  }
   std::vector<std::function<void()>> cbs;
   {
     std::lock_guard<std::mutex> lk(tk.cb_mu);
@@ -268,6 +317,13 @@ void session_front::complete_ticket(detail::ticket_state& tk, util::stat_block& 
       st.session_callback_errors++;
       if (!err) err = std::current_exception();
     }
+  }
+  if (capture) {
+    // Callback capture point (§9): callbacks ran, the completion edge is
+    // about to publish. Stamped before the release-store so a waiter that
+    // observes `completed` always reads a fully stamped record.
+    tk.t_callback_ns.store(now_ns(), std::memory_order_relaxed);
+    st.latency_samples++;
   }
   tk.callback_error = err;  // published by the completed release-store
   tk.completed.store(true, std::memory_order_release);

@@ -50,6 +50,33 @@ namespace tlstm::core {
 class runtime;
 class session_front;
 
+/// The session key-affinity routing hash (splitmix64 finalizer — cheap
+/// avalanche so clustered keys spread): key k routes to pipeline
+/// `session_route_hash(k) % pipelines`. Public so offline tooling (the
+/// trace/journal checker in tests/support/tracefile.hpp and
+/// scripts/check_journal.py) can reproduce the placement exactly.
+constexpr std::uint64_t session_route_hash(std::uint64_t key) noexcept {
+  key += 0x9e3779b97f4a7c15ull;
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
+  return key ^ (key >> 31);
+}
+
+/// Wall-clock stamps of one submission's life cycle (config.capture_latency,
+/// DESIGN.md §9). steady_clock nanoseconds; a field is 0 until its capture
+/// point is reached (all four stay 0 with capture off). The three phases the
+/// tail-latency harness reports are the deltas submit→install (inbox queue +
+/// driver drain), install→commit (pipeline execution up to the driver
+/// observing the commit frontier) and commit→callback (driver completion
+/// phase: callbacks run, completion edge published).
+struct ticket_latency {
+  std::uint64_t submit_ns = 0;    ///< client enqueued the submission
+  std::uint64_t install_ns = 0;   ///< driver installed it into its pipeline
+  std::uint64_t commit_ns = 0;    ///< driver observed the frontier pass it
+  std::uint64_t callback_ns = 0;  ///< callbacks done, completion published
+  bool complete() const noexcept { return callback_ns != 0; }
+};
+
 namespace detail {
 /// Shared completion state of one session submission. Entirely
 /// self-contained: the driver publishes the completion edge here (flag +
@@ -78,6 +105,17 @@ struct ticket_state {
   /// subsequent wait() on this ticket (written before the `completed`
   /// release-store, read after the acquire-load — no lock needed).
   std::exception_ptr callback_error;
+
+  /// Latency capture points (config.capture_latency, DESIGN.md §9).
+  /// Relaxed atomics: the client writes submit_ns before the inbox push,
+  /// the driver writes the rest; readers racing the driver may see a
+  /// partially stamped record (fields are 0 until reached), but everything
+  /// is fully published once `completed` is observed — the stores precede
+  /// the completed release-store.
+  std::atomic<std::uint64_t> t_submit_ns{0};
+  std::atomic<std::uint64_t> t_install_ns{0};
+  std::atomic<std::uint64_t> t_commit_ns{0};
+  std::atomic<std::uint64_t> t_callback_ns{0};
 };
 
 /// One transaction riding in an inbox cell.
@@ -118,6 +156,19 @@ class ticket {
   void then(std::function<void()> fn);
   bool valid() const noexcept { return st_ != nullptr; }
 
+  /// Commit serial assigned by the driver at install; 0 until installed (or
+  /// on an empty ticket). Diagnostic — pair with the pipeline's commit
+  /// journal to match a submission to its commit_record.
+  std::uint64_t commit_serial() const noexcept {
+    return st_ == nullptr
+               ? 0
+               : st_->commit_serial.load(std::memory_order_acquire);
+  }
+  /// Snapshot of the latency capture points (config.capture_latency). All
+  /// zero when capture is off or the ticket is empty; fully stamped once
+  /// done() has returned true.
+  ticket_latency latency() const noexcept;
+
  private:
   friend class session_front;
   explicit ticket(std::shared_ptr<detail::ticket_state> st) : st_(std::move(st)) {}
@@ -153,6 +204,9 @@ class session {
                                          std::vector<std::vector<task_fn>> txs);
 
   unsigned pipelines() const noexcept;
+  /// The pipeline submit_keyed(key, ...) routes to — exposes the routing so
+  /// harnesses can match submissions to per-pipeline commit journals.
+  unsigned pipeline_for_key(std::uint64_t key) const noexcept;
 
  private:
   friend class runtime;

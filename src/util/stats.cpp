@@ -43,6 +43,7 @@ void stat_block::accumulate(const stat_block& other) noexcept {
   session_batch_txs += other.session_batch_txs;
   session_callbacks += other.session_callbacks;
   session_callback_errors += other.session_callback_errors;
+  latency_samples += other.latency_samples;
   window_shrinks += other.window_shrinks;
   window_grows += other.window_grows;
   tasks_deferred += other.tasks_deferred;
@@ -75,6 +76,7 @@ std::ostream& operator<<(std::ostream& os, const stat_block& s) {
      << " cm=" << s.wait_spins_cm << "/" << s.wait_parks_cm
      << "} session{batches=" << s.session_batches << " txs=" << s.session_batch_txs
      << " cbs=" << s.session_callbacks << " cb_errs=" << s.session_callback_errors
+     << " lat=" << s.latency_samples
      << "} adapt{shrinks=" << s.window_shrinks
      << " grows=" << s.window_grows << " deferred=" << s.tasks_deferred
      << " win_stalls=" << s.window_stalls << " drain_stalls=" << s.drain_stalls

@@ -70,6 +70,7 @@ struct alignas(cache_line_size) stat_block {
   std::uint64_t session_batch_txs = 0;       // transactions those cells carried
   std::uint64_t session_callbacks = 0;       // ticket::then callbacks run
   std::uint64_t session_callback_errors = 0; // callbacks that threw (rethrown by wait)
+  std::uint64_t latency_samples = 0;         // fully stamped tickets (DESIGN.md §9)
 
   // Adaptive speculation (DESIGN.md §5a).
   std::uint64_t window_shrinks = 0;  // controller narrowed the window

@@ -1,7 +1,14 @@
 // Tests for the benchmark harness: result accounting, virtual-time
-// throughput math, pacing, and the bank workload under both runners.
+// throughput math, pacing, the bank workload under both runners, and the
+// --json trajectory recorder's write/parse round trip.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/json_recorder.hpp"
 #include "workloads/bank.hpp"
 #include "workloads/harness.hpp"
 
@@ -164,6 +171,71 @@ TEST(Harness, TransferClampsToBalance) {
       [&](stm::swiss_thread& tx) { moved = bank.transfer(tx, 0, 1, 25); });
   EXPECT_EQ(moved, 10u);  // clamped to the source balance
   EXPECT_EQ(bank.total_unsafe(), bank.expected_total());
+}
+
+// --- the --json trajectory recorder ----------------------------------------
+
+TEST(JsonRecorder, WriteParseRoundTrip) {
+  // What a bench records must come back identically through parse_file —
+  // the checked-in BENCH_*.json files are only useful if downstream tooling
+  // can rely on this.
+  bench_util::json_recorder rec;
+  rec.put("rate/r1k", "offered_per_s", 1000);
+  rec.put("rate/r1k", "total_p99_us", 1234.5625);
+  rec.put("rate/r4k", "offered_per_s", 4000);
+  rec.put("rate/r4k", "total_p99_us", 0.000123456);
+  rec.put("empty_row", "placeholder", 0);
+  rec.put("rate/r1k", "offered_per_s", 1001);  // overwrite, not duplicate
+
+  const std::string path = ::testing::TempDir() + "roundtrip.json";
+  ASSERT_TRUE(rec.write(path, "harness_test"));
+
+  std::string bench_name, error;
+  bench_util::json_recorder::row_list rows;
+  ASSERT_TRUE(bench_util::json_recorder::parse_file(path, &bench_name, &rows, &error))
+      << error;
+  EXPECT_EQ(bench_name, "harness_test");
+  ASSERT_EQ(rows.size(), rec.rows().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(rows[r].first, rec.rows()[r].first);
+    ASSERT_EQ(rows[r].second.size(), rec.rows()[r].second.size()) << rows[r].first;
+    for (std::size_t m = 0; m < rows[r].second.size(); ++m) {
+      EXPECT_EQ(rows[r].second[m].first, rec.rows()[r].second[m].first);
+      // Values survive to the writer's %.6g precision.
+      const double want = rec.rows()[r].second[m].second;
+      const double got = rows[r].second[m].second;
+      EXPECT_NEAR(got, want, std::abs(want) * 1e-5 + 1e-12)
+          << rows[r].first << "." << rows[r].second[m].first;
+    }
+  }
+  // The overwrite updated in place rather than appending.
+  EXPECT_EQ(rows[0].second[0].second, 1001.0);
+}
+
+TEST(JsonRecorder, ParseRejectsMalformedInput) {
+  const std::string path = ::testing::TempDir() + "malformed.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"bench\": \"x\", \"rows\": {\"r\": {\"m\": nope}}}", f);
+  std::fclose(f);
+  std::string bench_name, error;
+  bench_util::json_recorder::row_list rows;
+  EXPECT_FALSE(bench_util::json_recorder::parse_file(path, &bench_name, &rows, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonRecorder, ConsumeFlagStripsBothSpellings) {
+  char a0[] = "bench", a1[] = "--json", a2[] = "out.json", a3[] = "--other=5",
+       a4[] = "--trace=tr";
+  char* argv[] = {a0, a1, a2, a3, a4};
+  int argc = 5;
+  EXPECT_EQ(bench_util::json_recorder::consume_json_flag(argc, argv), "out.json");
+  EXPECT_EQ(argc, 3);
+  EXPECT_EQ(bench_util::json_recorder::consume_flag(argc, argv, "trace"), "tr");
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "--other=5");
+  EXPECT_EQ(bench_util::json_recorder::consume_flag(argc, argv, "absent"), "");
+  EXPECT_EQ(argc, 2);
 }
 
 }  // namespace

@@ -1,0 +1,185 @@
+// Pins down the log-bucket histogram the open-loop latency harness reports
+// through (bench/latency_hist.hpp): bucket geometry at the powers of two,
+// the bounded relative error, merge associativity/commutativity, and the
+// monotone clamped-quantile contract. These are the properties the p50/p95/
+// p99 columns in BENCH_latency.json silently rely on.
+#include "bench/latency_hist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using bench_util::log_histogram;
+using H = log_histogram;
+
+// --- bucket geometry -------------------------------------------------------
+
+TEST(LatencyHistBuckets, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < H::sub_count; ++v) {
+    EXPECT_EQ(H::bucket_index(v), v);
+    EXPECT_EQ(H::bucket_lower(static_cast<unsigned>(v)), v);
+    EXPECT_EQ(H::bucket_upper(static_cast<unsigned>(v)), v);
+  }
+}
+
+TEST(LatencyHistBuckets, PowersOfTwoStartFreshSubBucket) {
+  // Every power of two at or above sub_count is the lower edge of its
+  // bucket — the log-linear grid re-anchors exactly at octave boundaries.
+  for (unsigned o = H::sub_bits; o < 64; ++o) {
+    const std::uint64_t p = std::uint64_t{1} << o;
+    const unsigned idx = H::bucket_index(p);
+    EXPECT_EQ(H::bucket_lower(idx), p) << "octave " << o;
+    EXPECT_EQ(H::bucket_index(p - 1) + 1, idx) << "octave " << o;
+  }
+}
+
+TEST(LatencyHistBuckets, BucketsTileTheRange) {
+  // bucket_upper(i) + 1 == bucket_lower(i + 1): no gaps, no overlaps, and
+  // both edges round-trip through bucket_index.
+  for (unsigned i = 0; i + 1 < H::n_buckets; ++i) {
+    EXPECT_EQ(H::bucket_upper(i) + 1, H::bucket_lower(i + 1)) << "bucket " << i;
+    EXPECT_EQ(H::bucket_index(H::bucket_lower(i)), i);
+    EXPECT_EQ(H::bucket_index(H::bucket_upper(i)), i);
+  }
+  EXPECT_EQ(H::bucket_index(~std::uint64_t{0}), H::n_buckets - 1);
+}
+
+TEST(LatencyHistBuckets, RelativeErrorIsBounded) {
+  // Bucket width / lower edge <= 2^-sub_bits for all log-linear buckets, so
+  // a quantile (reported as an in-bucket value) errs by at most 12.5%.
+  tlstm::util::xoshiro256 rng(7, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next() >> (rng.next() & 63);
+    const unsigned idx = H::bucket_index(v);
+    const std::uint64_t lo = H::bucket_lower(idx);
+    const std::uint64_t width = H::bucket_upper(idx) - lo + 1;
+    if (v >= H::sub_count) {
+      // width = 2^(o - sub_bits) and lo >= 2^o, so width * sub_count <= lo.
+      EXPECT_LE(width * H::sub_count, lo) << "value " << v << " bucket " << idx;
+    } else {
+      EXPECT_EQ(width, 1u);
+    }
+  }
+}
+
+// --- recording and merging -------------------------------------------------
+
+TEST(LatencyHistMerge, MergeEqualsRecordingTheUnion) {
+  tlstm::util::xoshiro256 rng(11, 1);
+  H a, b, all;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next() >> (rng.next() & 31);
+    (i % 3 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  H merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged, all);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.sum(), all.sum());
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+}
+
+TEST(LatencyHistMerge, AssociativeAndCommutative) {
+  tlstm::util::xoshiro256 rng(13, 2);
+  H parts[3];
+  for (int i = 0; i < 3000; ++i) parts[i % 3].record(rng.next() >> (rng.next() & 47));
+
+  H ab = parts[0];
+  ab.merge(parts[1]);
+  H ab_c = ab;
+  ab_c.merge(parts[2]);  // (a + b) + c
+
+  H bc = parts[1];
+  bc.merge(parts[2]);
+  H a_bc = parts[0];
+  a_bc.merge(bc);  // a + (b + c)
+
+  H ba = parts[1];
+  ba.merge(parts[0]);
+  H ba_c = ba;
+  ba_c.merge(parts[2]);  // (b + a) + c
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c, ba_c);
+}
+
+TEST(LatencyHistMerge, MergingEmptyIsIdentity) {
+  H a, empty;
+  a.record(42);
+  a.record(7);
+  const H before = a;
+  a.merge(empty);
+  EXPECT_EQ(a, before);
+  H e2;
+  e2.merge(a);
+  EXPECT_EQ(e2, a);
+}
+
+// --- quantiles -------------------------------------------------------------
+
+TEST(LatencyHistQuantile, EmptyHistogramAnswersZero) {
+  const H h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistQuantile, OneSampleAnswersEveryQuantileExactly) {
+  H h;
+  h.record(123456);
+  for (double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 123456u) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 123456u);
+  EXPECT_EQ(h.max(), 123456u);
+  EXPECT_EQ(h.mean(), 123456.0);
+}
+
+TEST(LatencyHistQuantile, MonotoneInQAndClampedToRange) {
+  tlstm::util::xoshiro256 rng(17, 3);
+  H h;
+  std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = 100 + (rng.next() >> (32 + (rng.next() & 15)));
+    h.record(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const std::uint64_t x = h.quantile(q);
+    EXPECT_GE(x, prev) << "q=" << q;
+    EXPECT_GE(x, lo);
+    EXPECT_LE(x, hi);
+    prev = x;
+  }
+  EXPECT_EQ(h.quantile(1.0), hi);  // clamp makes the top quantile exact
+  EXPECT_EQ(h.min(), lo);
+  EXPECT_EQ(h.max(), hi);
+}
+
+TEST(LatencyHistQuantile, MedianOfKnownDistribution) {
+  // 100 samples of value 10 and 100 of value 1000: p <= 0.5 lands in the
+  // 10-bucket (exact — below sub_count? no, 10 is log-linear, but clamped
+  // error <= 12.5%), p > 0.5 near 1000.
+  H h;
+  for (int i = 0; i < 100; ++i) h.record(10);
+  for (int i = 0; i < 100; ++i) h.record(1000);
+  EXPECT_LE(h.quantile(0.50), 11u);
+  EXPECT_GE(h.quantile(0.51), 1000u * 7 / 8);
+  EXPECT_LE(h.quantile(0.51), 1000u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+}  // namespace

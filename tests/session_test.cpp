@@ -406,4 +406,55 @@ TEST(Session, SixtyFourClientsLinearizeAgainstReferenceModel) {
   EXPECT_EQ(mem, ref);
 }
 
+TEST(SessionLatency, CapturedStampsAreMonotone) {
+  // config.capture_latency threads wall-clock stamps through the ticket's
+  // life cycle (DESIGN.md §9): all four present and ordered submit <=
+  // install <= commit <= callback once the ticket completed.
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 10;
+  cfg.capture_latency = true;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  word w = 0;
+  std::vector<core::ticket> tickets;
+  for (int i = 0; i < 32; ++i) {
+    tickets.push_back(s.submit_keyed(
+        static_cast<std::uint64_t>(i),
+        {[&w](core::task_ctx& c) { c.write(&w, c.read(&w) + 1); }}));
+  }
+  for (auto& t : tickets) t.wait();
+  for (auto& t : tickets) {
+    const core::ticket_latency l = t.latency();
+    EXPECT_TRUE(l.complete());
+    EXPECT_NE(l.submit_ns, 0u);
+    EXPECT_LE(l.submit_ns, l.install_ns);
+    EXPECT_LE(l.install_ns, l.commit_ns);
+    EXPECT_LE(l.commit_ns, l.callback_ns);
+  }
+  rt.stop();
+  EXPECT_EQ(rt.aggregated_stats().latency_samples, 32u);
+}
+
+TEST(SessionLatency, CaptureOffLeavesStampsZero) {
+  core::config cfg;
+  cfg.num_threads = 1;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 10;
+  ASSERT_FALSE(cfg.capture_latency);  // off by default — zero-cost otherwise
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  word w = 0;
+  auto t = s.submit_single([&w](core::task_ctx& c) { c.write(&w, c.read(&w) + 1); });
+  t.wait();
+  const core::ticket_latency l = t.latency();
+  EXPECT_FALSE(l.complete());
+  EXPECT_EQ(l.submit_ns, 0u);
+  EXPECT_EQ(l.install_ns, 0u);
+  EXPECT_EQ(l.commit_ns, 0u);
+  EXPECT_EQ(l.callback_ns, 0u);
+  rt.stop();
+}
+
 }  // namespace

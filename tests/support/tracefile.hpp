@@ -1,0 +1,454 @@
+// Open-loop trace generation, trace/journal-dump serialization, and the
+// offline commit-journal checker (DESIGN.md §9).
+//
+// The harness shape is seeded-generator → trace file → replay → journal
+// dump → offline verifier: bench/openloop_latency.cpp replays a generated
+// trace against a session and dumps the per-pipeline commit journals plus
+// the per-request (pipeline, serial) placement; check_journal() — and its
+// standalone mirror scripts/check_journal.py — then validates the dump
+// against the trace with zero knowledge of the run. Everything here is
+// header-only so the bench links it without pulling the GTest support
+// library in.
+//
+// Checker invariants (each with its own diagnostic prefix, so adversarial
+// tests can prove every class of corruption is detected):
+//   serial-gap / serial-overlap / duplicate-serial — per pipeline, the
+//     journal's [tx_start, tx_commit] ranges tile 1..N densely, in order;
+//   missing-request / duplicate-request / request-count — the dump places
+//     every trace id exactly once;
+//   misrouted-request — placements match session_route_hash(key) % P;
+//   missing-commit / unclaimed-commit — requests and journal records match
+//     one to one (every submission committed exactly once);
+//   commit-ts-zero / commit-ts-duplicate — commit timestamps are real and
+//     globally unique;
+//   fifo-violation — per key, commit serials and commit timestamps follow
+//     submission order (keyed sessions promise per-key FIFO).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/thread_state.hpp"
+#include "util/rng.hpp"
+
+namespace tlstm::support {
+
+// ---------------------------------------------------------------------------
+// Trace generation
+// ---------------------------------------------------------------------------
+
+/// One open-loop request: arrives at `arrival_ns` (offset from replay
+/// start) whether or not earlier requests completed, touches `key`, and
+/// decomposes into `tasks` tasks of `ops` read-modify-writes each.
+struct trace_request {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  std::uint64_t arrival_ns = 0;
+  unsigned tasks = 1;
+  unsigned ops = 1;
+
+  friend bool operator==(const trace_request&, const trace_request&) = default;
+};
+
+/// Generator parameters; together with `seed` they determine the trace
+/// byte-for-byte (tests/trace_checker_test.cpp golden-seed tests).
+struct trace_spec {
+  std::uint64_t seed = 1;
+  std::uint64_t requests = 1000;
+  std::uint64_t keys = 64;
+  std::uint64_t rate_per_s = 1000;  ///< mean arrival rate (Poisson process)
+  unsigned max_tasks = 2;           ///< tasks per request drawn from [1, max]
+  unsigned max_ops = 4;             ///< ops per task drawn from [1, max]
+
+  friend bool operator==(const trace_spec&, const trace_spec&) = default;
+};
+
+/// Deterministic open-loop request stream: Poisson arrivals (exponential
+/// inter-arrival gaps, capped at 16x the mean so one extreme draw cannot
+/// stall the whole replay), uniform keys and shapes. Same spec -> same
+/// vector, bit for bit.
+inline std::vector<trace_request> generate_trace(const trace_spec& spec) {
+  std::vector<trace_request> out;
+  out.reserve(spec.requests);
+  util::xoshiro256 rng(spec.seed, /*stream=*/0x7ace5eedULL);
+  const double mean_gap_ns = 1e9 / static_cast<double>(std::max<std::uint64_t>(1, spec.rate_per_s));
+  std::uint64_t t = 0;
+  for (std::uint64_t i = 0; i < spec.requests; ++i) {
+    // Exponential gap via inverse CDF; u in (0, 1] so log stays finite.
+    const double u =
+        (static_cast<double>(rng.next() >> 11) + 1.0) * (1.0 / 9007199254740992.0);
+    const double gap = std::min(-std::log(u), 16.0) * mean_gap_ns;
+    t += static_cast<std::uint64_t>(gap);
+    trace_request r;
+    r.id = i;
+    r.key = rng.next_below(std::max<std::uint64_t>(1, spec.keys));
+    r.arrival_ns = t;
+    r.tasks = 1 + static_cast<unsigned>(rng.next_below(std::max(1u, spec.max_tasks)));
+    r.ops = 1 + static_cast<unsigned>(rng.next_below(std::max(1u, spec.max_ops)));
+    out.push_back(r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace file format (plain text, one record per line):
+//   tlstm-trace v1
+//   spec <seed> <requests> <keys> <rate> <max_tasks> <max_ops>
+//   R <id> <key> <arrival_ns> <tasks> <ops>
+// ---------------------------------------------------------------------------
+
+inline bool write_trace(const std::string& path, const trace_spec& spec,
+                        const std::vector<trace_request>& reqs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "tlstm-trace v1\n");
+  std::fprintf(f, "spec %llu %llu %llu %llu %u %u\n",
+               static_cast<unsigned long long>(spec.seed),
+               static_cast<unsigned long long>(spec.requests),
+               static_cast<unsigned long long>(spec.keys),
+               static_cast<unsigned long long>(spec.rate_per_s), spec.max_tasks,
+               spec.max_ops);
+  for (const trace_request& r : reqs) {
+    std::fprintf(f, "R %llu %llu %llu %u %u\n",
+                 static_cast<unsigned long long>(r.id),
+                 static_cast<unsigned long long>(r.key),
+                 static_cast<unsigned long long>(r.arrival_ns), r.tasks, r.ops);
+  }
+  std::fclose(f);
+  return true;
+}
+
+inline bool read_trace(const std::string& path, trace_spec* spec,
+                       std::vector<trace_request>* reqs, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    if (f != nullptr) std::fclose(f);
+    return false;
+  };
+  if (f == nullptr) return fail("cannot open " + path);
+  char line[256];
+  if (std::fgets(line, sizeof line, f) == nullptr ||
+      std::string(line).rfind("tlstm-trace v1", 0) != 0) {
+    return fail("bad trace header");
+  }
+  unsigned long long seed, requests, keys, rate;
+  unsigned max_tasks, max_ops;
+  if (std::fgets(line, sizeof line, f) == nullptr ||
+      std::sscanf(line, "spec %llu %llu %llu %llu %u %u", &seed, &requests,
+                  &keys, &rate, &max_tasks, &max_ops) != 6) {
+    return fail("bad trace spec line");
+  }
+  *spec = trace_spec{seed, requests, keys, rate, max_tasks, max_ops};
+  reqs->clear();
+  reqs->reserve(requests);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (line[0] == '\n' || line[0] == '#') continue;
+    unsigned long long id, key, arrival;
+    unsigned tasks, ops;
+    if (std::sscanf(line, "R %llu %llu %llu %u %u", &id, &key, &arrival, &tasks,
+                    &ops) != 5) {
+      return fail(std::string("bad trace record: ") + line);
+    }
+    reqs->push_back(trace_request{id, key, arrival, tasks, ops});
+  }
+  std::fclose(f);
+  if (reqs->size() != requests) return fail("trace record count mismatch");
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Journal dump: the per-pipeline commit journals plus the per-request
+// placement the replay observed.
+//   tlstm-journal v1
+//   dims <pipelines> <requests>
+//   J <pipe> <tx_start_serial> <tx_commit_serial> <commit_ts>
+//   T <id> <key> <pipe> <commit_serial> <tasks>
+// ---------------------------------------------------------------------------
+
+/// Placement of one replayed request: which pipeline it routed to and which
+/// commit serial the driver assigned (ticket::commit_serial()).
+struct request_placement {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  unsigned pipe = 0;
+  std::uint64_t serial = 0;
+  unsigned tasks = 1;
+};
+
+struct journal_dump {
+  unsigned pipelines = 0;
+  /// journals[p] = runtime.thread(p).journal() after the run quiesced.
+  std::vector<std::vector<core::commit_record>> journals;
+  std::vector<request_placement> requests;
+};
+
+inline bool write_journal(const std::string& path, const journal_dump& d) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "tlstm-journal v1\n");
+  std::fprintf(f, "dims %u %llu\n", d.pipelines,
+               static_cast<unsigned long long>(d.requests.size()));
+  for (unsigned p = 0; p < d.journals.size(); ++p) {
+    for (const core::commit_record& r : d.journals[p]) {
+      std::fprintf(f, "J %u %llu %llu %llu\n", p,
+                   static_cast<unsigned long long>(r.tx_start_serial),
+                   static_cast<unsigned long long>(r.tx_commit_serial),
+                   static_cast<unsigned long long>(r.commit_ts));
+    }
+  }
+  for (const request_placement& r : d.requests) {
+    std::fprintf(f, "T %llu %llu %u %llu %u\n",
+                 static_cast<unsigned long long>(r.id),
+                 static_cast<unsigned long long>(r.key), r.pipe,
+                 static_cast<unsigned long long>(r.serial), r.tasks);
+  }
+  std::fclose(f);
+  return true;
+}
+
+inline bool read_journal(const std::string& path, journal_dump* d,
+                         std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    if (f != nullptr) std::fclose(f);
+    return false;
+  };
+  if (f == nullptr) return fail("cannot open " + path);
+  char line[256];
+  if (std::fgets(line, sizeof line, f) == nullptr ||
+      std::string(line).rfind("tlstm-journal v1", 0) != 0) {
+    return fail("bad journal header");
+  }
+  unsigned pipelines;
+  unsigned long long requests;
+  if (std::fgets(line, sizeof line, f) == nullptr ||
+      std::sscanf(line, "dims %u %llu", &pipelines, &requests) != 2) {
+    return fail("bad journal dims line");
+  }
+  d->pipelines = pipelines;
+  d->journals.assign(pipelines, {});
+  d->requests.clear();
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (line[0] == '\n' || line[0] == '#') continue;
+    if (line[0] == 'J') {
+      unsigned p;
+      unsigned long long start, commit, ts;
+      if (std::sscanf(line, "J %u %llu %llu %llu", &p, &start, &commit, &ts) != 4 ||
+          p >= pipelines) {
+        return fail(std::string("bad journal record: ") + line);
+      }
+      d->journals[p].push_back(core::commit_record{start, commit, ts});
+    } else if (line[0] == 'T') {
+      unsigned long long id, key, serial;
+      unsigned p, tasks;
+      if (std::sscanf(line, "T %llu %llu %u %llu %u", &id, &key, &p, &serial,
+                      &tasks) != 5 ||
+          p >= pipelines) {
+        return fail(std::string("bad placement record: ") + line);
+      }
+      d->requests.push_back(request_placement{id, key, p, serial, tasks});
+    } else {
+      return fail(std::string("unknown journal line: ") + line);
+    }
+  }
+  std::fclose(f);
+  if (d->requests.size() != requests) return fail("placement count mismatch");
+  return true;
+}
+
+/// The journal dump a correct replay of `reqs` over `pipelines` pipelines
+/// must produce, up to the cross-pipeline interleaving of commit_ts (here:
+/// trace order, which is one valid interleaving). Serial assignment is
+/// deterministic — per pipeline, requests install in submission order and
+/// each consumes `tasks` serials. Adversarial checker tests mutate this.
+inline journal_dump synthesize_journal(const std::vector<trace_request>& reqs,
+                                       unsigned pipelines) {
+  journal_dump d;
+  d.pipelines = pipelines;
+  d.journals.assign(pipelines, {});
+  std::vector<std::uint64_t> next_serial(pipelines, 1);
+  stm::word ts = 0;
+  for (const trace_request& r : reqs) {
+    const unsigned p =
+        static_cast<unsigned>(core::session_route_hash(r.key) % pipelines);
+    const std::uint64_t start = next_serial[p];
+    const std::uint64_t commit = start + r.tasks - 1;
+    next_serial[p] = commit + 1;
+    d.journals[p].push_back(core::commit_record{start, commit, ++ts});
+    d.requests.push_back(request_placement{r.id, r.key, p, commit, r.tasks});
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// The offline checker
+// ---------------------------------------------------------------------------
+
+struct check_result {
+  bool ok = true;
+  std::string diagnostic;  ///< empty when ok; "<class>: detail" otherwise
+};
+
+/// Validates a journal dump against the trace it claims to be a run of.
+/// Stops at the first violation; the diagnostic's prefix names the
+/// invariant class (see the header comment). scripts/check_journal.py is
+/// the standalone mirror of exactly these checks.
+inline check_result check_journal(const std::vector<trace_request>& trace,
+                                  const journal_dump& d) {
+  auto fail = [](std::string diag) { return check_result{false, std::move(diag)}; };
+  if (d.pipelines == 0 || d.journals.size() != d.pipelines) {
+    return fail("dump-shape: pipelines=" + std::to_string(d.pipelines) +
+                " journals=" + std::to_string(d.journals.size()));
+  }
+
+  // 1. Per-pipeline serial density: the committed [start, commit] ranges
+  //    tile 1..N in order — a dropped record is a gap, a duplicated one an
+  //    exact repeat, any other overlap a corruption.
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    std::uint64_t expect = 1;
+    const core::commit_record* prev = nullptr;
+    for (const core::commit_record& r : d.journals[p]) {
+      if (r.tx_commit_serial < r.tx_start_serial) {
+        return fail("record-shape: pipeline " + std::to_string(p) + " serial [" +
+                    std::to_string(r.tx_start_serial) + ", " +
+                    std::to_string(r.tx_commit_serial) + "] is inverted");
+      }
+      if (prev != nullptr && r.tx_start_serial == prev->tx_start_serial &&
+          r.tx_commit_serial == prev->tx_commit_serial) {
+        return fail("duplicate-serial: pipeline " + std::to_string(p) +
+                    " committed serial " + std::to_string(r.tx_commit_serial) +
+                    " twice");
+      }
+      if (r.tx_start_serial < expect) {
+        return fail("serial-overlap: pipeline " + std::to_string(p) +
+                    " tx_start " + std::to_string(r.tx_start_serial) +
+                    " re-enters committed range (expected " +
+                    std::to_string(expect) + ")");
+      }
+      if (r.tx_start_serial > expect) {
+        return fail("serial-gap: pipeline " + std::to_string(p) + " expected tx_start " +
+                    std::to_string(expect) + " but journal has " +
+                    std::to_string(r.tx_start_serial));
+      }
+      expect = r.tx_commit_serial + 1;
+      prev = &r;
+    }
+  }
+
+  // 2. Every trace id placed exactly once.
+  if (d.requests.size() != trace.size()) {
+    return fail("request-count: trace has " + std::to_string(trace.size()) +
+                " requests, dump places " + std::to_string(d.requests.size()));
+  }
+  std::vector<const request_placement*> by_id(trace.size(), nullptr);
+  for (const request_placement& r : d.requests) {
+    if (r.id >= trace.size()) {
+      return fail("missing-request: placement id " + std::to_string(r.id) +
+                  " is outside the trace");
+    }
+    if (by_id[r.id] != nullptr) {
+      return fail("duplicate-request: id " + std::to_string(r.id) +
+                  " placed twice");
+    }
+    by_id[r.id] = &r;
+  }
+  for (std::uint64_t i = 0; i < trace.size(); ++i) {
+    if (by_id[i] == nullptr) {
+      return fail("missing-request: trace id " + std::to_string(i) +
+                  " absent from the dump");
+    }
+  }
+
+  // 3. Placement matches the session routing hash, key and task shape.
+  for (const trace_request& t : trace) {
+    const request_placement& r = *by_id[t.id];
+    const unsigned want =
+        static_cast<unsigned>(core::session_route_hash(t.key) % d.pipelines);
+    if (r.key != t.key || r.tasks != t.tasks || r.pipe != want) {
+      return fail("misrouted-request: id " + std::to_string(t.id) + " key " +
+                  std::to_string(t.key) + " expected pipeline " +
+                  std::to_string(want) + ", dump says pipeline " +
+                  std::to_string(r.pipe) + " key " + std::to_string(r.key) +
+                  " tasks " + std::to_string(r.tasks));
+    }
+  }
+
+  // 4. Requests <-> journal records one to one: every submission committed
+  //    exactly once. Serial ranges already proved dense, so matching each
+  //    request's [serial - tasks + 1, serial] to a record plus a count
+  //    comparison gives the bijection.
+  std::vector<std::map<std::uint64_t, const core::commit_record*>> by_commit(d.pipelines);
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    for (const core::commit_record& r : d.journals[p]) by_commit[p][r.tx_commit_serial] = &r;
+  }
+  std::vector<std::uint64_t> claimed(d.pipelines, 0);
+  for (const trace_request& t : trace) {
+    const request_placement& r = *by_id[t.id];
+    const auto it = by_commit[r.pipe].find(r.serial);
+    if (it == by_commit[r.pipe].end() ||
+        it->second->tx_start_serial != r.serial - t.tasks + 1) {
+      return fail("missing-commit: request " + std::to_string(t.id) +
+                  " (pipeline " + std::to_string(r.pipe) + ", serial " +
+                  std::to_string(r.serial) + ", tasks " + std::to_string(t.tasks) +
+                  ") has no matching journal record");
+    }
+    claimed[r.pipe]++;
+  }
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    if (claimed[p] != d.journals[p].size()) {
+      return fail("unclaimed-commit: pipeline " + std::to_string(p) + " journal has " +
+                  std::to_string(d.journals[p].size()) + " records but only " +
+                  std::to_string(claimed[p]) + " requests claim one");
+    }
+  }
+
+  // 5. Commit timestamps: nonzero (these transactions write) and globally
+  //    unique (one global commit clock).
+  std::set<stm::word> seen_ts;
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    for (const core::commit_record& r : d.journals[p]) {
+      if (r.commit_ts == 0) {
+        return fail("commit-ts-zero: pipeline " + std::to_string(p) + " serial " +
+                    std::to_string(r.tx_commit_serial));
+      }
+      if (!seen_ts.insert(r.commit_ts).second) {
+        return fail("commit-ts-duplicate: ts " + std::to_string(r.commit_ts));
+      }
+    }
+  }
+
+  // 6. Per-key FIFO: submissions of one key route to one pipeline and must
+  //    commit in submission order — serials and commit timestamps both
+  //    increase along each key's trace order.
+  std::map<std::uint64_t, const trace_request*> last_of_key;
+  for (const trace_request& t : trace) {
+    const auto it = last_of_key.find(t.key);
+    if (it != last_of_key.end()) {
+      const request_placement& prev = *by_id[it->second->id];
+      const request_placement& cur = *by_id[t.id];
+      const stm::word prev_ts = by_commit[prev.pipe].at(prev.serial)->commit_ts;
+      const stm::word cur_ts = by_commit[cur.pipe].at(cur.serial)->commit_ts;
+      if (cur.serial <= prev.serial || cur_ts <= prev_ts) {
+        return fail("fifo-violation: key " + std::to_string(t.key) + " request " +
+                    std::to_string(t.id) + " (serial " + std::to_string(cur.serial) +
+                    ", ts " + std::to_string(cur_ts) + ") did not commit after request " +
+                    std::to_string(it->second->id) + " (serial " +
+                    std::to_string(prev.serial) + ", ts " + std::to_string(prev_ts) + ")");
+      }
+    }
+    last_of_key[t.key] = &t;
+  }
+
+  return {};
+}
+
+}  // namespace tlstm::support

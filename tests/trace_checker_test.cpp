@@ -1,0 +1,414 @@
+// The open-loop trace/journal toolchain (tests/support/tracefile.hpp,
+// DESIGN.md §9): golden-seed trace determinism, file-format round trips,
+// routing agreement with the live session layer, the offline checker on
+// both synthesized and real replay histories, adversarial corruption
+// detection (every checker diagnostic class must actually fire), and
+// agreement with the standalone python mirror scripts/check_journal.py.
+#include "support/tracefile.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/session.hpp"
+
+namespace {
+
+using namespace tlstm;
+using support::check_journal;
+using support::check_result;
+using support::generate_trace;
+using support::journal_dump;
+using support::synthesize_journal;
+using support::trace_request;
+using support::trace_spec;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+trace_spec small_spec(std::uint64_t seed = 42) {
+  trace_spec s;
+  s.seed = seed;
+  s.requests = 200;
+  s.keys = 16;
+  s.rate_per_s = 100000;
+  s.max_tasks = 2;
+  s.max_ops = 3;
+  return s;
+}
+
+// --- trace generation and serialization ------------------------------------
+
+TEST(TraceGen, SameSeedSameTraceDifferentSeedDiffers) {
+  const trace_spec spec = small_spec();
+  const auto a = generate_trace(spec);
+  const auto b = generate_trace(spec);
+  EXPECT_EQ(a, b);
+
+  trace_spec other = spec;
+  other.seed = spec.seed + 1;
+  EXPECT_NE(a, generate_trace(other));
+}
+
+TEST(TraceGen, ShapeRespectsSpec) {
+  const trace_spec spec = small_spec();
+  const auto reqs = generate_trace(spec);
+  ASSERT_EQ(reqs.size(), spec.requests);
+  std::uint64_t prev_arrival = 0;
+  for (std::uint64_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].id, i);
+    EXPECT_LT(reqs[i].key, spec.keys);
+    EXPECT_GE(reqs[i].arrival_ns, prev_arrival);  // arrivals never go back
+    EXPECT_GE(reqs[i].tasks, 1u);
+    EXPECT_LE(reqs[i].tasks, spec.max_tasks);
+    EXPECT_GE(reqs[i].ops, 1u);
+    EXPECT_LE(reqs[i].ops, spec.max_ops);
+    prev_arrival = reqs[i].arrival_ns;
+  }
+}
+
+TEST(TraceGen, GoldenSeedFilesAreByteIdentical) {
+  // Two independent generate+write passes with one seed produce the same
+  // bytes; a different seed produces different bytes (the determinism the
+  // whole replay/checker pipeline rests on).
+  const trace_spec spec = small_spec(7);
+  const std::string p1 = tmp_path("golden1.trace");
+  const std::string p2 = tmp_path("golden2.trace");
+  const std::string p3 = tmp_path("golden3.trace");
+  ASSERT_TRUE(support::write_trace(p1, spec, generate_trace(spec)));
+  ASSERT_TRUE(support::write_trace(p2, spec, generate_trace(spec)));
+  trace_spec other = spec;
+  other.seed = 8;
+  ASSERT_TRUE(support::write_trace(p3, other, generate_trace(other)));
+  const std::string b1 = slurp(p1);
+  ASSERT_FALSE(b1.empty());
+  EXPECT_EQ(b1, slurp(p2));
+  EXPECT_NE(b1, slurp(p3));
+}
+
+TEST(TraceGen, TraceRoundTripsThroughFile) {
+  const trace_spec spec = small_spec(3);
+  const auto reqs = generate_trace(spec);
+  const std::string path = tmp_path("roundtrip.trace");
+  ASSERT_TRUE(support::write_trace(path, spec, reqs));
+  trace_spec rspec;
+  std::vector<trace_request> rreqs;
+  std::string err;
+  ASSERT_TRUE(support::read_trace(path, &rspec, &rreqs, &err)) << err;
+  EXPECT_EQ(rspec, spec);
+  EXPECT_EQ(rreqs, reqs);
+}
+
+TEST(TraceGen, JournalRoundTripsThroughFile) {
+  const auto reqs = generate_trace(small_spec(5));
+  const journal_dump d = synthesize_journal(reqs, 3);
+  const std::string path = tmp_path("roundtrip.journal");
+  ASSERT_TRUE(support::write_journal(path, d));
+  journal_dump r;
+  std::string err;
+  ASSERT_TRUE(support::read_journal(path, &r, &err)) << err;
+  ASSERT_EQ(r.pipelines, d.pipelines);
+  ASSERT_EQ(r.journals.size(), d.journals.size());
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    ASSERT_EQ(r.journals[p].size(), d.journals[p].size());
+    for (std::size_t i = 0; i < d.journals[p].size(); ++i) {
+      EXPECT_EQ(r.journals[p][i].tx_start_serial, d.journals[p][i].tx_start_serial);
+      EXPECT_EQ(r.journals[p][i].tx_commit_serial, d.journals[p][i].tx_commit_serial);
+      EXPECT_EQ(r.journals[p][i].commit_ts, d.journals[p][i].commit_ts);
+    }
+  }
+  ASSERT_EQ(r.requests.size(), d.requests.size());
+  for (std::size_t i = 0; i < d.requests.size(); ++i) {
+    EXPECT_EQ(r.requests[i].id, d.requests[i].id);
+    EXPECT_EQ(r.requests[i].key, d.requests[i].key);
+    EXPECT_EQ(r.requests[i].pipe, d.requests[i].pipe);
+    EXPECT_EQ(r.requests[i].serial, d.requests[i].serial);
+    EXPECT_EQ(r.requests[i].tasks, d.requests[i].tasks);
+  }
+}
+
+// --- routing agreement with the live session layer -------------------------
+
+TEST(TraceChecker, RouteHashMatchesLiveSession) {
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 10;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  ASSERT_EQ(s.pipelines(), 2u);
+  for (std::uint64_t key = 0; key < 512; ++key) {
+    EXPECT_EQ(s.pipeline_for_key(key),
+              static_cast<unsigned>(core::session_route_hash(key) % 2))
+        << "key " << key;
+  }
+  rt.stop();
+}
+
+// --- the checker on valid histories ----------------------------------------
+
+TEST(TraceChecker, SynthesizedJournalPasses) {
+  const auto reqs = generate_trace(small_spec());
+  for (unsigned pipelines : {1u, 2u, 4u}) {
+    const journal_dump d = synthesize_journal(reqs, pipelines);
+    const check_result r = check_journal(reqs, d);
+    EXPECT_TRUE(r.ok) << "pipelines=" << pipelines << ": " << r.diagnostic;
+  }
+}
+
+TEST(TraceChecker, VerdictIsDeterministicAcrossFileRoundTrip) {
+  // Same trace + same dump -> same verdict, whether checked in memory or
+  // after a write/read cycle (what check_journal.py consumes).
+  const auto reqs = generate_trace(small_spec(9));
+  journal_dump d = synthesize_journal(reqs, 2);
+  // Corrupt one record so the verdict is a failure with a specific message.
+  d.journals[0].erase(d.journals[0].begin() + 1);
+  const check_result direct = check_journal(reqs, d);
+  ASSERT_FALSE(direct.ok);
+
+  const std::string path = tmp_path("verdict.journal");
+  ASSERT_TRUE(support::write_journal(path, d));
+  journal_dump r;
+  std::string err;
+  ASSERT_TRUE(support::read_journal(path, &r, &err)) << err;
+  const check_result reread = check_journal(reqs, r);
+  EXPECT_EQ(reread.ok, direct.ok);
+  EXPECT_EQ(reread.diagnostic, direct.diagnostic);
+}
+
+TEST(TraceChecker, LiveReplayJournalPasses) {
+  // Replay a generated trace against a real runtime (arrival times
+  // collapsed — the checker validates order/placement, not timing) and
+  // validate the actual commit journals.
+  trace_spec spec = small_spec(21);
+  spec.requests = 200;
+  const auto reqs = generate_trace(spec);
+
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 4;
+  cfg.log2_table = 12;
+  cfg.record_commits = true;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+
+  std::vector<stm::word> mem(spec.keys * 8, 0);
+  stm::word* mp = mem.data();
+  std::vector<core::ticket> tickets(reqs.size());
+  for (const trace_request& r : reqs) {
+    std::vector<core::task_fn> tasks;
+    const unsigned base = static_cast<unsigned>(r.key) * 8;
+    for (unsigned t = 0; t < r.tasks; ++t) {
+      const unsigned ops = r.ops;
+      tasks.push_back([mp, base, t, ops](core::task_ctx& c) {
+        for (unsigned o = 0; o < ops; ++o) {
+          stm::word* w = &mp[base + (t * 3 + o) % 8];
+          c.write(w, c.read(w) + 1);
+        }
+      });
+    }
+    tickets[r.id] = s.submit_keyed(r.key, std::move(tasks));
+  }
+  for (auto& t : tickets) t.wait();
+  rt.stop();
+
+  journal_dump d;
+  d.pipelines = cfg.num_threads;
+  d.journals.resize(d.pipelines);
+  for (unsigned p = 0; p < d.pipelines; ++p) d.journals[p] = rt.thread(p).journal();
+  for (const trace_request& r : reqs) {
+    d.requests.push_back(support::request_placement{
+        r.id, r.key,
+        static_cast<unsigned>(core::session_route_hash(r.key) % d.pipelines),
+        tickets[r.id].commit_serial(), r.tasks});
+  }
+  const check_result res = check_journal(reqs, d);
+  EXPECT_TRUE(res.ok) << res.diagnostic;
+}
+
+// --- adversarial corruptions: every diagnostic class must fire -------------
+
+struct adversarial_fixture {
+  std::vector<trace_request> reqs;
+  journal_dump dump;
+
+  explicit adversarial_fixture(std::uint64_t seed = 42, unsigned max_tasks = 2) {
+    trace_spec spec = small_spec(seed);
+    spec.max_tasks = max_tasks;
+    reqs = generate_trace(spec);
+    dump = synthesize_journal(reqs, 2);
+    // Sanity: the unmutated dump passes.
+    const check_result r = check_journal(reqs, dump);
+    EXPECT_TRUE(r.ok) << r.diagnostic;
+  }
+};
+
+TEST(TraceCheckerAdversarial, DroppedRecordIsASerialGap) {
+  adversarial_fixture f;
+  // Drop a middle journal record: the serial range disappears, leaving a
+  // gap in the per-pipeline density check.
+  ASSERT_GT(f.dump.journals[0].size(), 4u);
+  f.dump.journals[0].erase(f.dump.journals[0].begin() + 2);
+  const check_result r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("serial-gap"), std::string::npos) << r.diagnostic;
+}
+
+TEST(TraceCheckerAdversarial, DroppedTailRecordIsAMissingCommit) {
+  adversarial_fixture f;
+  // Drop the LAST record of a pipeline: serial density still holds (the
+  // range just ends earlier), so the request-to-record matching catches it.
+  ASSERT_GT(f.dump.journals[1].size(), 2u);
+  f.dump.journals[1].pop_back();
+  const check_result r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("missing-commit"), std::string::npos) << r.diagnostic;
+}
+
+TEST(TraceCheckerAdversarial, DuplicatedRecordIsADuplicateSerial) {
+  adversarial_fixture f;
+  ASSERT_GT(f.dump.journals[0].size(), 3u);
+  f.dump.journals[0].insert(f.dump.journals[0].begin() + 3,
+                            f.dump.journals[0][3]);
+  const check_result r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("duplicate-serial"), std::string::npos) << r.diagnostic;
+}
+
+TEST(TraceCheckerAdversarial, ReorderedKeyedPairIsAFifoViolation) {
+  // Single-task requests so two same-key placements can swap serials
+  // without tripping the shape checks first.
+  adversarial_fixture f(11, /*max_tasks=*/1);
+  // Find two requests with the same key and swap their serial placements.
+  std::size_t a = 0, b = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < f.reqs.size() && !found; ++i) {
+    for (std::size_t j = i + 1; j < f.reqs.size(); ++j) {
+      if (f.reqs[i].key == f.reqs[j].key) {
+        a = i;
+        b = j;
+        found = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "trace has no repeated key";
+  std::swap(f.dump.requests[a].serial, f.dump.requests[b].serial);
+  const check_result r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("fifo-violation"), std::string::npos) << r.diagnostic;
+}
+
+TEST(TraceCheckerAdversarial, MisroutedPlacementIsDetected) {
+  adversarial_fixture f;
+  f.dump.requests[5].pipe ^= 1u;
+  const check_result r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("misrouted-request"), std::string::npos) << r.diagnostic;
+}
+
+TEST(TraceCheckerAdversarial, DuplicatedPlacementIsDetected) {
+  adversarial_fixture f;
+  f.dump.requests[3] = f.dump.requests[4];
+  const check_result r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("duplicate-request"), std::string::npos) << r.diagnostic;
+}
+
+TEST(TraceCheckerAdversarial, ZeroAndDuplicateTimestampsAreDetected) {
+  adversarial_fixture f;
+  journal_dump d = f.dump;
+  d.journals[0][1].commit_ts = 0;
+  check_result r = check_journal(f.reqs, d);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("commit-ts-zero"), std::string::npos) << r.diagnostic;
+
+  d = f.dump;
+  d.journals[0][1].commit_ts = d.journals[1][0].commit_ts;
+  r = check_journal(f.reqs, d);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("commit-ts-duplicate"), std::string::npos) << r.diagnostic;
+}
+
+// --- agreement with the standalone python checker --------------------------
+
+class PythonChecker : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+      GTEST_SKIP() << "python3 not available";
+    }
+  }
+
+  /// Runs scripts/check_journal.py on (trace, journal); returns exit code,
+  /// leaves combined output in out_.
+  int run_checker(const std::string& trace, const std::string& journal) {
+    const std::string out_path = tmp_path("pycheck.out");
+    const std::string cmd = std::string("python3 ") + TLSTM_SOURCE_DIR +
+                            "/scripts/check_journal.py " + trace + " " + journal +
+                            " > " + out_path + " 2>&1";
+    const int rc = std::system(cmd.c_str());
+    out_ = slurp(out_path);
+    return rc == -1 ? -1 : WEXITSTATUS(rc);
+  }
+
+  std::string out_;
+};
+
+TEST_F(PythonChecker, AgreesWithCppOnValidAndCorruptDumps) {
+  const trace_spec spec = small_spec(31);
+  const auto reqs = generate_trace(spec);
+  const std::string trace_path = tmp_path("py.trace");
+  ASSERT_TRUE(support::write_trace(trace_path, spec, reqs));
+
+  // Valid dump: both checkers accept.
+  journal_dump good = synthesize_journal(reqs, 2);
+  ASSERT_TRUE(check_journal(reqs, good).ok);
+  const std::string good_path = tmp_path("py_good.journal");
+  ASSERT_TRUE(support::write_journal(good_path, good));
+  EXPECT_EQ(run_checker(trace_path, good_path), 0) << out_;
+  EXPECT_NE(out_.find("OK"), std::string::npos) << out_;
+
+  // Each corruption class: both checkers reject with the same prefix.
+  struct mutation {
+    const char* expect;
+    void (*apply)(journal_dump&);
+  } mutations[] = {
+      {"serial-gap", [](journal_dump& d) { d.journals[0].erase(d.journals[0].begin() + 1); }},
+      {"duplicate-serial",
+       [](journal_dump& d) {
+         d.journals[0].insert(d.journals[0].begin() + 2, d.journals[0][2]);
+       }},
+      {"missing-commit", [](journal_dump& d) { d.journals[1].pop_back(); }},
+      {"commit-ts-zero", [](journal_dump& d) { d.journals[0][0].commit_ts = 0; }},
+  };
+  for (const mutation& m : mutations) {
+    journal_dump bad = synthesize_journal(reqs, 2);
+    m.apply(bad);
+    const check_result cpp = check_journal(reqs, bad);
+    ASSERT_FALSE(cpp.ok) << m.expect;
+    EXPECT_NE(cpp.diagnostic.find(m.expect), std::string::npos) << cpp.diagnostic;
+
+    const std::string bad_path = tmp_path(std::string("py_") + m.expect + ".journal");
+    ASSERT_TRUE(support::write_journal(bad_path, bad));
+    EXPECT_EQ(run_checker(trace_path, bad_path), 1) << m.expect << ": " << out_;
+    EXPECT_NE(out_.find(m.expect), std::string::npos) << m.expect << ": " << out_;
+  }
+}
+
+}  // namespace
