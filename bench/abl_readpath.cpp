@@ -1,0 +1,282 @@
+// Ablation A10 — the read-only fast path (DESIGN.md §10).
+//
+// A read-heavy key/value mix in the vacation / stmbench7 read-dominated
+// shape: every key owns an 8-word block, writers bump all eight words of
+// one block to the same fresh value inside one keyed transaction, and
+// readers snapshot a whole block. The all-words-equal invariant makes
+// every row self-checking — a snapshot mixing two versions is a torn
+// (non-serializable) read and fails the row's checker_ok.
+//
+//   readpath/<permille>/<on|off>: M closed-loop clients issue a
+//   <permille>/1000 read mix against the same runtime, once with
+//   config.read_path on (reads served inline at the committed frontier,
+//   no task, no commit slot) and once with it off (every read rides the
+//   full speculative pipeline). The clients, keys, work, and rng streams
+//   are identical across the pair, so the throughput ratio isolates the
+//   fast path itself.
+//
+// Acceptance (ISSUE 8): at the 90%-read mix the fast path sustains >= 2x
+// the ops/sec of the full path. Rows report wall/cpu/throughput like the
+// other host-efficiency ablations, plus the read-path counters and the
+// torn-snapshot checker verdict.
+//
+//   --json <path>   machine-readable rows (scripts/collect_bench.sh ->
+//                   BENCH_readpath.json)
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/runtime.hpp"
+#include "core/session.hpp"
+#include "util/rng.hpp"
+
+using namespace tlstm;
+using stm::word;
+
+namespace {
+
+constexpr unsigned n_pipelines = 2;
+constexpr unsigned n_clients = 8;
+constexpr unsigned n_keys = 64;
+constexpr unsigned words_per_key = 8;
+constexpr std::uint64_t reqs_per_client = 3000;
+
+volatile unsigned work_sink = 0;
+/// Real (host) work: the rows compare host throughput, so both paths pay
+/// the same genuine per-request cost on top of their machinery.
+void real_work(unsigned iters) {
+  for (unsigned i = 0; i < iters; ++i) work_sink = work_sink + i;
+}
+
+struct host_result {
+  double wall_ms = 0;
+  double cpu_ms = 0;
+  double tx_per_s = 0;
+  std::uint64_t hits = 0;       ///< readpath_hits
+  std::uint64_t fallbacks = 0;  ///< readpath_fallbacks
+  bool checker_ok = true;       ///< no torn block snapshot observed
+};
+
+double cpu_ms(const rusage& a, const rusage& b) {
+  auto ms = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) * 1e3 +
+           static_cast<double>(tv.tv_usec) * 1e-3;
+  };
+  return (ms(b.ru_utime) - ms(a.ru_utime)) + (ms(b.ru_stime) - ms(a.ru_stime));
+}
+
+/// One mixed run: `read_permille`/1000 of each client's requests are
+/// whole-block read snapshots, the rest are whole-block writer bumps.
+/// Returns host timing plus the run's read-path counters and the torn-
+/// snapshot verdict.
+host_result run_mix(unsigned read_permille, bool fastpath) {
+  core::config cfg;
+  cfg.num_threads = n_pipelines;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 14;
+  cfg.read_path = fastpath;
+
+  rusage ru0{};
+  getrusage(RUSAGE_SELF, &ru0);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::uint64_t torn = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t fallbacks = 0;
+  {
+    core::runtime rt(cfg);
+    auto s = rt.open_session();
+    std::vector<word> mem(n_keys * words_per_key, 0);
+    word* mp = mem.data();
+    std::vector<std::uint64_t> torn_per_client(n_clients, 0);
+    std::vector<std::thread> clients;
+    clients.reserve(n_clients);
+    for (unsigned c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&, c] {
+        util::xoshiro256 rng(0xABBA1234u + c);
+        // The snapshot buffer outlives every retry of the closure; the
+        // final (validated) execution writes last, so the post-wait
+        // all-equal check judges only the committed-consistent read.
+        std::vector<word> snap(words_per_key, 0);
+        word* sp = snap.data();
+        // Writes are pipelined in bounded windows (the serving shape:
+        // updates stream in, readers block on their own snapshot). Reads
+        // wait per request — the client consumes the value — so the rows
+        // compare exactly the cost of producing one consistent snapshot.
+        std::vector<core::ticket> window;
+        for (std::uint64_t i = 0; i < reqs_per_client; ++i) {
+          const std::uint64_t key = rng.next_below(n_keys);
+          word* block = &mp[key * words_per_key];
+          if (rng.next_below(1000) < read_permille) {
+            core::ticket tk =
+                s.submit_read_keyed(key, {[block, sp](core::task_ctx& t) {
+                  for (unsigned j = 0; j < words_per_key; ++j) {
+                    sp[j] = t.read(&block[j]);
+                  }
+                  real_work(20);
+                }});
+            tk.wait();
+            for (unsigned j = 1; j < words_per_key; ++j) {
+              if (snap[j] != snap[0]) {
+                torn_per_client[c]++;
+                break;
+              }
+            }
+          } else {
+            window.push_back(s.submit_keyed(key, {[block](core::task_ctx& t) {
+              const word next = t.read(&block[0]) + 1;
+              for (unsigned j = 0; j < words_per_key; ++j) {
+                t.write(&block[j], next);
+              }
+              real_work(20);
+            }}));
+            if (window.size() >= 8) {
+              for (auto& w : window) w.wait();
+              window.clear();
+            }
+          }
+        }
+        for (auto& w : window) w.wait();
+      });
+    }
+    for (auto& t : clients) t.join();
+    rt.stop();
+    const util::stat_block st = rt.aggregated_stats();
+    hits = st.readpath_hits;
+    fallbacks = st.readpath_fallbacks;
+    for (auto t : torn_per_client) torn += t;
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  rusage ru1{};
+  getrusage(RUSAGE_SELF, &ru1);
+  host_result r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.cpu_ms = cpu_ms(ru0, ru1);
+  r.tx_per_s = static_cast<double>(n_clients) * reqs_per_client /
+               std::max(r.wall_ms / 1e3, 1e-9);
+  r.hits = hits;
+  r.fallbacks = fallbacks;
+  r.checker_ok = torn == 0;
+  return r;
+}
+
+std::map<std::string, host_result>& results() {
+  static std::map<std::string, host_result> r;
+  return r;
+}
+
+/// Median-of-3 by wall time (shared-host noise); the checker verdict and
+/// counters must hold on every sample, not just the median, so they are
+/// folded across all three.
+template <typename Fn>
+host_result median_of_3(Fn&& run) {
+  host_result a = run(), b = run(), c = run();
+  host_result* by_wall[3] = {&a, &b, &c};
+  std::sort(std::begin(by_wall), std::end(by_wall),
+            [](const host_result* x, const host_result* y) {
+              return x->wall_ms < y->wall_ms;
+            });
+  host_result r = *by_wall[1];
+  r.checker_ok = a.checker_ok && b.checker_ok && c.checker_ok;
+  r.hits = a.hits + b.hits + c.hits;
+  r.fallbacks = a.fallbacks + b.fallbacks + c.fallbacks;
+  return r;
+}
+
+void report(benchmark::State& state, const std::string& key, const host_result& r) {
+  results()[key] = r;
+  state.SetIterationTime(r.wall_ms * 1e-3);
+  state.counters["wall_ms"] = r.wall_ms;
+  state.counters["cpu_ms"] = r.cpu_ms;
+  state.counters["tx_per_s"] = r.tx_per_s;
+  state.counters["readpath_hits"] = static_cast<double>(r.hits);
+  state.counters["readpath_fallbacks"] = static_cast<double>(r.fallbacks);
+  state.counters["checker_ok"] = r.checker_ok ? 1.0 : 0.0;
+}
+
+void BM_readpath(benchmark::State& state) {
+  const auto permille = static_cast<unsigned>(state.range(0));
+  const bool fastpath = state.range(1) != 0;
+  for (auto _ : state) {
+    report(state,
+           "r" + std::to_string(permille) + (fastpath ? "/on" : "/off"),
+           median_of_3([&] { return run_mix(permille, fastpath); }));
+  }
+}
+
+BENCHMARK(BM_readpath)
+    ->Args({900, 1})
+    ->Args({900, 0})
+    ->Args({990, 1})
+    ->Args({990, 0})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench_util::json_recorder::consume_json_flag(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  wl::print_fig_header("abl_readpath",
+                       {"wall_ms", "cpu_ms", "tx_per_s", "checker_ok"});
+  auto& json = bench_util::json_recorder::instance();
+  int x = 0;
+  for (const char* row : {"r900/on", "r900/off", "r990/on", "r990/off"}) {
+    const auto it = results().find(row);
+    if (it == results().end()) continue;
+    const auto& r = it->second;
+    wl::print_fig_row("abl_readpath", x,
+                      {r.wall_ms, r.cpu_ms, r.tx_per_s, r.checker_ok ? 1.0 : 0.0});
+    x += 1;
+    std::printf("# %-9s wall %.1f ms, cpu %.1f ms, %.0f req/s, hits=%llu,"
+                " fallbacks=%llu, checker_ok=%d\n",
+                row, r.wall_ms, r.cpu_ms, r.tx_per_s,
+                static_cast<unsigned long long>(r.hits),
+                static_cast<unsigned long long>(r.fallbacks),
+                r.checker_ok ? 1 : 0);
+    json.put(row, "wall_ms", r.wall_ms);
+    json.put(row, "cpu_ms", r.cpu_ms);
+    json.put(row, "tx_per_s", r.tx_per_s);
+    json.put(row, "readpath_hits", static_cast<double>(r.hits));
+    json.put(row, "readpath_fallbacks", static_cast<double>(r.fallbacks));
+    json.put(row, "checker_ok", r.checker_ok ? 1.0 : 0.0);
+  }
+  for (const char* mix : {"r900", "r990"}) {
+    const auto on = results().find(std::string(mix) + "/on");
+    const auto off = results().find(std::string(mix) + "/off");
+    if (on == results().end() || off == results().end()) continue;
+    std::printf("# %-9s on vs off: throughput %.2fx (expect >= 2.00)\n", mix,
+                on->second.tx_per_s / std::max(off->second.tx_per_s, 1e-9));
+  }
+  std::puts("# Expect: checker_ok=1 on every row (no torn block snapshot)");
+  bool all_ok = true;
+  for (const auto& [row, r] : results()) {
+    if (!r.checker_ok) {
+      std::fprintf(stderr, "abl_readpath: torn snapshot in row %s\n", row.c_str());
+      all_ok = false;
+    }
+  }
+  if (!all_ok) return 1;
+
+  if (!json_path.empty()) {
+    if (!json.write(json_path, "abl_readpath")) {
+      std::fprintf(stderr, "abl_readpath: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -29,11 +29,15 @@
 //                      (generator → replay → checker smoke pipeline in
 //                      bench/run_openloop_check.cmake feeds these to the
 //                      python checker)
+//   --read-frac <f>    fraction [0, 1] of requests drawn read-only and
+//                      replayed via session::submit_read_keyed (default 0;
+//                      the checker knows reads produce no commit record)
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <thread>
@@ -69,6 +73,9 @@ constexpr rate_spec rates[] = {
     {"r16k", 16000, 24000, 0xC0FFEE03},
 };
 constexpr unsigned n_rates = 4;
+
+/// --read-frac, converted to per-mille for trace_spec.
+unsigned g_read_permille = 0;
 
 volatile unsigned work_sink = 0;
 /// Real host work per transactional op: latency phases are wall-clock
@@ -108,6 +115,7 @@ openloop_result run_rate(const rate_spec& rs, const std::string& trace_prefix,
   spec.rate_per_s = rs.rate_per_s;
   spec.max_tasks = 2;
   spec.max_ops = 4;
+  spec.read_permille = g_read_permille;
   const std::vector<support::trace_request> trace = support::generate_trace(spec);
   if (!trace_prefix.empty()) {
     const std::string path = trace_prefix + "." + rs.name + ".trace";
@@ -150,15 +158,27 @@ openloop_result run_rate(const rate_spec& rs, const std::string& trace_prefix,
     const unsigned base = static_cast<unsigned>(r.key) * words_per_key;
     for (unsigned t = 0; t < r.tasks; ++t) {
       const unsigned ops = r.ops;
-      tasks.push_back([mp, base, t, ops](core::task_ctx& c) {
-        for (unsigned o = 0; o < ops; ++o) {
-          word* w = &mp[base + (t * 7 + o) % words_per_key];
-          c.write(w, c.read(w) + 1);
-          real_work(50);
-        }
-      });
+      if (r.read_only) {
+        tasks.push_back([mp, base, t, ops](core::task_ctx& c) {
+          word sink = 0;
+          for (unsigned o = 0; o < ops; ++o) {
+            sink += c.read(&mp[base + (t * 7 + o) % words_per_key]);
+            real_work(50);
+          }
+          benchmark::DoNotOptimize(sink);
+        });
+      } else {
+        tasks.push_back([mp, base, t, ops](core::task_ctx& c) {
+          for (unsigned o = 0; o < ops; ++o) {
+            word* w = &mp[base + (t * 7 + o) % words_per_key];
+            c.write(w, c.read(w) + 1);
+            real_work(50);
+          }
+        });
+      }
     }
-    core::ticket tk = s.submit_keyed(r.key, std::move(tasks));
+    core::ticket tk = r.read_only ? s.submit_read_keyed(r.key, std::move(tasks))
+                                  : s.submit_keyed(r.key, std::move(tasks));
     tk.then([&completed] { completed.fetch_add(1, std::memory_order_relaxed); });
     tickets[r.id] = std::move(tk);
   }
@@ -248,6 +268,15 @@ int main(int argc, char** argv) {
   const std::string json_path = bench_util::json_recorder::consume_json_flag(argc, argv);
   g_trace_prefix = bench_util::json_recorder::consume_flag(argc, argv, "trace");
   g_journal_prefix = bench_util::json_recorder::consume_flag(argc, argv, "journal");
+  const std::string frac = bench_util::json_recorder::consume_flag(argc, argv, "read-frac");
+  if (!frac.empty()) {
+    const double f = std::atof(frac.c_str());
+    if (f < 0.0 || f > 1.0) {
+      std::fprintf(stderr, "openloop: --read-frac must be in [0, 1]\n");
+      return 2;
+    }
+    g_read_permille = static_cast<unsigned>(f * 1000.0 + 0.5);
+  }
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
@@ -272,6 +301,7 @@ int main(int argc, char** argv) {
     json.put(row, "achieved_per_s", r.achieved_per_s);
     json.put(row, "requests", static_cast<double>(r.requests));
     json.put(row, "late", static_cast<double>(r.late));
+    json.put(row, "read_frac", static_cast<double>(g_read_permille) * 1e-3);
     json.put(row, "checker_ok", r.check.ok ? 1.0 : 0.0);
     struct phase_row {
       const char* name;

@@ -13,6 +13,7 @@
 
 #include "core/api.hpp"
 #include "core/runtime.hpp"
+#include "core/session.hpp"
 
 using namespace tlstm;
 
@@ -44,6 +45,26 @@ int main() {
   t0.join();
   t1.join();
   rt.stop();
+
+  // Sessions and the read-only fast path (DESIGN.md §8, §10): any number
+  // of client threads submit through one thread-safe session, and a
+  // submission declared write-free (submit_read) is served inline at the
+  // committed frontier — no task, no pipeline slot, commit_serial() == 0.
+  {
+    core::runtime srt(cfg);
+    auto session = srt.open_session();
+    tm_var<long> d(0);
+    session.submit_keyed(7, {[&](core::task_ctx& t) { d.set(t, 42); }}).wait();
+    long seen = 0;
+    auto r = session.submit_read({[&](core::task_ctx& t) { seen = d.get(t); }});
+    r.wait();
+    srt.stop();
+    std::printf("session read-only snapshot: d=%ld, commit_serial=%llu"
+                " (0 = served at the frontier), readpath_hits=%llu\n",
+                seen, static_cast<unsigned long long>(r.commit_serial()),
+                static_cast<unsigned long long>(
+                    srt.aggregated_stats().readpath_hits));
+  }
 
   const auto stats = rt.aggregated_stats();
   std::printf("a=%ld b=%ld c=%ld (all must equal 2000)\n", a.unsafe_peek(),

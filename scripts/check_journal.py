@@ -25,6 +25,12 @@ a contract shared with the C++ checker (adversarial tests assert on them):
       commit timestamps are real and globally unique;
   fifo-violation
       per key, commit serials and timestamps follow submission order.
+
+Read-only requests (trace `reads` section, DESIGN.md §10) relax these: a
+read served by the fast path carries placement serial 0 and must claim NO
+journal record; a read that fell back to the full path is matched like a
+write, except its record may carry commit_ts 0 (write-free transactions do)
+and it is exempt from the per-key FIFO invariant.
 """
 
 import sys
@@ -48,19 +54,35 @@ def read_trace(path):
     if len(lines) < 2 or not lines[1].startswith("spec "):
         raise ValueError("bad trace spec line")
     spec = [int(x) for x in lines[1].split()[1:]]
-    if len(spec) != 6:
+    if len(spec) not in (6, 7):
         raise ValueError("bad trace spec line")
     reqs = []
+    reads_declared = None
+    read_ids = []
     for ln in lines[2:]:
         if not ln or ln.startswith("#"):
             continue
         parts = ln.split()
-        if parts[0] != "R" or len(parts) != 6:
+        if parts[0] == "R" and len(parts) == 6:
+            # (id, key, arrival_ns, tasks, ops, read_only)
+            reqs.append(tuple(int(x) for x in parts[1:]) + (False,))
+        elif parts[0] == "reads" and len(parts) == 2:
+            reads_declared = int(parts[1])
+        elif parts[0] == "Q" and len(parts) == 2:
+            read_ids.append(int(parts[1]))
+        else:
             raise ValueError("bad trace record: " + ln)
-        # (id, key, arrival_ns, tasks, ops)
-        reqs.append(tuple(int(x) for x in parts[1:]))
     if len(reqs) != spec[1]:
         raise ValueError("trace record count mismatch")
+    if reads_declared is not None and len(read_ids) != reads_declared:
+        raise ValueError("reads count mismatch")
+    # Resolve markers by request id (records need not arrive id-ordered).
+    index_of = {r[0]: i for i, r in enumerate(reqs)}
+    for rid in read_ids:
+        if rid not in index_of:
+            raise ValueError("read marker for unknown request id")
+        i = index_of[rid]
+        reqs[i] = reqs[i][:5] + (True,)
     return spec, reqs
 
 
@@ -137,7 +159,7 @@ def check_journal(trace, pipelines, journals, requests):
             return "missing-request: trace id %d absent from the dump" % i
 
     # 3. Placement matches routing hash, key and task shape.
-    for tid, tkey, _arr, ttasks, _ops in trace:
+    for tid, tkey, _arr, ttasks, _ops, _ro in trace:
         _rid, rkey, rpipe, _serial, rtasks = by_id[tid]
         want = session_route_hash(tkey) % pipelines
         if rkey != tkey or rtasks != ttasks or rpipe != want:
@@ -145,39 +167,54 @@ def check_journal(trace, pipelines, journals, requests):
                     "dump says pipeline %d key %d tasks %d" % (
                         tid, tkey, want, rpipe, rkey, rtasks))
 
-    # 4. Requests <-> journal records one to one.
+    # 4. Requests <-> journal records one to one. Fast-path reads (serial 0)
+    #    claim no record; fallback reads match like writes and their records
+    #    are remembered so invariant 5 can permit their commit_ts of 0.
     by_commit = [dict() for _ in range(pipelines)]
     for p in range(pipelines):
         for rec in journals[p]:
             by_commit[p][rec[1]] = rec
     claimed = [0] * pipelines
-    for tid, _tkey, _arr, ttasks, _ops in trace:
+    read_claimed = set()
+    for tid, _tkey, _arr, ttasks, _ops, ro in trace:
         _rid, _rkey, rpipe, serial, _rtasks = by_id[tid]
+        if ro and serial == 0:
+            continue
         rec = by_commit[rpipe].get(serial)
         if rec is None or rec[0] != serial - ttasks + 1:
             return ("missing-commit: request %d (pipeline %d, serial %d, "
                     "tasks %d) has no matching journal record" % (
                         tid, rpipe, serial, ttasks))
+        if ro:
+            read_claimed.add(id(rec))
         claimed[rpipe] += 1
     for p in range(pipelines):
         if claimed[p] != len(journals[p]):
             return ("unclaimed-commit: pipeline %d journal has %d records but "
                     "only %d requests claim one" % (p, len(journals[p]), claimed[p]))
 
-    # 5. Commit timestamps nonzero and globally unique.
+    # 5. Commit timestamps nonzero and globally unique — except records
+    #    claimed by read-only requests, whose write-free transactions commit
+    #    with ts 0; uniqueness applies to the nonzero timestamps only.
     seen_ts = set()
     for p in range(pipelines):
-        for _start, commit, ts in journals[p]:
+        for rec in journals[p]:
+            _start, commit, ts = rec
             if ts == 0:
+                if id(rec) in read_claimed:
+                    continue
                 return "commit-ts-zero: pipeline %d serial %d" % (p, commit)
             if ts in seen_ts:
                 return "commit-ts-duplicate: ts %d" % ts
             seen_ts.add(ts)
 
-    # 6. Per-key FIFO on serials and commit timestamps.
+    # 6. Per-key FIFO on serials and commit timestamps. Read-only requests
+    #    are exempt on both sides of the chain.
     last_of_key = {}
     for t in trace:
         tid, tkey = t[0], t[1]
+        if t[5]:
+            continue
         if tkey in last_of_key:
             prev_t = last_of_key[tkey]
             prev = by_id[prev_t[0]]

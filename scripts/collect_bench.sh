@@ -13,10 +13,16 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target abl_waits openloop_latency >/dev/null
+cmake --build build -j "$JOBS" --target abl_waits abl_readpath openloop_latency >/dev/null
 
 echo "=== abl_waits -> BENCH_waits.json ==="
 ./build/bench/abl_waits --json BENCH_waits.json
+
+# Self-checking rows: every block snapshot is verified all-words-equal
+# inline, so a torn read zeroes checker_ok and the nonzero exit below
+# keeps an unverified BENCH_readpath.json from being checked in.
+echo "=== abl_readpath -> BENCH_readpath.json ==="
+./build/bench/abl_readpath --json BENCH_readpath.json
 
 # The open-loop harness validates every rate step's commit journal inline
 # (nonzero exit on a checker failure) AND dumps the trace/journal pair so

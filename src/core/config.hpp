@@ -109,6 +109,18 @@ struct config {
   /// read per point on the session paths only — workers never stamp — and
   /// off by default so closed-loop benches pay nothing.
   bool capture_latency = false;
+  /// Read-only fast path (DESIGN.md §10): session submissions declared
+  /// read-only (session::submit_read*) execute inline on their pipeline's
+  /// driver against the committed frontier — invisible timestamped reads,
+  /// no task slots, no commit serialization, no journal record. Off ⇒
+  /// read-only submissions take the full task path (and, like every
+  /// write-free transaction, commit with commit_ts 0).
+  bool read_path = true;
+  /// Fast-path attempts per read-only submission before it falls back to
+  /// the full task path (stats: readpath_fallbacks). Retries pace through
+  /// the restart backoff ladder. Validation rejects 0 while read_path is
+  /// on: it would silently route every submit_read through the slow path.
+  unsigned read_retry_cap = 64;
 };
 
 }  // namespace tlstm::core

@@ -135,6 +135,13 @@ config validated(config cfg) {
       (cfg.waits.gate_shards & (cfg.waits.gate_shards - 1)) != 0) {
     throw std::invalid_argument("waits.gate_shards must be a nonzero power of two");
   }
+  if (cfg.read_path && cfg.read_retry_cap == 0) {
+    // A zero retry budget would make every submit_read fall back to the
+    // full path while read_path claims the fast path is on — and with
+    // capture_latency it would double-stamp install on every read ticket
+    // for nothing. Reject the inconsistency instead of limping.
+    throw std::invalid_argument("read_retry_cap must be >= 1 while read_path is on");
+  }
   return cfg;
 }
 

@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "core/runtime.hpp"
+#include "sched/backoff_ladder.hpp"
+#include "stm/readpath.hpp"
 
 namespace tlstm::core {
 
@@ -98,6 +100,20 @@ ticket session::submit_keyed(std::uint64_t key, std::vector<task_fn> tasks) {
   return front_->enqueue(front_->route_key(key), std::move(tasks));
 }
 
+ticket session::submit_read(std::vector<task_fn> tasks) {
+  return front_->enqueue(front_->route_next(), std::move(tasks), /*read_only=*/true);
+}
+
+ticket session::submit_read_single(task_fn fn) {
+  std::vector<task_fn> one;
+  one.push_back(std::move(fn));
+  return submit_read(std::move(one));
+}
+
+ticket session::submit_read_keyed(std::uint64_t key, std::vector<task_fn> tasks) {
+  return front_->enqueue(front_->route_key(key), std::move(tasks), /*read_only=*/true);
+}
+
 std::vector<ticket> session::submit_batch(std::vector<std::vector<task_fn>> txs) {
   return front_->enqueue_batch(front_->route_next(), std::move(txs));
 }
@@ -117,11 +133,21 @@ unsigned session::pipeline_for_key(std::uint64_t key) const noexcept {
 // session_front
 // ---------------------------------------------------------------------------
 
+session_front::pipe::pipe(runtime& rt, unsigned t)
+    : inbox(rt.cfg().session_inbox_capacity),
+      ro_reclaimer(rt.epochs()),
+      // Stream disjoint from the worker rngs (seeded 0xfeedface): drivers
+      // only pace backoff with it, but keep the streams distinct anyway.
+      rng(0xbead5e55ULL, t),
+      epoch_slot(rt.epochs().register_participant()),
+      reader(std::make_unique<stm::snapshot_reader<stm::swiss_frontier_adapter>>(
+          stm::swiss_frontier_adapter{&rt.table()}, rt.commit_ts())) {}
+
 session_front::session_front(runtime& rt) : rt_(rt) {
   const unsigned n = rt.num_threads();
   pipes_.reserve(n);
   for (unsigned t = 0; t < n; ++t) {
-    pipes_.push_back(std::make_unique<pipe>(rt.cfg().session_inbox_capacity));
+    pipes_.push_back(std::make_unique<pipe>(rt, t));
   }
   // Hook the commit frontier to the drivers' park gates *before* any driver
   // (and hence any commit this front can cause) exists: committing workers
@@ -201,7 +227,8 @@ void session_front::finish_enqueue() noexcept {
   }
 }
 
-ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks) {
+ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks,
+                              bool read_only) {
   validate_tx(tasks);
   begin_enqueue();
   // Balance begin_enqueue on EVERY exit, exceptions included (e.g. an
@@ -212,7 +239,7 @@ ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks) {
     ~balance() { f.finish_enqueue(); }
   } guard{*this};
   auto st = make_ticket_state();
-  submission s{detail::sub_tx{std::move(tasks), st}};
+  submission s{detail::sub_tx{std::move(tasks), st, read_only}};
   // Backpressure parks under the governed inbox budget (clients have no
   // stat block, so the outcome is not recorded — drivers train the class).
   pipes_[pipe_idx]->inbox.push_wait(rt_.governor().params(sched::gate_class::inbox),
@@ -264,6 +291,16 @@ void session_front::install_submission(unsigned t, submission& s,
       for (detail::sub_tx& tx : std::get<std::vector<detail::sub_tx>>(s.body)) fn(tx);
     }
   };
+  // Read-only fast path (DESIGN.md §10): serve declared reads inline at
+  // the committed frontier before any serial assignment. A served
+  // transaction completes right here (ticket retired, commit_serial stays
+  // 0); one that conflicted out or turned out to write keeps its ticket
+  // and joins the full path below.
+  const bool fast = rt_.cfg().read_path;
+  for_each_tx([&](detail::sub_tx& tx) {
+    st.session_batch_txs++;
+    if (fast && tx.read_only && execute_read(t, tx)) tx.tk.reset();
+  });
   // One high-water read covers the whole cell (the driver is the pipeline's
   // only submitter, so serial assignment is deterministic from here), and
   // every commit serial is published before the first submit: a done()/
@@ -271,12 +308,13 @@ void session_front::install_submission(unsigned t, submission& s,
   // earlier transaction's submit is parked on slot backpressure.
   std::uint64_t serial = th.submitted_serials();
   for_each_tx([&](detail::sub_tx& tx) {
-    st.session_batch_txs++;
+    if (tx.tk == nullptr) return;  // retired on the read fast path
     serial += tx.tasks.size();
     tx.tk->commit_serial.store(serial, std::memory_order_release);
   });
   const bool capture = rt_.cfg().capture_latency;
   for_each_tx([&](detail::sub_tx& tx) {
+    if (tx.tk == nullptr) return;  // retired on the read fast path
     const std::uint64_t cs = tx.tk->commit_serial.load(std::memory_order_relaxed);
     if (capture) {
       // Install capture point (§9): the hand-off into the pipeline. The
@@ -288,6 +326,75 @@ void session_front::install_submission(unsigned t, submission& s,
     th.submit(std::move(tx.tasks));
     pending.push_back(pending_ticket{cs, std::move(tx.tk)});
   });
+}
+
+bool session_front::execute_read(unsigned t, detail::sub_tx& tx) {
+  pipe& p = *pipes_[t];
+  util::stat_block& st = p.stats;
+  const config& cfg = rt_.cfg();
+  if (cfg.capture_latency) {
+    // Install capture point (§9): for a fast-path read, "install" is the
+    // start of inline execution. On fallback the full path re-stamps it —
+    // a later value, so the stamps stay monotone either way.
+    tx.tk->t_install_ns.store(now_ns(), std::memory_order_relaxed);
+  }
+  // The env the read closures run against: the pipe's dummy slot (serial 0)
+  // with the frontier validator switched in — task_ctx routes every
+  // transactional op accordingly (core/task.cpp).
+  task_env env{rt_, *rt_.threads_[t], p.ro_slot, p.ro_clock,
+               st,  p.ro_reclaimer,   p.reader.get()};
+  // Abandoned attempts undo their allocations (the abort-path contract of
+  // access_logs) and drop everything else.
+  auto unwind = [&] {
+    for (const stm::mm_action& a : p.ro_slot.logs.alloc_undo) {
+      p.ro_reclaimer.retire(a.obj, a.fn, a.ctx);
+    }
+    p.ro_slot.logs.clear_for_restart();
+  };
+  for (unsigned attempt = 1; attempt <= cfg.read_retry_cap; ++attempt) {
+    // Pin the reclamation epoch across the attempt: structure reads may
+    // chase pointers a concurrent committer just retired.
+    rt_.epochs().pin(p.epoch_slot);
+    p.reader->begin();
+    p.ro_slot.ops_reported = 0;
+    try {
+      for (task_fn& fn : tx.tasks) {
+        task_ctx ctx(env);
+        fn(ctx);
+      }
+      // The commit point of a read-only transaction: prove every logged
+      // read still current at the final frontier. No stripe was ever
+      // owned, so success publishes nothing — it only completes the
+      // ticket.
+      if (!p.reader->revalidate()) throw stm::read_conflict{};
+      rt_.epochs().unpin(p.epoch_slot);
+      for (const stm::mm_action& a : p.ro_slot.logs.commit_retire) {
+        p.ro_reclaimer.retire(a.obj, a.fn, a.ctx);
+      }
+      p.ro_slot.logs.clear_for_restart();
+      st.user_ops += p.ro_slot.ops_reported;
+      st.readpath_hits++;
+      // Commit-observed + callback stamps and the completion edge come
+      // from the shared completion path (distinct interpretation for
+      // reads: commit = snapshot validated, DESIGN.md §10).
+      complete_ticket(*tx.tk, st);
+      return true;
+    } catch (const stm::read_conflict&) {
+      rt_.epochs().unpin(p.epoch_slot);
+      unwind();
+      st.readpath_retries++;
+      if (attempt < cfg.read_retry_cap) {
+        sched::ladder_pause(cfg.restart_backoff, attempt, cfg.backoff_max_shift,
+                            p.rng);
+      }
+    } catch (const stm::read_needs_write&) {
+      rt_.epochs().unpin(p.epoch_slot);
+      unwind();
+      break;  // declared read-only but wrote: full path, immediately
+    }
+  }
+  st.readpath_fallbacks++;
+  return false;
 }
 
 void session_front::complete_ticket(detail::ticket_state& tk, util::stat_block& st) {
@@ -414,6 +521,9 @@ void session_front::stop() {
   for (auto& p : pipes_) {
     if (p->driver.joinable()) p->driver.join();
   }
+  // The drivers are gone: release their read-path epoch slots so shutdown
+  // reclamation never waits on a participant that can no longer unpin.
+  for (auto& p : pipes_) rt_.epochs().unregister_participant(p->epoch_slot);
   // Unhook the commit frontier: the gates die with this front, and the
   // pipelines (which runtime::stop() drains next) must not wake freed
   // memory.

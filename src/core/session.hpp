@@ -43,6 +43,7 @@
 #include "core/task.hpp"
 #include "core/thread_state.hpp"
 #include "sched/inbox.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace tlstm::core {
@@ -122,6 +123,10 @@ struct ticket_state {
 struct sub_tx {
   std::vector<task_fn> tasks;
   std::shared_ptr<ticket_state> tk;
+  /// Declared write-free (session::submit_read*): the driver may serve it
+  /// inline at the committed frontier (DESIGN.md §10) instead of
+  /// installing tasks.
+  bool read_only = false;
 };
 }  // namespace detail
 
@@ -158,7 +163,10 @@ class ticket {
 
   /// Commit serial assigned by the driver at install; 0 until installed (or
   /// on an empty ticket). Diagnostic — pair with the pipeline's commit
-  /// journal to match a submission to its commit_record.
+  /// journal to match a submission to its commit_record. A read-only
+  /// submission served by the fast path (DESIGN.md §10) never installs:
+  /// its serial stays 0 and no journal record exists — a fallback read
+  /// gets a real serial like any other transaction.
   std::uint64_t commit_serial() const noexcept {
     return st_ == nullptr
                ? 0
@@ -190,6 +198,26 @@ class session {
   /// Key-affinity routing: all submissions with equal keys go to the same
   /// pipeline, so a client's per-key transactions run in submission order.
   ticket submit_keyed(std::uint64_t key, std::vector<task_fn> tasks);
+
+  /// Read-only submission (DESIGN.md §10): declares the transaction free
+  /// of writes, so its pipeline driver may serve it inline against the
+  /// committed frontier — invisible timestamped reads, no task slots, no
+  /// commit serial (the ticket's commit_serial() stays 0 on the fast
+  /// path), no journal record. The snapshot equals the committed state at
+  /// some frontier during execution; it deliberately does NOT wait for
+  /// earlier in-flight submissions, so there is no read-your-writes
+  /// ordering against still-queued tickets — wait() on the writing ticket
+  /// first when that order matters. A closure that writes anyway (or keeps
+  /// conflicting past config.read_retry_cap) transparently falls back to
+  /// the full task path. With config.read_path off every submit_read takes
+  /// the full path.
+  ticket submit_read(std::vector<task_fn> tasks);
+  ticket submit_read_single(task_fn fn);
+  /// Key-routed read-only submission: shares the key's pipeline (and
+  /// driver) with submit_keyed writers. The fast path still reads the
+  /// committed frontier — it does not order against in-flight writes of
+  /// the key.
+  ticket submit_read_keyed(std::uint64_t key, std::vector<task_fn> tasks);
 
   /// Batched submission (DESIGN.md §8.5): carries the whole vector of
   /// transactions to ONE pipeline in chunks of config.session_batch_max
@@ -224,7 +252,8 @@ class session_front {
   session_front(const session_front&) = delete;
   session_front& operator=(const session_front&) = delete;
 
-  ticket enqueue(unsigned pipe, std::vector<task_fn> tasks);
+  ticket enqueue(unsigned pipe, std::vector<task_fn> tasks,
+                 bool read_only = false);
   std::vector<ticket> enqueue_batch(unsigned pipe,
                                     std::vector<std::vector<task_fn>> txs);
   unsigned route_next() noexcept;
@@ -254,15 +283,44 @@ class session_front {
     std::shared_ptr<detail::ticket_state> tk;
   };
   struct pipe {
-    explicit pipe(std::size_t capacity) : inbox(capacity) {}
+    pipe(runtime& rt, unsigned t);
     sched::bounded_inbox<submission> inbox;
     /// Driver-side counters (batches drained, callbacks run, driver
     /// parks); folded into runtime::aggregated_stats().
     util::stat_block stats;
+
+    // --- Read-only fast path execution state (DESIGN.md §10), owned by
+    // --- the driver thread.
+    /// Dummy slot satisfying task_env's references. Its serial stays 0 —
+    /// a value no restart fence ever covers — and only ops_reported and
+    /// the mm logs are actually used.
+    task_slot ro_slot;
+    /// Driver-local virtual clock so task_ctx::work in read closures has
+    /// somewhere to advance (never joined into the pipeline's timeline).
+    vt::worker_clock ro_clock;
+    /// Grace-period frees logged by read closures (log_commit_retire) and
+    /// undone allocations of abandoned attempts.
+    util::reclaimer ro_reclaimer;
+    /// Paces fast-path retries through the restart backoff ladder.
+    util::xoshiro256 rng;
+    /// Epoch participant pinned around each fast-path attempt, so reads
+    /// of reclaimed structures stay within a grace period.
+    std::size_t epoch_slot = 0;
+    /// The invisible-read frontier validator (stm/readpath.hpp), SwissTM
+    /// flavour — the core runtime's table is a SwissTM lock table.
+    std::unique_ptr<stm::frontier_reader> reader;
+
     std::thread driver;
   };
 
   void driver_main(unsigned t);
+  /// Read-only fast path (DESIGN.md §10): runs `tx` inline on the driver
+  /// against the committed frontier, retrying conflicts through the
+  /// backoff ladder up to config.read_retry_cap attempts. True ⇒ the
+  /// ticket completed (commit_serial stays 0); false ⇒ the attempt was
+  /// abandoned (a write, or retries exhausted — readpath_fallbacks) and
+  /// the caller must install it down the full task path.
+  bool execute_read(unsigned t, detail::sub_tx& tx);
   /// Throws std::invalid_argument unless `tasks` is a valid decomposition.
   void validate_tx(const std::vector<task_fn>& tasks) const;
   std::shared_ptr<detail::ticket_state> make_ticket_state() const;

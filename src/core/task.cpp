@@ -10,6 +10,7 @@
 #include "core/runtime.hpp"
 #include "core/task.hpp"
 #include "core/thread_state.hpp"
+#include "stm/readpath.hpp"
 #include "util/spin.hpp"
 
 namespace tlstm::core {
@@ -43,19 +44,41 @@ void runtime::maybe_periodic_validation(task_env& env) {
 // ---------------------------------------------------------------------------
 
 void task_env::check_safepoint() const {
+  if (readpath != nullptr) return;  // serial 0 is never fenced (DESIGN.md §10)
   if (thr.fence_covers_unstamped(serial())) {
     throw stm::tx_abort{stm::tx_abort::reason::fence};
   }
 }
 
-stm::word task_ctx::read(const stm::word* addr) { return env_.rt.task_read(env_, addr); }
-void task_ctx::write(stm::word* addr, stm::word value) { env_.rt.task_write(env_, addr, value); }
+stm::word task_ctx::read(const stm::word* addr) {
+  if (env_.readpath != nullptr) {
+    // Read-only fast path: invisible timestamped read against the committed
+    // frontier — no slot, no stripe ownership, no fence polls.
+    env_.stats.reads_committed++;
+    return env_.readpath->read(addr);
+  }
+  return env_.rt.task_read(env_, addr);
+}
+
+void task_ctx::write(stm::word* addr, stm::word value) {
+  if (env_.readpath != nullptr) {
+    // The closure lied about being read-only: abandon the attempt, the
+    // driver re-runs it down the full task path (readpath_fallbacks).
+    throw stm::read_needs_write{};
+  }
+  env_.rt.task_write(env_, addr, value);
+}
 
 void task_ctx::work(std::uint64_t n) noexcept {
   env_.clock.advance(n * env_.rt.cfg().costs.user_work_unit);
 }
 
 void task_ctx::abort_self() {
+  if (env_.readpath != nullptr) {
+    // No fence to raise — a fast-path read owns no serial. Retrying the
+    // snapshot is the read-only meaning of "restart me".
+    throw stm::read_conflict{};
+  }
   env_.thr.raise_fence(serial(), env_.clock);
   throw stm::tx_abort{stm::tx_abort::reason::explicit_abort};
 }
@@ -67,7 +90,13 @@ void task_ctx::log_commit_retire(void* obj, util::reclaimer::deleter_fn fn, void
   env_.slot.logs.commit_retire.push_back({obj, fn, ctx});
 }
 
-void task_ctx::validate() { env_.rt.validate_now(env_); }
+void task_ctx::validate() {
+  if (env_.readpath != nullptr) {
+    if (!env_.readpath->revalidate()) throw stm::read_conflict{};
+    return;
+  }
+  env_.rt.validate_now(env_);
+}
 
 // ---------------------------------------------------------------------------
 // read-word (paper Alg. 1, lines 5-16)

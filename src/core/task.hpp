@@ -13,6 +13,10 @@
 #include "util/stats.hpp"
 #include "vt/vclock.hpp"
 
+namespace tlstm::stm {
+class frontier_reader;  // read-only fast path (stm/readpath.hpp)
+}
+
 namespace tlstm::core {
 
 class task_ctx;
@@ -106,6 +110,12 @@ struct task_env {
   vt::worker_clock& clock;
   util::stat_block& stats;
   util::reclaimer& reclaimer;
+  /// Non-null while this env runs a read-only fast-path attempt (driver
+  /// inline, DESIGN.md §10): reads route to the frontier validator, writes
+  /// throw stm::read_needs_write, and the fence machinery is bypassed — the
+  /// executor's dummy slot keeps serial 0, which no restart fence ever
+  /// covers. Defaulted so the worker path's aggregate init stays unchanged.
+  stm::frontier_reader* readpath = nullptr;
 
   std::uint64_t serial() const noexcept {
     return slot.serial.load(std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string_view>
 
+#include "stm/readpath.hpp"
 #include "stm/swisstm.hpp"
 #include "stm/tl2.hpp"
 
@@ -47,6 +48,14 @@ struct backend_traits<backend_kind::swisstm> {
   using runtime_type = swiss_runtime;
   using thread_type = swiss_thread;
   using config_type = swiss_config;
+  using frontier_adapter = swiss_frontier_adapter;
+  /// Builds the read-only fast path's invisible-read validator over this
+  /// backend's lock table and committed-frontier clock (stm/readpath.hpp).
+  static snapshot_reader<frontier_adapter> make_frontier_reader(
+      runtime_type& rt, unsigned probe_cap = 4096) {
+    return snapshot_reader<frontier_adapter>(frontier_adapter{&rt.table()},
+                                             rt.commit_ts(), probe_cap);
+  }
 };
 
 template <>
@@ -56,6 +65,12 @@ struct backend_traits<backend_kind::tl2> {
   using runtime_type = tl2_runtime;
   using thread_type = tl2_thread;
   using config_type = tl2_config;
+  using frontier_adapter = tl2_frontier_adapter;
+  static snapshot_reader<frontier_adapter> make_frontier_reader(
+      runtime_type& rt, unsigned probe_cap = 4096) {
+    return snapshot_reader<frontier_adapter>(frontier_adapter{&rt.table()},
+                                             rt.gv(), probe_cap);
+  }
 };
 
 using swisstm_backend = backend_traits<backend_kind::swisstm>;

@@ -1,0 +1,174 @@
+// Read-only fast path: the invisible-read frontier validator (DESIGN.md
+// §10). A transaction declared read-only never needs task slots, stripe
+// ownership or commit serialization — it only needs a *consistent snapshot
+// of committed state*. This header supplies that snapshot in the TL2 style
+// (Dice/Shalev/Shavit, the paper's reference [15]): sample the global
+// commit clock (the committed frontier), perform timestamped reads with a
+// locked/version double-check per stripe, extend the snapshot when a newer
+// committed version is met, and revalidate the whole read log once the
+// closure finishes. A successful revalidation proves every read returned
+// the value committed at some single frontier — the transaction serializes
+// at that point without ever writing a byte of shared metadata.
+//
+// The validator is generic over the stripe-version flavour through a tiny
+// adapter (locate + version), so it sits behind the stm/backend.hpp seam:
+// SwissTM's r_lock stores the raw commit-ts version with an all-ones LOCKED
+// sentinel, TL2 packs a locked bit into bit 0. The TLSTM core runtime uses
+// the SwissTM flavour (its table *is* a SwissTM lock table); redo-log
+// chains hanging off w_lock are invisible here by construction — committed
+// values only ever reach memory through the locked write-back protocol the
+// double-check observes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "stm/lock_table.hpp"
+#include "stm/tl2.hpp"
+#include "util/spin.hpp"
+
+namespace tlstm::stm {
+
+/// Version value meaning "a committer is writing this stripe back right
+/// now" — the adapters normalize their backend's locked encoding to this.
+inline constexpr word frontier_locked = ~word(0);
+
+/// Thrown by frontier reads when the snapshot cannot be kept consistent
+/// (version churn or a failed extension). The executor retries the whole
+/// read-only attempt through the restart backoff ladder.
+struct read_conflict {};
+
+/// Thrown when a transaction running in read-only mode attempts a write:
+/// the attempt is abandoned and the transaction falls back to the full
+/// task path (stats: readpath_fallbacks).
+struct read_needs_write {};
+
+/// The backend-neutral surface the core runtime drives (the seam's value
+/// side): begin a snapshot, read words, revalidate at completion.
+class frontier_reader {
+ public:
+  virtual ~frontier_reader() = default;
+  /// Starts a fresh snapshot at the current committed frontier.
+  virtual void begin() = 0;
+  /// One invisible timestamped read; throws read_conflict when the word
+  /// cannot be proven consistent with the snapshot.
+  virtual word read(const word* addr) = 0;
+  /// Rechecks the whole read log against live stripe versions — the commit
+  /// point of a read-only transaction. True ⇒ every read came from the
+  /// committed state at frontier(); false ⇒ retry.
+  virtual bool revalidate() = 0;
+  /// The snapshot timestamp reads are currently validated against.
+  virtual word frontier() const = 0;
+  /// Reads logged since begin().
+  virtual std::size_t reads() const = 0;
+};
+
+/// SwissTM-flavoured stripe versions (also the TLSTM core runtime's):
+/// r_lock holds the raw commit-ts version, r_lock_locked while a committer
+/// writes back. Unstamped loads — a session driver owns no worker_clock,
+/// and the read path must not serialize virtual timelines anyway.
+struct swiss_frontier_adapter {
+  lock_table* table = nullptr;
+  using handle = lock_pair*;
+  handle locate(const void* addr) const noexcept { return &table->for_addr(addr); }
+  static word version(handle h) noexcept {
+    return h->r_lock.load_unstamped();  // r_lock_locked == frontier_locked
+  }
+};
+
+/// TL2-flavoured stripe versions: bit 0 is the lock bit, bits 1.. the
+/// version; normalized to (version, frontier_locked).
+struct tl2_frontier_adapter {
+  tl2_lock_table* table = nullptr;
+  using handle = vt::stamped_atomic<word>*;
+  handle locate(const void* addr) const noexcept { return &table->for_addr(addr); }
+  static word version(handle h) noexcept {
+    const word raw = h->load_unstamped();
+    return tl2_lock_table::is_locked(raw) ? frontier_locked
+                                          : tl2_lock_table::version_of(raw);
+  }
+};
+
+/// The invisible-read validator over one adapter flavour.
+///
+/// Consistency argument (DESIGN.md §10): a read observes version v1 (not
+/// locked), loads the word, and re-reads the version. Equal versions
+/// bracket the load — committers take the stripe to LOCKED before touching
+/// memory and publish the new version only after — so the load saw exactly
+/// the value committed at v1. v1 <= rv_ proves that value was current at
+/// the snapshot; a newer v1 forces an extension (reload the clock, prove
+/// every logged read still current, adopt the new frontier), exactly
+/// task_extend's order of operations. The final revalidate() closes the
+/// remaining window: reads validated against *different* frontiers after a
+/// mid-flight extension are all re-proven current at the last one.
+template <typename Adapter>
+class snapshot_reader final : public frontier_reader {
+ public:
+  /// `clock` is the backend's committed-frontier counter (commit_ts / gv).
+  /// `probe_cap` bounds the per-address locked/changed probe loop, like
+  /// task_read_committed's retry cap.
+  snapshot_reader(Adapter adapter, const std::atomic<word>& clock,
+                  unsigned probe_cap = 4096)
+      : adapter_(adapter), clock_(&clock), probe_cap_(probe_cap) {}
+
+  void begin() override {
+    rv_ = clock_->load(std::memory_order_acquire);
+    log_.clear();
+  }
+
+  word read(const word* addr) override {
+    const typename Adapter::handle h = adapter_.locate(addr);
+    util::backoff bo;
+    for (unsigned tries = 0; tries < probe_cap_; ++tries) {
+      const word v1 = Adapter::version(h);
+      if (v1 == frontier_locked) {
+        bo.spin();  // write-back is short; no gate to park on without a slot
+        continue;
+      }
+      const word val = load_word(addr);
+      if (Adapter::version(h) != v1) continue;  // torn: version moved under us
+      if (v1 > rv_ && !extend()) throw read_conflict{};
+      log_.push_back({h, v1});
+      return val;
+    }
+    throw read_conflict{};
+  }
+
+  bool revalidate() override {
+    for (const entry& e : log_) {
+      if (Adapter::version(e.h) != e.version) return false;
+    }
+    return true;
+  }
+
+  word frontier() const override { return rv_; }
+  std::size_t reads() const override { return log_.size(); }
+
+ private:
+  bool extend() {
+    // Clock first, then prove the log — the task_extend order: any commit
+    // serialized before the clock read either left our logged versions
+    // alone (validation passes, its effects are beyond our read set) or
+    // bumped one (validation fails, the snapshot is genuinely stale).
+    const word ts = clock_->load(std::memory_order_acquire);
+    for (const entry& e : log_) {
+      if (Adapter::version(e.h) != e.version) return false;
+    }
+    rv_ = ts;
+    return true;
+  }
+
+  struct entry {
+    typename Adapter::handle h;
+    word version;
+  };
+
+  Adapter adapter_;
+  const std::atomic<word>* clock_;
+  unsigned probe_cap_;
+  word rv_ = 0;
+  std::vector<entry> log_;
+};
+
+}  // namespace tlstm::stm

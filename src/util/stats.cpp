@@ -44,6 +44,9 @@ void stat_block::accumulate(const stat_block& other) noexcept {
   session_callbacks += other.session_callbacks;
   session_callback_errors += other.session_callback_errors;
   latency_samples += other.latency_samples;
+  readpath_hits += other.readpath_hits;
+  readpath_retries += other.readpath_retries;
+  readpath_fallbacks += other.readpath_fallbacks;
   window_shrinks += other.window_shrinks;
   window_grows += other.window_grows;
   tasks_deferred += other.tasks_deferred;
@@ -77,6 +80,8 @@ std::ostream& operator<<(std::ostream& os, const stat_block& s) {
      << "} session{batches=" << s.session_batches << " txs=" << s.session_batch_txs
      << " cbs=" << s.session_callbacks << " cb_errs=" << s.session_callback_errors
      << " lat=" << s.latency_samples
+     << "} readpath{hits=" << s.readpath_hits << " retries=" << s.readpath_retries
+     << " fallbacks=" << s.readpath_fallbacks
      << "} adapt{shrinks=" << s.window_shrinks
      << " grows=" << s.window_grows << " deferred=" << s.tasks_deferred
      << " win_stalls=" << s.window_stalls << " drain_stalls=" << s.drain_stalls

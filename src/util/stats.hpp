@@ -72,6 +72,11 @@ struct alignas(cache_line_size) stat_block {
   std::uint64_t session_callback_errors = 0; // callbacks that threw (rethrown by wait)
   std::uint64_t latency_samples = 0;         // fully stamped tickets (DESIGN.md §9)
 
+  // Read-only fast path (DESIGN.md §10), counted by the executing driver.
+  std::uint64_t readpath_hits = 0;       // read-only txns served at the frontier
+  std::uint64_t readpath_retries = 0;    // snapshot attempts retried on conflict
+  std::uint64_t readpath_fallbacks = 0;  // read-only txns sent down the full path
+
   // Adaptive speculation (DESIGN.md §5a).
   std::uint64_t window_shrinks = 0;  // controller narrowed the window
   std::uint64_t window_grows = 0;    // controller widened the window

@@ -67,6 +67,37 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(support::backend_depth_matrix({1, 2, 3, 4, 6})),
     support::backend_depth_name);
 
+TEST_P(WordProgramDifferential, ReadSnapshotsEqualCommittedPrefixStates) {
+  // Mixed read-only + speculative histories (DESIGN.md §10): a single
+  // committer makes the reachable committed states exactly the sequential
+  // prefix states, so every consistent read snapshot must equal one of
+  // them bit for bit — on the baseline backend through the frontier
+  // validator directly, and through the TLSTM session's submit_read.
+  const auto p = GetParam();
+  constexpr std::size_t n_tx = 40;
+  const std::uint64_t seed = 0xbee5 + p.depth;
+  const support::program_shape shape{/*n_words=*/32, /*ops_per_task=*/8,
+                                     /*write_heavy=*/true};
+  const auto prefixes = support::prefix_states(seed, n_tx, p.depth, shape);
+
+  const auto base = stm::with_backend(p.backend, [&](auto b) {
+    using backend = decltype(b);
+    return support::run_baseline_with_frontier_reads<backend>(seed, n_tx, p.depth,
+                                                              shape, prefixes);
+  });
+  EXPECT_EQ(base.unmatched, 0u)
+      << stm::to_string(p.backend) << ": " << base.unmatched << " of "
+      << base.snapshots << " snapshots matched no committed prefix";
+  EXPECT_GT(base.snapshots, 0u);
+
+  const auto tl = support::run_session_with_frontier_reads(
+      tlstm_cfg(p.depth), n_tx, p.depth, seed, shape, prefixes);
+  EXPECT_EQ(tl.unmatched, 0u)
+      << tl.unmatched << " of " << tl.snapshots
+      << " session read snapshots matched no committed prefix";
+  EXPECT_EQ(tl.snapshots, n_tx);
+}
+
 // ---------------------------------------------------------------------------
 // Structure programs: rbtree and sorted_list ops with cross-task dependence.
 // The task chain is built to the parameterized depth, and the quiesced

@@ -1,0 +1,293 @@
+// The read-only fast path's invisible-read validator (stm/readpath.hpp,
+// DESIGN.md §10), tested at two levels:
+//
+//   * deterministic unit tests over a fake adapter whose stripe versions
+//     and clock the test controls directly — every protocol edge (locked
+//     stripe, torn read, snapshot extension, failed extension, stale log)
+//     is driven single-threaded;
+//   * live hammers over both baseline backends through the backend seam
+//     (backend_traits::make_frontier_reader): concurrent committers keep
+//     every word of a key equal, and any snapshot that revalidates must
+//     observe that equality — a torn snapshot is a protocol hole, not a
+//     flake. Runs under TSan via the sched label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "stm/backend.hpp"
+#include "stm/readpath.hpp"
+
+namespace {
+
+using namespace tlstm;
+using stm::word;
+
+// ---------------------------------------------------------------------------
+// Fake-adapter unit tests
+// ---------------------------------------------------------------------------
+
+/// One version cell per word: locate() maps a word address in the test's
+/// array to the version at the same index, so the test scripts exact
+/// version histories.
+struct fake_adapter {
+  struct stripe {
+    std::atomic<word> v{0};
+  };
+  stripe* stripes = nullptr;
+  const word* base = nullptr;
+  using handle = stripe*;
+  handle locate(const void* addr) const noexcept {
+    const auto i = static_cast<std::size_t>(static_cast<const word*>(addr) - base);
+    return &stripes[i];
+  }
+  static word version(handle h) noexcept {
+    return h->v.load(std::memory_order_acquire);
+  }
+};
+
+struct fake_world {
+  std::vector<word> mem;
+  std::vector<fake_adapter::stripe> versions;
+  std::atomic<word> clock{0};
+  explicit fake_world(std::size_t n) : mem(n, 0), versions(n) {}
+  fake_adapter adapter() { return fake_adapter{versions.data(), mem.data()}; }
+  stm::snapshot_reader<fake_adapter> reader(unsigned probe_cap = 64) {
+    return stm::snapshot_reader<fake_adapter>(adapter(), clock, probe_cap);
+  }
+};
+
+TEST(ReadPathUnit, ReadWithinSnapshotValidates) {
+  fake_world w(4);
+  w.mem[1] = 42;
+  w.versions[1].v = 3;
+  w.clock = 5;
+  auto r = w.reader();
+  r.begin();
+  EXPECT_EQ(r.frontier(), 5u);
+  EXPECT_EQ(r.read(&w.mem[1]), 42u);
+  EXPECT_EQ(r.reads(), 1u);
+  EXPECT_TRUE(r.revalidate());
+  EXPECT_EQ(r.frontier(), 5u);  // no extension was needed
+}
+
+TEST(ReadPathUnit, LockedStripeExhaustsProbeCap) {
+  fake_world w(2);
+  w.versions[0].v = stm::frontier_locked;
+  w.clock = 1;
+  auto r = w.reader(/*probe_cap=*/8);
+  r.begin();
+  EXPECT_THROW((void)r.read(&w.mem[0]), stm::read_conflict);
+}
+
+TEST(ReadPathUnit, LockedStripeReleasedConcurrentlySucceeds) {
+  fake_world w(2);
+  w.mem[0] = 7;
+  w.versions[0].v = stm::frontier_locked;
+  w.clock = 9;
+  auto r = w.reader(/*probe_cap=*/1u << 20);
+  r.begin();
+  std::thread releaser([&w] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    w.versions[0].v.store(4, std::memory_order_release);
+  });
+  EXPECT_EQ(r.read(&w.mem[0]), 7u);  // spins through the write-back window
+  releaser.join();
+  EXPECT_TRUE(r.revalidate());
+}
+
+TEST(ReadPathUnit, NewerVersionExtendsSnapshot) {
+  fake_world w(4);
+  w.mem[0] = 10;
+  w.mem[1] = 20;
+  w.versions[0].v = 3;
+  w.clock = 5;
+  auto r = w.reader();
+  r.begin();
+  EXPECT_EQ(r.read(&w.mem[0]), 10u);
+  // A commit beyond the snapshot that does NOT touch the logged read:
+  // version 7 > frontier 5 forces an extension to the new clock.
+  w.versions[1].v = 7;
+  w.clock = 9;
+  EXPECT_EQ(r.read(&w.mem[1]), 20u);
+  EXPECT_EQ(r.frontier(), 9u);
+  EXPECT_TRUE(r.revalidate());
+}
+
+TEST(ReadPathUnit, ExtensionFailsWhenLoggedReadOverwritten) {
+  fake_world w(4);
+  w.versions[0].v = 3;
+  w.clock = 5;
+  auto r = w.reader();
+  r.begin();
+  (void)r.read(&w.mem[0]);
+  // A commit overwrote the logged word AND published a newer version on
+  // the next read's stripe: the extension must fail, not silently adopt a
+  // frontier the logged read is stale at.
+  w.versions[0].v = 8;
+  w.versions[1].v = 8;
+  w.clock = 8;
+  EXPECT_THROW((void)r.read(&w.mem[1]), stm::read_conflict);
+}
+
+TEST(ReadPathUnit, RevalidateDetectsOverwrittenRead) {
+  fake_world w(2);
+  w.versions[0].v = 2;
+  w.clock = 4;
+  auto r = w.reader();
+  r.begin();
+  (void)r.read(&w.mem[0]);
+  w.versions[0].v = 6;  // committer overwrote after our read
+  EXPECT_FALSE(r.revalidate());
+  r.begin();  // a fresh snapshot clears the log and proves clean again
+  EXPECT_EQ(r.reads(), 0u);
+  (void)r.read(&w.mem[0]);
+  EXPECT_TRUE(r.revalidate());
+}
+
+// ---------------------------------------------------------------------------
+// Live hammers over the backend seam
+// ---------------------------------------------------------------------------
+
+/// Writers keep every word of each key-block equal (block i holds the
+/// number of commits to it); snapshots that revalidate must never see two
+/// unequal words of one block.
+template <typename Backend>
+void snapshot_consistency_hammer() {
+  constexpr unsigned n_keys = 8;
+  constexpr unsigned words_per_key = 8;
+  constexpr unsigned n_writers = 3;
+  constexpr std::uint64_t commits_per_writer = 400;
+  typename Backend::runtime_type rt(stm::make_backend_config<Backend>(12));
+  std::vector<word> mem(n_keys * words_per_key, 0);
+  word* mp = mem.data();
+
+  std::atomic<unsigned> writers_done{0};
+  std::vector<std::thread> writers;
+  for (unsigned wtr = 0; wtr < n_writers; ++wtr) {
+    writers.emplace_back([&rt, &writers_done, mp, wtr] {
+      auto th = rt.make_thread();
+      for (std::uint64_t i = 0; i < commits_per_writer; ++i) {
+        const unsigned key = static_cast<unsigned>((wtr * 131 + i) % n_keys);
+        th->run_transaction([&](typename Backend::thread_type& c) {
+          word* block = mp + key * words_per_key;
+          const word next = c.read(&block[0]) + 1;
+          for (unsigned j = 0; j < words_per_key; ++j) c.write(&block[j], next);
+        });
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // Snapshot every block continuously while the writers run.
+  std::uint64_t snapshots = 0, retries = 0, torn = 0;
+  {
+    auto reader = Backend::make_frontier_reader(rt);
+    while (writers_done.load(std::memory_order_acquire) < n_writers) {
+      for (unsigned key = 0; key < n_keys; ++key) {
+        reader.begin();
+        bool ok = true;
+        bool equal = true;
+        try {
+          const word* block = mp + key * words_per_key;
+          const word first = reader.read(&block[0]);
+          for (unsigned j = 1; j < words_per_key; ++j) {
+            equal = equal && reader.read(&block[j]) == first;
+          }
+          ok = reader.revalidate();
+        } catch (const stm::read_conflict&) {
+          ok = false;
+        }
+        if (ok) {
+          snapshots++;
+          if (!equal) torn++;
+        } else {
+          retries++;
+        }
+      }
+    }
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(torn, 0u) << "validated snapshots saw torn key blocks";
+
+  // After quiescence a snapshot sees the final committed state exactly.
+  auto reader = Backend::make_frontier_reader(rt);
+  reader.begin();
+  for (unsigned key = 0; key < n_keys; ++key) {
+    const word* block = mp + key * words_per_key;
+    const word v = reader.read(&block[0]);
+    for (unsigned j = 1; j < words_per_key; ++j) {
+      EXPECT_EQ(reader.read(&block[j]), v);
+    }
+    EXPECT_EQ(v, mem[key * words_per_key]);
+  }
+  EXPECT_TRUE(reader.revalidate());
+  EXPECT_GT(snapshots, 0u);
+}
+
+TEST(ReadPathLive, SwissSnapshotsNeverTear) {
+  snapshot_consistency_hammer<stm::swisstm_backend>();
+}
+
+TEST(ReadPathLive, Tl2SnapshotsNeverTear) {
+  snapshot_consistency_hammer<stm::tl2_backend>();
+}
+
+/// Adversarial read-races-commit: one committer hammers a single block as
+/// fast as it can; a reader must keep making progress (every conflicted
+/// attempt is eventually followed by a clean snapshot) and each clean
+/// snapshot is internally consistent.
+template <typename Backend>
+void read_races_commit() {
+  constexpr unsigned words_per_key = 8;
+  typename Backend::runtime_type rt(stm::make_backend_config<Backend>(10));
+  std::vector<word> mem(words_per_key, 0);
+  word* mp = mem.data();
+  std::atomic<bool> stop{false};
+
+  std::thread committer([&rt, mp, &stop] {
+    auto th = rt.make_thread();
+    while (!stop.load(std::memory_order_relaxed)) {
+      th->run_transaction([&](typename Backend::thread_type& c) {
+        const word next = c.read(&mp[0]) + 1;
+        for (unsigned j = 0; j < words_per_key; ++j) c.write(&mp[j], next);
+      });
+    }
+  });
+
+  auto reader = Backend::make_frontier_reader(rt);
+  std::uint64_t clean = 0, torn = 0;
+  std::uint64_t attempts = 0;
+  while (clean < 2000 && attempts < 2000000) {
+    attempts++;
+    reader.begin();
+    try {
+      const word first = reader.read(&mp[0]);
+      bool equal = true;
+      for (unsigned j = 1; j < words_per_key; ++j) {
+        equal = equal && reader.read(&mp[j]) == first;
+      }
+      if (reader.revalidate()) {
+        if (!equal) torn++;
+        clean++;
+      }
+    } catch (const stm::read_conflict&) {
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  committer.join();
+  EXPECT_EQ(torn, 0u) << "validated snapshots saw a torn block";
+  EXPECT_GE(clean, 2000u) << "reader starved against a hot committer";
+}
+
+TEST(ReadPathLive, SwissReadRacesCommitMakesProgress) {
+  read_races_commit<stm::swisstm_backend>();
+}
+
+TEST(ReadPathLive, Tl2ReadRacesCommitMakesProgress) {
+  read_races_commit<stm::tl2_backend>();
+}
+
+}  // namespace

@@ -437,6 +437,158 @@ TEST(SessionLatency, CapturedStampsAreMonotone) {
   EXPECT_EQ(rt.aggregated_stats().latency_samples, 32u);
 }
 
+// ---------------------------------------------------------------------------
+// Read-only fast path (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+TEST(SessionReadPath, ServesReadsInlineAtTheCommittedFrontier) {
+  core::runtime rt(small_cfg(2, 2));
+  auto s = rt.open_session();
+  std::vector<word> cells(8, 0);
+  word* mem = cells.data();
+  std::vector<core::ticket> writes;
+  for (unsigned i = 0; i < 8; ++i) {
+    writes.push_back(s.submit_single(
+        [mem, i](core::task_ctx& c) { c.write(&mem[i], i + 100); }));
+  }
+  for (auto& t : writes) t.wait();
+
+  // The fast path never enters the commit pipeline: the ticket completes
+  // with commit serial 0 and the read sees every prior committed write.
+  std::vector<word> seen(8, 0);
+  word* out = seen.data();
+  core::ticket rd = s.submit_read({[mem, out](core::task_ctx& c) {
+    for (unsigned i = 0; i < 8; ++i) out[i] = c.read(&mem[i]);
+  }});
+  rd.wait();
+  EXPECT_TRUE(rd.done());
+  EXPECT_EQ(rd.commit_serial(), 0u);
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(seen[i], i + 100);
+
+  // Multi-task read transactions take the fast path too. The spec_depth
+  // cap still applies at submission — a fallback must fit the pipeline.
+  word sum = 0;
+  std::vector<core::task_fn> tasks;
+  for (unsigned t = 0; t < 2; ++t) {
+    tasks.push_back([mem, &sum](core::task_ctx& c) {
+      for (unsigned i = 0; i < 8; ++i) sum += c.read(&mem[i]);
+    });
+  }
+  core::ticket rd2 = s.submit_read_keyed(7, std::move(tasks));
+  rd2.wait();
+  EXPECT_EQ(rd2.commit_serial(), 0u);
+  EXPECT_EQ(sum, 2u * (8 * 100 + 28));
+  rt.stop();
+  const util::stat_block st = rt.aggregated_stats();
+  EXPECT_EQ(st.readpath_hits, 2u);
+  EXPECT_EQ(st.readpath_fallbacks, 0u);
+}
+
+TEST(SessionReadPath, WritingReadFallsBackToTheFullPath) {
+  core::runtime rt(small_cfg(1, 2));
+  auto s = rt.open_session();
+  word cell = 0;
+  // Declared read-only but writes: the fast path hands it to the full
+  // pipeline transparently — the write commits and the ticket carries a
+  // real serial.
+  core::ticket t = s.submit_read_single(
+      [&cell](core::task_ctx& c) { c.write(&cell, c.read(&cell) + 7); });
+  t.wait();
+  EXPECT_TRUE(t.done());
+  EXPECT_GT(t.commit_serial(), 0u);
+  EXPECT_EQ(cell, 7u);
+  rt.stop();
+  const util::stat_block st = rt.aggregated_stats();
+  EXPECT_EQ(st.readpath_hits, 0u);
+  EXPECT_EQ(st.readpath_fallbacks, 1u);
+}
+
+TEST(SessionReadPath, KnobOffRoutesReadsThroughTheFullPath) {
+  auto cfg = small_cfg(1, 2);
+  cfg.read_path = false;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  word cell = 41;
+  word seen = 0;
+  core::ticket t = s.submit_read_single(
+      [&cell, &seen](core::task_ctx& c) { seen = c.read(&cell); });
+  t.wait();
+  EXPECT_GT(t.commit_serial(), 0u);  // full path: a real pipeline serial
+  EXPECT_EQ(seen, 41u);
+  rt.stop();
+  const util::stat_block st = rt.aggregated_stats();
+  EXPECT_EQ(st.readpath_hits, 0u);
+  EXPECT_EQ(st.readpath_fallbacks, 0u);
+}
+
+TEST(SessionReadPath, ReadsInterleavedWithWritesSeeCommittedValues) {
+  // Keyed writes to one cell interleaved with fast-path reads: every read
+  // must observe one of the values the write sequence ever committed, and
+  // reads submitted after a write's completion must see at least it.
+  core::runtime rt(small_cfg(2, 2));
+  auto s = rt.open_session();
+  word cell = 0;
+  for (word i = 1; i <= 50; ++i) {
+    s.submit_keyed(3, {[&cell, i](core::task_ctx& c) {
+      (void)c.read(&cell);
+      c.write(&cell, i);
+    }}).wait();
+    word seen = 0;
+    core::ticket rd = s.submit_read_single(
+        [&cell, &seen](core::task_ctx& c) { seen = c.read(&cell); });
+    rd.wait();
+    EXPECT_EQ(seen, i);  // the write committed before the read began
+  }
+  rt.stop();
+  EXPECT_EQ(rt.aggregated_stats().readpath_hits, 50u);
+}
+
+TEST(SessionReadPath, RejectsZeroRetryCapWhileOn) {
+  auto bad = small_cfg(1, 1);
+  bad.read_retry_cap = 0;
+  ASSERT_TRUE(bad.read_path);
+  EXPECT_THROW(core::runtime rt(bad), std::invalid_argument);
+  // With the fast path off the cap is inert and zero is acceptable.
+  auto ok = small_cfg(1, 1);
+  ok.read_path = false;
+  ok.read_retry_cap = 0;
+  core::runtime rt(ok);
+  rt.stop();
+}
+
+TEST(SessionLatency, ReadTicketsCarryMonotoneStamps) {
+  // Fast-path reads reuse the ticket latency plumbing with the §10
+  // interpretation: install = inline execution began, commit = snapshot
+  // validated. All four stamps present and ordered, and read completions
+  // count latency samples like any other.
+  core::config cfg;
+  cfg.num_threads = 2;
+  cfg.spec_depth = 2;
+  cfg.log2_table = 10;
+  cfg.capture_latency = true;
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  word w = 0;
+  s.submit_single([&w](core::task_ctx& c) { c.write(&w, 9); }).wait();
+  std::vector<core::ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(s.submit_read_single(
+        [&w](core::task_ctx& c) { (void)c.read(&w); }));
+  }
+  for (auto& t : tickets) t.wait();
+  for (auto& t : tickets) {
+    EXPECT_EQ(t.commit_serial(), 0u);
+    const core::ticket_latency l = t.latency();
+    EXPECT_TRUE(l.complete());
+    EXPECT_NE(l.submit_ns, 0u);
+    EXPECT_LE(l.submit_ns, l.install_ns);
+    EXPECT_LE(l.install_ns, l.commit_ns);
+    EXPECT_LE(l.commit_ns, l.callback_ns);
+  }
+  rt.stop();
+  EXPECT_EQ(rt.aggregated_stats().latency_samples, 17u);
+}
+
 TEST(SessionLatency, CaptureOffLeavesStampsZero) {
   core::config cfg;
   cfg.num_threads = 1;

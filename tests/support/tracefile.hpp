@@ -23,6 +23,14 @@
 //     globally unique;
 //   fifo-violation — per key, commit serials and commit timestamps follow
 //     submission order (keyed sessions promise per-key FIFO).
+//
+// Read-only requests (trace `reads` section, DESIGN.md §10) relax these:
+// a read served by the fast path carries placement serial 0 and must claim
+// NO journal record; a read that fell back to the full path carries a real
+// serial and is matched like a write, except its record may carry
+// commit_ts 0 (write-free transactions do) and it is exempt from the
+// per-key FIFO invariant — fast-path reads serve the committed frontier
+// without ordering against in-flight submissions.
 #pragma once
 
 #include <algorithm>
@@ -53,6 +61,9 @@ struct trace_request {
   std::uint64_t arrival_ns = 0;
   unsigned tasks = 1;
   unsigned ops = 1;
+  /// Read-only request (session::submit_read_keyed): may legitimately
+  /// produce no commit record — see the `reads` trace section.
+  bool read_only = false;
 
   friend bool operator==(const trace_request&, const trace_request&) = default;
 };
@@ -66,6 +77,9 @@ struct trace_spec {
   std::uint64_t rate_per_s = 1000;  ///< mean arrival rate (Poisson process)
   unsigned max_tasks = 2;           ///< tasks per request drawn from [1, max]
   unsigned max_ops = 4;             ///< ops per task drawn from [1, max]
+  /// Per-mille of requests drawn read-only (0 = none; keeps the rng stream
+  /// — and hence existing traces — byte-identical when unused).
+  unsigned read_permille = 0;
 
   friend bool operator==(const trace_spec&, const trace_spec&) = default;
 };
@@ -92,6 +106,11 @@ inline std::vector<trace_request> generate_trace(const trace_spec& spec) {
     r.arrival_ns = t;
     r.tasks = 1 + static_cast<unsigned>(rng.next_below(std::max(1u, spec.max_tasks)));
     r.ops = 1 + static_cast<unsigned>(rng.next_below(std::max(1u, spec.max_ops)));
+    // Drawn only when the spec asks for reads, so read_permille == 0 specs
+    // keep their historical rng stream (and trace bytes) exactly.
+    if (spec.read_permille != 0) {
+      r.read_only = rng.next_below(1000) < spec.read_permille;
+    }
     out.push_back(r);
   }
   return out;
@@ -100,8 +119,12 @@ inline std::vector<trace_request> generate_trace(const trace_spec& spec) {
 // ---------------------------------------------------------------------------
 // Trace file format (plain text, one record per line):
 //   tlstm-trace v1
-//   spec <seed> <requests> <keys> <rate> <max_tasks> <max_ops>
+//   spec <seed> <requests> <keys> <rate> <max_tasks> <max_ops> [<read_permille>]
 //   R <id> <key> <arrival_ns> <tasks> <ops>
+//   reads <count>          (only when the spec draws reads)
+//   Q <id>                 (one per read-only request)
+// The `reads` section and the spec's 7th field are emitted only for specs
+// with read_permille != 0, so historical traces stay byte-identical.
 // ---------------------------------------------------------------------------
 
 inline bool write_trace(const std::string& path, const trace_spec& spec,
@@ -109,17 +132,29 @@ inline bool write_trace(const std::string& path, const trace_spec& spec,
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "tlstm-trace v1\n");
-  std::fprintf(f, "spec %llu %llu %llu %llu %u %u\n",
+  std::fprintf(f, "spec %llu %llu %llu %llu %u %u",
                static_cast<unsigned long long>(spec.seed),
                static_cast<unsigned long long>(spec.requests),
                static_cast<unsigned long long>(spec.keys),
                static_cast<unsigned long long>(spec.rate_per_s), spec.max_tasks,
                spec.max_ops);
+  if (spec.read_permille != 0) std::fprintf(f, " %u", spec.read_permille);
+  std::fprintf(f, "\n");
   for (const trace_request& r : reqs) {
     std::fprintf(f, "R %llu %llu %llu %u %u\n",
                  static_cast<unsigned long long>(r.id),
                  static_cast<unsigned long long>(r.key),
                  static_cast<unsigned long long>(r.arrival_ns), r.tasks, r.ops);
+  }
+  if (spec.read_permille != 0) {
+    std::uint64_t n_reads = 0;
+    for (const trace_request& r : reqs) n_reads += r.read_only ? 1 : 0;
+    std::fprintf(f, "reads %llu\n", static_cast<unsigned long long>(n_reads));
+    for (const trace_request& r : reqs) {
+      if (r.read_only) {
+        std::fprintf(f, "Q %llu\n", static_cast<unsigned long long>(r.id));
+      }
+    }
   }
   std::fclose(f);
   return true;
@@ -141,26 +176,59 @@ inline bool read_trace(const std::string& path, trace_spec* spec,
   }
   unsigned long long seed, requests, keys, rate;
   unsigned max_tasks, max_ops;
+  unsigned read_permille = 0;  // sscanf leaves it alone on 6-field specs
+  int spec_fields;
   if (std::fgets(line, sizeof line, f) == nullptr ||
-      std::sscanf(line, "spec %llu %llu %llu %llu %u %u", &seed, &requests,
-                  &keys, &rate, &max_tasks, &max_ops) != 6) {
+      ((spec_fields = std::sscanf(line, "spec %llu %llu %llu %llu %u %u %u",
+                                  &seed, &requests, &keys, &rate, &max_tasks,
+                                  &max_ops, &read_permille)) != 6 &&
+       spec_fields != 7)) {
     return fail("bad trace spec line");
   }
-  *spec = trace_spec{seed, requests, keys, rate, max_tasks, max_ops};
+  *spec = trace_spec{seed, requests, keys, rate, max_tasks, max_ops, read_permille};
   reqs->clear();
   reqs->reserve(requests);
+  bool have_reads_count = false;
+  unsigned long long reads_declared = 0;
+  std::vector<std::uint64_t> read_ids;
   while (std::fgets(line, sizeof line, f) != nullptr) {
     if (line[0] == '\n' || line[0] == '#') continue;
-    unsigned long long id, key, arrival;
-    unsigned tasks, ops;
-    if (std::sscanf(line, "R %llu %llu %llu %u %u", &id, &key, &arrival, &tasks,
-                    &ops) != 5) {
-      return fail(std::string("bad trace record: ") + line);
+    if (line[0] == 'R') {
+      unsigned long long id, key, arrival;
+      unsigned tasks, ops;
+      if (std::sscanf(line, "R %llu %llu %llu %u %u", &id, &key, &arrival,
+                      &tasks, &ops) != 5) {
+        return fail(std::string("bad trace record: ") + line);
+      }
+      reqs->push_back(trace_request{id, key, arrival, tasks, ops});
+    } else if (line[0] == 'r') {
+      if (std::sscanf(line, "reads %llu", &reads_declared) != 1) {
+        return fail(std::string("bad reads line: ") + line);
+      }
+      have_reads_count = true;
+    } else if (line[0] == 'Q') {
+      unsigned long long id;
+      if (std::sscanf(line, "Q %llu", &id) != 1) {
+        return fail(std::string("bad read marker: ") + line);
+      }
+      read_ids.push_back(id);
+    } else {
+      return fail(std::string("unknown trace line: ") + line);
     }
-    reqs->push_back(trace_request{id, key, arrival, tasks, ops});
   }
   std::fclose(f);
   if (reqs->size() != requests) return fail("trace record count mismatch");
+  if (have_reads_count && read_ids.size() != reads_declared) {
+    return fail("reads count mismatch");
+  }
+  // Resolve the markers by request id (records need not arrive id-ordered).
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = 0; i < reqs->size(); ++i) index_of[(*reqs)[i].id] = i;
+  for (std::uint64_t id : read_ids) {
+    const auto it = index_of.find(id);
+    if (it == index_of.end()) return fail("read marker for unknown request id");
+    (*reqs)[it->second].read_only = true;
+  }
   return true;
 }
 
@@ -269,7 +337,9 @@ inline bool read_journal(const std::string& path, journal_dump* d,
 /// must produce, up to the cross-pipeline interleaving of commit_ts (here:
 /// trace order, which is one valid interleaving). Serial assignment is
 /// deterministic — per pipeline, requests install in submission order and
-/// each consumes `tasks` serials. Adversarial checker tests mutate this.
+/// each consumes `tasks` serials. Read-only requests model the fast path:
+/// placement serial 0, no serials consumed, no journal record. Adversarial
+/// checker tests mutate this.
 inline journal_dump synthesize_journal(const std::vector<trace_request>& reqs,
                                        unsigned pipelines) {
   journal_dump d;
@@ -280,6 +350,10 @@ inline journal_dump synthesize_journal(const std::vector<trace_request>& reqs,
   for (const trace_request& r : reqs) {
     const unsigned p =
         static_cast<unsigned>(core::session_route_hash(r.key) % pipelines);
+    if (r.read_only) {
+      d.requests.push_back(request_placement{r.id, r.key, p, 0, r.tasks});
+      continue;
+    }
     const std::uint64_t start = next_serial[p];
     const std::uint64_t commit = start + r.tasks - 1;
     next_serial[p] = commit + 1;
@@ -385,14 +459,20 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
   // 4. Requests <-> journal records one to one: every submission committed
   //    exactly once. Serial ranges already proved dense, so matching each
   //    request's [serial - tasks + 1, serial] to a record plus a count
-  //    comparison gives the bijection.
+  //    comparison gives the bijection. Read-only requests served by the fast
+  //    path carry serial 0 and claim no record (serials start at 1, so zero
+  //    never aliases a commit); reads that fell back to the full path carry
+  //    a real serial and must match like a write — those records are
+  //    remembered so invariant 5 can permit their commit_ts of 0.
   std::vector<std::map<std::uint64_t, const core::commit_record*>> by_commit(d.pipelines);
   for (unsigned p = 0; p < d.pipelines; ++p) {
     for (const core::commit_record& r : d.journals[p]) by_commit[p][r.tx_commit_serial] = &r;
   }
   std::vector<std::uint64_t> claimed(d.pipelines, 0);
+  std::set<const core::commit_record*> read_claimed;
   for (const trace_request& t : trace) {
     const request_placement& r = *by_id[t.id];
+    if (t.read_only && r.serial == 0) continue;  // fast-path read: no record
     const auto it = by_commit[r.pipe].find(r.serial);
     if (it == by_commit[r.pipe].end() ||
         it->second->tx_start_serial != r.serial - t.tasks + 1) {
@@ -401,6 +481,7 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
                   std::to_string(r.serial) + ", tasks " + std::to_string(t.tasks) +
                   ") has no matching journal record");
     }
+    if (t.read_only) read_claimed.insert(it->second);
     claimed[r.pipe]++;
   }
   for (unsigned p = 0; p < d.pipelines; ++p) {
@@ -412,11 +493,15 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
   }
 
   // 5. Commit timestamps: nonzero (these transactions write) and globally
-  //    unique (one global commit clock).
+  //    unique (one global commit clock). Records claimed by read-only
+  //    requests are the exception — write-free transactions commit with
+  //    ts 0, so zero is legal there and uniqueness applies only to the
+  //    nonzero timestamps.
   std::set<stm::word> seen_ts;
   for (unsigned p = 0; p < d.pipelines; ++p) {
     for (const core::commit_record& r : d.journals[p]) {
       if (r.commit_ts == 0) {
+        if (read_claimed.count(&r) != 0) continue;
         return fail("commit-ts-zero: pipeline " + std::to_string(p) + " serial " +
                     std::to_string(r.tx_commit_serial));
       }
@@ -428,9 +513,13 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
 
   // 6. Per-key FIFO: submissions of one key route to one pipeline and must
   //    commit in submission order — serials and commit timestamps both
-  //    increase along each key's trace order.
+  //    increase along each key's trace order. Read-only requests are exempt
+  //    on both sides of the chain: fast-path reads serve the committed
+  //    frontier without ordering against in-flight submissions, and even a
+  //    fallback read's ts-0 record carries no ordering information.
   std::map<std::uint64_t, const trace_request*> last_of_key;
   for (const trace_request& t : trace) {
+    if (t.read_only) continue;
     const auto it = last_of_key.find(t.key);
     if (it != last_of_key.end()) {
       const request_placement& prev = *by_id[it->second->id];

@@ -4,11 +4,13 @@
 // their final memories are directly comparable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "core/session.hpp"
 #include "stm/backend.hpp"
 #include "support/word_programs.hpp"
 
@@ -95,6 +97,146 @@ std::vector<stm::word> run_baseline_sequential(std::uint64_t seed,
     });
   }
   return mem;
+}
+
+// ---------------------------------------------------------------------------
+// Mixed read-only + speculative histories (DESIGN.md §10): the oracle for
+// the read-only fast path. A single committer applies thread-0's program
+// transactions in order, so the set of reachable committed states is
+// exactly the prefix states of the sequential reference — any consistent
+// read snapshot MUST equal one of them, bit for bit. A snapshot matching
+// no prefix is a torn (non-serializable) read.
+// ---------------------------------------------------------------------------
+
+/// Memory after every committed prefix of thread-0's transactions
+/// (prefix_states[k] = state after the first k transactions).
+inline std::vector<std::vector<stm::word>> prefix_states(
+    std::uint64_t seed, std::uint64_t n_tx, unsigned tasks_per_tx,
+    const program_shape& shape) {
+  std::vector<std::vector<stm::word>> out;
+  out.reserve(n_tx + 1);
+  std::vector<stm::word> mem(shape.n_words, 0);
+  out.push_back(mem);
+  for (std::uint64_t tx = 0; tx < n_tx; ++tx) {
+    apply_tx_sequential(mem, seed, 0, tx, tasks_per_tx, shape);
+    out.push_back(mem);
+  }
+  return out;
+}
+
+struct mixed_read_result {
+  std::uint64_t snapshots = 0;  ///< consistent snapshots taken
+  std::uint64_t retries = 0;    ///< attempts lost to read_conflict/revalidate
+  std::uint64_t unmatched = 0;  ///< snapshots equal to NO committed prefix
+};
+
+inline bool matches_some_prefix(const std::vector<stm::word>& snap,
+                                const std::vector<std::vector<stm::word>>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (snap == p) return true;
+  }
+  return false;
+}
+
+/// Baseline-backend mixed history: the calling thread snapshots the whole
+/// array through the frontier validator while a committer thread applies
+/// the program transactions. Every consistent snapshot is matched against
+/// the committed prefix states.
+template <typename Backend>
+mixed_read_result run_baseline_with_frontier_reads(
+    std::uint64_t seed, std::uint64_t n_tx, unsigned tasks_per_tx,
+    const program_shape& shape, const std::vector<std::vector<stm::word>>& prefixes,
+    unsigned log2_table = 14) {
+  using thread_type = typename Backend::thread_type;
+  mixed_read_result out;
+  std::vector<stm::word> mem(shape.n_words, 0);
+  typename Backend::runtime_type rt(stm::make_backend_config<Backend>(log2_table));
+
+  std::atomic<bool> done{false};
+  std::thread committer([&] {
+    auto th = rt.make_thread();
+    for (std::uint64_t tx = 0; tx < n_tx; ++tx) {
+      th->run_transaction([&](thread_type& stx) {
+        for (unsigned task = 0; task < tasks_per_tx; ++task) {
+          apply_task(
+              seed, 0, tx, task, shape,
+              [&](unsigned i) { return stx.read(&mem[i]); },
+              [&](unsigned i, stm::word v) { stx.write(&mem[i], v); });
+        }
+      });
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  auto reader = Backend::make_frontier_reader(rt);
+  std::vector<stm::word> snap(shape.n_words, 0);
+  // One full pass after `done` so the final state is always snapshotted.
+  bool final_pass = false;
+  while (!final_pass) {
+    final_pass = done.load(std::memory_order_acquire);
+    reader.begin();
+    try {
+      for (unsigned i = 0; i < shape.n_words; ++i) snap[i] = reader.read(&mem[i]);
+      if (!reader.revalidate()) {
+        out.retries++;
+        continue;
+      }
+    } catch (const stm::read_conflict&) {
+      out.retries++;
+      continue;
+    }
+    out.snapshots++;
+    if (!matches_some_prefix(snap, prefixes)) out.unmatched++;
+  }
+  committer.join();
+  return out;
+}
+
+/// TLSTM session mixed history: speculative writes through submit_keyed
+/// interleaved one-for-one with read-only snapshot transactions through
+/// submit_read. A single pipeline commits the writes in submission order,
+/// so the prefix-state oracle applies unchanged; the driver executes the
+/// reads inline while workers run speculative tasks — exactly the
+/// production overlap of the fast path.
+inline mixed_read_result run_session_with_frontier_reads(
+    const core::config& cfg, std::uint64_t n_tx, unsigned tasks_per_tx,
+    std::uint64_t seed, const program_shape& shape,
+    const std::vector<std::vector<stm::word>>& prefixes) {
+  mixed_read_result out;
+  std::vector<stm::word> mem(shape.n_words, 0);
+  auto* mp = mem.data();
+  core::runtime rt(cfg);
+  auto s = rt.open_session();
+  std::vector<std::vector<stm::word>> snaps(n_tx,
+                                            std::vector<stm::word>(shape.n_words, 0));
+  std::vector<core::ticket> tickets;
+  for (std::uint64_t tx = 0; tx < n_tx; ++tx) {
+    std::vector<core::task_fn> tasks;
+    tasks.reserve(tasks_per_tx);
+    for (unsigned task = 0; task < tasks_per_tx; ++task) {
+      tasks.push_back([mp, seed, tx, task, &shape](core::task_ctx& c) {
+        apply_task(
+            seed, 0, tx, task, shape,
+            [&](unsigned i) { return c.read(&mp[i]); },
+            [&](unsigned i, stm::word v) { c.write(&mp[i], v); });
+      });
+    }
+    tickets.push_back(s.submit_keyed(0, std::move(tasks)));
+    stm::word* dst = snaps[tx].data();
+    const unsigned n_words = shape.n_words;
+    tickets.push_back(s.submit_read({[mp, dst, n_words](core::task_ctx& c) {
+      for (unsigned i = 0; i < n_words; ++i) dst[i] = c.read(&mp[i]);
+    }}));
+  }
+  for (auto& t : tickets) t.wait();
+  rt.stop();
+  const util::stat_block st = rt.aggregated_stats();
+  out.retries = st.readpath_retries;
+  out.snapshots = n_tx;
+  for (const auto& snap : snaps) {
+    if (!matches_some_prefix(snap, prefixes)) out.unmatched++;
+  }
+  return out;
 }
 
 }  // namespace tlstm::support
