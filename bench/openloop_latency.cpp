@@ -185,6 +185,9 @@ openloop_result run_rate(const rate_spec& rs, const std::string& trace_prefix,
   // Join the tail: park on each outstanding ticket (the submission loop
   // itself never waited — open loop ends here).
   for (core::ticket& tk : tickets) tk.wait();
+  // Topology history must be read while the session front is alive (it is a
+  // static single-entry history here, but the dump format carries it).
+  const auto topo_history = s.topology_history();
   rt.stop();
   if (completed.load() != trace.size()) {
     out.check = {false, "callback-count: " + std::to_string(completed.load()) +
@@ -215,12 +218,15 @@ openloop_result run_rate(const rate_spec& rs, const std::string& trace_prefix,
   support::journal_dump dump;
   dump.pipelines = n_pipelines;
   dump.journals.resize(n_pipelines);
+  dump.topology = topo_history;
   for (unsigned p = 0; p < n_pipelines; ++p) dump.journals[p] = rt.thread(p).journal();
   for (const support::trace_request& r : trace) {
+    // Authoritative placement from the ticket (DESIGN.md §11), not a
+    // recomputed hash%width — the two only coincide under a static
+    // topology.
     dump.requests.push_back(support::request_placement{
-        r.id, r.key,
-        static_cast<unsigned>(core::session_route_hash(r.key) % n_pipelines),
-        tickets[r.id].commit_serial(), r.tasks});
+        r.id, r.key, tickets[r.id].pipeline(), tickets[r.id].commit_serial(),
+        r.tasks, tickets[r.id].route_epoch()});
   }
   if (!journal_prefix.empty()) {
     const std::string path = journal_prefix + "." + rs.name + ".journal";

@@ -17,14 +17,18 @@ a contract shared with the C++ checker (adversarial tests assert on them):
       tile 1..N densely, in order;
   request-count / missing-request / duplicate-request
       the dump places every trace id exactly once;
-  misrouted-request
-      placements must match session_route_hash(key) % pipelines;
+  misrouted-request / unknown-epoch
+      placements must match session_route_hash(key) % width, where width is
+      the active pipeline count of the placement's topology epoch (the
+      dump's E section, DESIGN.md §11; static dumps implicitly {0: P});
   missing-commit / unclaimed-commit
       requests and journal records match one to one;
   commit-ts-zero / commit-ts-duplicate
       commit timestamps are real and globally unique;
   fifo-violation
-      per key, commit serials and timestamps follow submission order.
+      per key, commits follow submission order: serials and timestamps on
+      one pipeline, the global commit clock alone when a resize moved the
+      key across pipelines (per-pipe serials are incomparable).
 
 Read-only requests (trace `reads` section, DESIGN.md §10) relax these: a
 read served by the fast path carries placement serial 0 and must claim NO
@@ -39,11 +43,13 @@ MASK = (1 << 64) - 1
 
 
 def session_route_hash(key):
-    """splitmix64 finalizer — must match core::session_route_hash exactly."""
-    key = (key + 0x9E3779B97F4A7C15) & MASK
-    key = ((key ^ (key >> 30)) * 0xBF58476D1CE4E5B9) & MASK
-    key = ((key ^ (key >> 27)) * 0x94D049BB133111EB) & MASK
-    return key ^ (key >> 31)
+    """Two-round folded 128-bit multiply (wyhash-style mum) — must match
+    core::session_route_hash (src/core/session.hpp) exactly, constants and
+    all."""
+    m = (key ^ 0x9E3779B97F4A7C15) * 0xE7037ED1A0B428DB
+    x = (m & MASK) ^ (m >> 64)
+    m = (x ^ 0x8EBC6AF09C88C6E3) * 0x2D358DCCAA6C78A5
+    return (m & MASK) ^ (m >> 64)
 
 
 def read_trace(path):
@@ -96,6 +102,7 @@ def read_journal(path):
     pipelines, n_requests = (int(x) for x in lines[1].split()[1:])
     journals = [[] for _ in range(pipelines)]
     requests = []
+    topology = []
     for ln in lines[2:]:
         if not ln or ln.startswith("#"):
             continue
@@ -105,19 +112,26 @@ def read_journal(path):
             if p >= pipelines:
                 raise ValueError("bad journal record: " + ln)
             journals[p].append((start, commit, ts))
-        elif parts[0] == "T" and len(parts) == 6:
-            rid, key, p, serial, tasks = (int(x) for x in parts[1:])
+        elif parts[0] == "E" and len(parts) == 3:
+            epoch, width = int(parts[1]), int(parts[2])
+            if width == 0 or width > pipelines:
+                raise ValueError("bad topology record: " + ln)
+            topology.append((epoch, width))
+        elif parts[0] == "T" and len(parts) in (6, 7):
+            # 6th placement field (topology epoch) is absent in static dumps.
+            rid, key, p, serial, tasks = (int(x) for x in parts[1:6])
+            epoch = int(parts[6]) if len(parts) == 7 else 0
             if p >= pipelines:
                 raise ValueError("bad placement record: " + ln)
-            requests.append((rid, key, p, serial, tasks))
+            requests.append((rid, key, p, serial, tasks, epoch))
         else:
             raise ValueError("unknown journal line: " + ln)
     if len(requests) != n_requests:
         raise ValueError("placement count mismatch")
-    return pipelines, journals, requests
+    return pipelines, journals, requests, topology
 
 
-def check_journal(trace, pipelines, journals, requests):
+def check_journal(trace, pipelines, journals, requests, topology=()):
     """Returns None on success, else the diagnostic string."""
     if pipelines == 0 or len(journals) != pipelines:
         return "dump-shape: pipelines=%d journals=%d" % (pipelines, len(journals))
@@ -158,10 +172,16 @@ def check_journal(trace, pipelines, journals, requests):
         if i not in by_id:
             return "missing-request: trace id %d absent from the dump" % i
 
-    # 3. Placement matches routing hash, key and task shape.
+    # 3. Placement matches routing hash, key and task shape — per topology
+    #    epoch: the divisor is the active width the route was decided under
+    #    (an empty topology means the implicit static {0: pipelines}).
+    width_of = dict(topology) if topology else {0: pipelines}
     for tid, tkey, _arr, ttasks, _ops, _ro in trace:
-        _rid, rkey, rpipe, _serial, rtasks = by_id[tid]
-        want = session_route_hash(tkey) % pipelines
+        _rid, rkey, rpipe, _serial, rtasks, repoch = by_id[tid]
+        if repoch not in width_of:
+            return ("unknown-epoch: id %d placed under epoch %d absent from "
+                    "the topology history" % (tid, repoch))
+        want = session_route_hash(tkey) % width_of[repoch]
         if rkey != tkey or rtasks != ttasks or rpipe != want:
             return ("misrouted-request: id %d key %d expected pipeline %d, "
                     "dump says pipeline %d key %d tasks %d" % (
@@ -177,7 +197,7 @@ def check_journal(trace, pipelines, journals, requests):
     claimed = [0] * pipelines
     read_claimed = set()
     for tid, _tkey, _arr, ttasks, _ops, ro in trace:
-        _rid, _rkey, rpipe, serial, _rtasks = by_id[tid]
+        _rid, _rkey, rpipe, serial, _rtasks, _repoch = by_id[tid]
         if ro and serial == 0:
             continue
         rec = by_commit[rpipe].get(serial)
@@ -208,8 +228,10 @@ def check_journal(trace, pipelines, journals, requests):
                 return "commit-ts-duplicate: ts %d" % ts
             seen_ts.add(ts)
 
-    # 6. Per-key FIFO on serials and commit timestamps. Read-only requests
-    #    are exempt on both sides of the chain.
+    # 6. Per-key FIFO: serials AND commit timestamps on one pipeline; the
+    #    global commit clock alone across pipelines (a resize moved the key;
+    #    per-pipe serials are incomparable). Read-only requests are exempt
+    #    on both sides of the chain.
     last_of_key = {}
     for t in trace:
         tid, tkey = t[0], t[1]
@@ -221,7 +243,8 @@ def check_journal(trace, pipelines, journals, requests):
             cur = by_id[tid]
             prev_ts = by_commit[prev[2]][prev[3]][2]
             cur_ts = by_commit[cur[2]][cur[3]][2]
-            if cur[3] <= prev[3] or cur_ts <= prev_ts:
+            same_pipe = cur[2] == prev[2]
+            if (same_pipe and cur[3] <= prev[3]) or cur_ts <= prev_ts:
                 return ("fifo-violation: key %d request %d (serial %d, ts %d) "
                         "did not commit after request %d (serial %d, ts %d)" % (
                             tkey, tid, cur[3], cur_ts, prev_t[0], prev[3], prev_ts))
@@ -235,11 +258,11 @@ def main(argv):
         return 2
     try:
         _spec, trace = read_trace(argv[1])
-        pipelines, journals, requests = read_journal(argv[2])
+        pipelines, journals, requests, topology = read_journal(argv[2])
     except (OSError, ValueError) as e:
         sys.stderr.write("check_journal: %s\n" % e)
         return 1
-    diag = check_journal(trace, pipelines, journals, requests)
+    diag = check_journal(trace, pipelines, journals, requests, topology)
     if diag is not None:
         sys.stderr.write("check_journal: FAIL %s\n" % diag)
         return 1

@@ -13,10 +13,16 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target abl_waits abl_readpath openloop_latency >/dev/null
+cmake --build build -j "$JOBS" --target abl_waits abl_elastic abl_readpath openloop_latency >/dev/null
 
 echo "=== abl_waits -> BENCH_waits.json ==="
 ./build/bench/abl_waits --json BENCH_waits.json
+
+# Every row replays its commit journal through the epoch-aware offline
+# checker in-process and cross-checks the memory delta (zero drops, zero
+# duplicates); a failed row exits nonzero before the file is worth keeping.
+echo "=== abl_elastic -> BENCH_elastic.json ==="
+./build/bench/abl_elastic --json BENCH_elastic.json
 
 # Self-checking rows: every block snapshot is verified all-words-equal
 # inline, so a torn read zeroes checker_ok and the nonzero exit below

@@ -97,6 +97,38 @@ struct config {
   double adapt_grow_ratio = 0.10;
   /// Consecutive same-direction epoch votes before the window moves a step.
   unsigned adapt_hysteresis_epochs = 2;
+  /// Elastic pipeline topology (DESIGN.md §11): a topology controller
+  /// grows/shrinks the ACTIVE pipeline count within
+  /// [min_pipelines, num_threads] from observed per-pipeline occupancy,
+  /// bringing worker groups and session drivers up and down on demand.
+  /// Requires session-front usage (runtime::open_session) — with elastic on,
+  /// worker groups past min_pipelines are only spawned when the controller
+  /// activates their pipeline, so driving those user_thread handles directly
+  /// is undefined. Off by default: the static full-width topology is the
+  /// paper's configuration.
+  bool elastic = false;
+  /// Lower bound of the active pipeline count while elastic is on; also the
+  /// initial width. Must be in [1, num_threads].
+  unsigned min_pipelines = 1;
+  /// Controller sampling period in microseconds. 0 disables the controller
+  /// thread entirely — resizes then happen only through session::resize()
+  /// (manual topology control; what the resize tests use). The controller
+  /// backs off to 16x this period while the topology is stable and idle,
+  /// so a quiet system pays almost no control-loop CPU.
+  std::uint64_t topo_interval_us = 1000;
+  /// Mean queued+in-flight transactions per active pipeline (EWMA) at or
+  /// above which a controller tick votes to grow the topology …
+  double topo_grow_depth = 2.0;
+  /// … and at or below which it votes to shrink. The band between the two
+  /// is the hysteresis dead zone (same shape as adapt_shrink/grow_ratio).
+  double topo_shrink_depth = 0.25;
+  /// Consecutive same-direction controller votes before a resize happens.
+  unsigned topo_hysteresis = 2;
+  /// Placement hook: pin each pipeline's worker group (and driver) to CPU
+  /// `t % hardware_concurrency` when growing it. Linux-only best effort;
+  /// a no-op on single-core hosts and everywhere pthread affinity is
+  /// unavailable.
+  bool pin_pipelines = false;
   /// Virtual cycles charged to the submitting user-thread per transaction
   /// (the serial client-side cost of issuing work).
   std::uint64_t submit_cost = 50;

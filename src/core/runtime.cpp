@@ -9,6 +9,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "core/session.hpp"
 #include "sched/backoff_ladder.hpp"
 
@@ -142,6 +147,20 @@ config validated(config cfg) {
     // for nothing. Reject the inconsistency instead of limping.
     throw std::invalid_argument("read_retry_cap must be >= 1 while read_path is on");
   }
+  if (cfg.elastic) {
+    if (cfg.min_pipelines == 0 || cfg.min_pipelines > cfg.num_threads) {
+      throw std::invalid_argument("min_pipelines must be in [1, num_threads]");
+    }
+    if (cfg.topo_hysteresis == 0) {
+      throw std::invalid_argument("topo_hysteresis must be >= 1");
+    }
+    if (!(cfg.topo_shrink_depth >= 0.0) || !(cfg.topo_grow_depth > cfg.topo_shrink_depth)) {
+      // The controller needs a dead zone between the two thresholds, or a
+      // single EWMA value could vote both directions in the same tick.
+      throw std::invalid_argument(
+          "topo_grow_depth must exceed topo_shrink_depth (>= 0)");
+    }
+  }
   return cfg;
 }
 
@@ -180,20 +199,72 @@ runtime::runtime(config cfg)
       auto wk = std::make_unique<worker>();
       wk->reclaimer = std::make_unique<util::reclaimer>(epochs_);
       wk->rng = util::xoshiro256(0xfeedface, t * 64 + w);
-      wk->epoch_slot = epochs_.register_participant();
       workers_.push_back(std::move(wk));
     }
   }
-  // Spawn only after every shared structure is fully built.
-  for (unsigned t = 0; t < cfg_.num_threads; ++t) {
-    for (unsigned w = 0; w < cfg_.spec_depth; ++w) {
-      worker& wk = *workers_[std::size_t{t} * cfg_.spec_depth + w];
-      wk.os_thread = std::thread([this, t, w, &wk] { worker_main(*threads_[t], w, wk); });
-    }
-  }
+  group_active_.assign(cfg_.num_threads, false);
+  // Spawn only after every shared structure is fully built. With elastic on
+  // only the initial [0, min_pipelines) groups come up — the topology
+  // controller brings the rest up on demand (DESIGN.md §11).
+  const unsigned initial =
+      cfg_.elastic ? cfg_.min_pipelines : cfg_.num_threads;
+  for (unsigned t = 0; t < initial; ++t) spawn_worker_group(t);
 }
 
 runtime::~runtime() { stop(); }
+
+void runtime::spawn_worker_group(unsigned t) {
+  std::lock_guard<std::mutex> lk(topo_mu_);
+  if (group_active_[t]) return;
+  thread_state& thr = *threads_[t];
+  thr.retired.store(false, std::memory_order_release);
+  // A revived group resumes where the pipeline quiesced: worker widx takes
+  // the first serial of its residue class past the committed frontier (the
+  // retire precondition guarantees committed == submitted, so the frontier
+  // is exact here — no racing commits).
+  const std::uint64_t base = thr.committed_task.load_unstamped() + 1;
+  for (unsigned w = 0; w < cfg_.spec_depth; ++w) {
+    worker& wk = *workers_[std::size_t{t} * cfg_.spec_depth + w];
+    wk.epoch_slot = epochs_.register_participant();
+    const std::uint64_t start =
+        base + (w + thr.depth - (base - 1) % thr.depth) % thr.depth;
+    wk.os_thread = std::thread(
+        [this, t, w, &wk, start] { worker_main(*threads_[t], w, wk, start); });
+#ifdef __linux__
+    if (cfg_.pin_pipelines) {
+      const unsigned hc = std::thread::hardware_concurrency();
+      if (hc > 1) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<int>(t % hc), &set);
+        pthread_setaffinity_np(wk.os_thread.native_handle(), sizeof(set), &set);
+      }
+    }
+#endif
+  }
+  group_active_[t] = true;
+}
+
+void runtime::retire_worker_group(unsigned t) {
+  std::lock_guard<std::mutex> lk(topo_mu_);
+  if (!group_active_[t]) return;
+  thread_state& thr = *threads_[t];
+  assert(thr.committed_task.load_unstamped() ==
+         user_threads_[t]->submitted_serials());
+  thr.retired.store(true, std::memory_order_release);
+  thr.wake_fence_event();  // workers parked in wait_for_ready must observe it
+  for (unsigned w = 0; w < cfg_.spec_depth; ++w) {
+    worker& wk = *workers_[std::size_t{t} * cfg_.spec_depth + w];
+    if (wk.os_thread.joinable()) wk.os_thread.join();
+    epochs_.unregister_participant(wk.epoch_slot);
+  }
+  group_active_[t] = false;
+}
+
+bool runtime::worker_group_active(unsigned t) const {
+  std::lock_guard<std::mutex> lk(topo_mu_);
+  return group_active_[t];
+}
 
 void runtime::stop() {
   {
@@ -204,16 +275,23 @@ void runtime::stop() {
     stopped_ = true;
   }
   // Session drivers submit on the pipelines; quiesce them before draining
-  // from this thread (one submitter per pipeline at any time).
+  // from this thread (one submitter per pipeline at any time). This also
+  // joins the topology controller, so no retire/revive races the teardown.
   if (sessions_ != nullptr) sessions_->stop();
   for (auto& ut : user_threads_) ut->drain();
   for (auto& thr : threads_) {
     thr->shutdown.store(true, std::memory_order_release);
     thr->wake_fence_event();  // workers parked in wait_for_ready must observe it
   }
-  for (auto& wk : workers_) {
-    if (wk->os_thread.joinable()) wk->os_thread.join();
-    epochs_.unregister_participant(wk->epoch_slot);
+  std::lock_guard<std::mutex> lk(topo_mu_);
+  for (unsigned t = 0; t < cfg_.num_threads; ++t) {
+    if (!group_active_[t]) continue;  // retired (or never-activated) group
+    for (unsigned w = 0; w < cfg_.spec_depth; ++w) {
+      worker& wk = *workers_[std::size_t{t} * cfg_.spec_depth + w];
+      if (wk.os_thread.joinable()) wk.os_thread.join();
+      epochs_.unregister_participant(wk.epoch_slot);
+    }
+    group_active_[t] = false;
   }
 }
 
@@ -233,6 +311,9 @@ util::stat_block runtime::aggregated_stats() const {
     total.window_shrinks += ad->window_shrinks();
     total.window_grows += ad->window_grows();
   }
+  // Gate-table shard telemetry (satellite of DESIGN.md §11): global, added
+  // once — not a per-worker field.
+  total.gate_shard_parks += stripe_gates_.total_parks();
   return total;
 }
 
@@ -321,7 +402,10 @@ bool runtime::wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot&
       installed = true;
       return true;
     }
-    return thr.shutdown.load(std::memory_order_acquire) &&
+    // Shutdown and elastic retirement release a worker the same way: only
+    // once its slot is free, i.e. its previous task's transaction committed.
+    return (thr.shutdown.load(std::memory_order_acquire) ||
+            thr.retired.load(std::memory_order_acquire)) &&
            slot.load_phase(wk.clock) == task_phase::free;
   });
   if (!installed) return false;
@@ -353,8 +437,9 @@ bool runtime::wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot&
   return true;
 }
 
-void runtime::worker_main(thread_state& thr, unsigned widx, worker& wk) {
-  for (std::uint64_t serial = widx + 1;; serial += thr.depth) {
+void runtime::worker_main(thread_state& thr, unsigned widx, worker& wk,
+                          std::uint64_t start_serial) {
+  for (std::uint64_t serial = start_serial;; serial += thr.depth) {
     task_slot& slot = thr.owners[widx];
     if (!wait_for_ready(thr, serial, slot, wk)) return;
     task_env env{*this, thr, slot, wk.clock, wk.stats, *wk.reclaimer};

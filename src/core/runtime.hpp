@@ -196,8 +196,27 @@ class runtime {
   };
 
   // --- Worker loop and task lifecycle (runtime.cpp). ---
-  void worker_main(thread_state& thr, unsigned widx, worker& wk);
+  /// `start_serial` is the first serial this worker executes — widx+1 on a
+  /// fresh pipeline, the first uncommitted serial of its residue class on a
+  /// revived one (elastic regrow, DESIGN.md §11).
+  void worker_main(thread_state& thr, unsigned widx, worker& wk,
+                   std::uint64_t start_serial);
   bool wait_for_ready(thread_state& thr, std::uint64_t serial, task_slot& slot, worker& wk);
+
+  // --- Per-pipeline worker-group lifecycle (DESIGN.md §11). The monolithic
+  // --- constructor/stop paths are built on these; the topology controller
+  // --- calls them through session_front on grow/shrink.
+  /// Registers epoch slots and spawns the spec_depth worker threads of
+  /// pipeline `t`, resuming at the serials after committed_task. Applies the
+  /// pin_pipelines placement hook. No-op when the group is already up.
+  void spawn_worker_group(unsigned t);
+  /// Joins pipeline `t`'s workers and releases their epoch slots. The
+  /// pipeline must be fully drained (committed == submitted): all its slots
+  /// are then free and every worker is parked in wait_for_ready stage 1,
+  /// where the retired flag releases it. No-op when already down.
+  void retire_worker_group(unsigned t);
+  /// Whether pipeline `t`'s worker group is currently spawned.
+  bool worker_group_active(unsigned t) const;
   /// Adaptive admission (DESIGN.md §5a): true when `slot`'s transaction may
   /// start — its first serial lies within the thread's effective window of
   /// the committed frontier (always true with adaptation off). Unstamped
@@ -237,6 +256,11 @@ class runtime {
   std::vector<std::unique_ptr<vt::adapt_controller>> adapters_;
   // workers_[t * spec_depth + w] belongs to user-thread t.
   std::vector<std::unique_ptr<worker>> workers_;
+  /// group_active_[t]: pipeline t's worker group is spawned. Guarded by
+  /// topo_mu_ — the topology controller retires/revives groups while stop()
+  /// may race in from another thread.
+  std::vector<bool> group_active_;
+  mutable std::mutex topo_mu_;
   /// Session front-end (lazily created by open_session; stopped first).
   std::unique_ptr<session_front> sessions_;
   /// Guards sessions_/stopped_; mutable so const statistics readers can

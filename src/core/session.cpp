@@ -7,9 +7,11 @@
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/runtime.hpp"
+#include "core/topology.hpp"
 #include "sched/backoff_ladder.hpp"
 #include "stm/readpath.hpp"
 
@@ -87,7 +89,7 @@ ticket_latency ticket::latency() const noexcept {
 // ---------------------------------------------------------------------------
 
 ticket session::submit(std::vector<task_fn> tasks) {
-  return front_->enqueue(front_->route_next(), std::move(tasks));
+  return front_->enqueue(std::nullopt, std::move(tasks));
 }
 
 ticket session::submit_single(task_fn fn) {
@@ -97,11 +99,11 @@ ticket session::submit_single(task_fn fn) {
 }
 
 ticket session::submit_keyed(std::uint64_t key, std::vector<task_fn> tasks) {
-  return front_->enqueue(front_->route_key(key), std::move(tasks));
+  return front_->enqueue(key, std::move(tasks));
 }
 
 ticket session::submit_read(std::vector<task_fn> tasks) {
-  return front_->enqueue(front_->route_next(), std::move(tasks), /*read_only=*/true);
+  return front_->enqueue(std::nullopt, std::move(tasks), /*read_only=*/true);
 }
 
 ticket session::submit_read_single(task_fn fn) {
@@ -111,22 +113,36 @@ ticket session::submit_read_single(task_fn fn) {
 }
 
 ticket session::submit_read_keyed(std::uint64_t key, std::vector<task_fn> tasks) {
-  return front_->enqueue(front_->route_key(key), std::move(tasks), /*read_only=*/true);
+  return front_->enqueue(key, std::move(tasks), /*read_only=*/true);
 }
 
 std::vector<ticket> session::submit_batch(std::vector<std::vector<task_fn>> txs) {
-  return front_->enqueue_batch(front_->route_next(), std::move(txs));
+  return front_->enqueue_batch(std::nullopt, std::move(txs));
 }
 
 std::vector<ticket> session::submit_batch_keyed(std::uint64_t key,
                                                 std::vector<std::vector<task_fn>> txs) {
-  return front_->enqueue_batch(front_->route_key(key), std::move(txs));
+  return front_->enqueue_batch(key, std::move(txs));
 }
 
 unsigned session::pipelines() const noexcept { return front_->pipelines(); }
 
 unsigned session::pipeline_for_key(std::uint64_t key) const noexcept {
   return front_->route_key(key);
+}
+
+unsigned session::active_pipelines() const noexcept {
+  return front_->active_pipelines();
+}
+
+std::uint64_t session::topology_epoch() const noexcept {
+  return front_->topology_epoch();
+}
+
+bool session::resize(unsigned width) { return front_->apply_resize(width); }
+
+std::vector<std::pair<std::uint64_t, unsigned>> session::topology_history() const {
+  return front_->topology_history();
 }
 
 // ---------------------------------------------------------------------------
@@ -145,33 +161,58 @@ session_front::pipe::pipe(runtime& rt, unsigned t)
 
 session_front::session_front(runtime& rt) : rt_(rt) {
   const unsigned n = rt.num_threads();
+  const config& cfg = rt.cfg();
+  // Initial active width matches the worker groups the runtime spawned:
+  // the [0, min_pipelines) prefix with elastic on, everything otherwise.
+  const unsigned start = cfg.elastic ? cfg.min_pipelines : n;
   pipes_.reserve(n);
   for (unsigned t = 0; t < n; ++t) {
     pipes_.push_back(std::make_unique<pipe>(rt, t));
   }
+  topo_.store(topo_pack(start, start, 0, false), std::memory_order_seq_cst);
+  history_.emplace_back(0, start);
   // Hook the commit frontier to the drivers' park gates *before* any driver
   // (and hence any commit this front can cause) exists: committing workers
   // wake the consumer gate so a driver parked for completions never sleeps
-  // through a frontier advance.
+  // through a frontier advance. Dormant pipelines are hooked too — the gate
+  // outlives their drivers' comings and goings, and nothing commits on a
+  // dormant pipeline anyway.
   for (unsigned t = 0; t < n; ++t) {
     rt.threads_[t]->completion_hook.store(&pipes_[t]->inbox.consumer_gate(),
                                           std::memory_order_release);
   }
-  for (unsigned t = 0; t < n; ++t) {
-    pipes_[t]->driver = std::thread([this, t] { driver_main(t); });
+  // Dormant tail (elastic): constructed retired with a closed inbox and no
+  // driver; apply_resize revives them on a grow.
+  for (unsigned t = start; t < n; ++t) {
+    pipes_[t]->retire_state.store(2, std::memory_order_seq_cst);
+    pipes_[t]->inbox.close();
+  }
+  for (unsigned t = 0; t < start; ++t) start_pipe(t);
+  if (cfg.elastic && cfg.topo_interval_us > 0) {
+    controller_ = std::make_unique<topology_controller>(*this);
   }
 }
 
 session_front::~session_front() { stop(); }
 
-unsigned session_front::route_next() noexcept {
+void session_front::start_pipe(unsigned t) {
+  pipe& p = *pipes_[t];
+  p.retire_state.store(0, std::memory_order_seq_cst);
+  p.inbox.reopen();
+  p.driver = std::thread([this, t] { driver_main(t); });
+}
+
+std::uint64_t session_front::rr_index() noexcept {
   const std::uint64_t i = rr_.fetch_add(1, std::memory_order_relaxed);
   // Wrap fairness: fold the counter back into a small congruent value long
   // before u64 overflow. At the wrap the raw modulo sequence would jump for
   // non-power-of-two pipeline counts (2^64 mod n != 0), breaking the
   // round-robin invariant; folding to i mod n preserves the phase exactly.
   // Any fetch_add racing the fold either lands before the CAS (its value is
-  // part of `cur` and survives the fold mod n) or retries it.
+  // part of `cur` and survives the fold mod n) or retries it. Folding
+  // modulo the FULL pipe count keeps the fold width-independent — callers
+  // take % active width themselves, and a fold racing a resize stays a
+  // congruent rotation either way.
   constexpr std::uint64_t fold_at = std::uint64_t{1} << 62;
   if (i >= fold_at) {
     std::uint64_t cur = rr_.load(std::memory_order_relaxed);
@@ -180,12 +221,13 @@ unsigned session_front::route_next() noexcept {
                                       std::memory_order_relaxed)) {
     }
   }
-  return static_cast<unsigned>(i % pipes_.size());
+  return i;
 }
 
 unsigned session_front::route_key(std::uint64_t key) const noexcept {
   // The public hash (session.hpp) so offline checkers reproduce placement.
-  return static_cast<unsigned>(session_route_hash(key) % pipes_.size());
+  return static_cast<unsigned>(session_route_hash(key) %
+                               active_pipelines());
 }
 
 void session_front::validate_tx(const std::vector<task_fn>& tasks) const {
@@ -227,8 +269,8 @@ void session_front::finish_enqueue() noexcept {
   }
 }
 
-ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks,
-                              bool read_only) {
+ticket session_front::enqueue(std::optional<std::uint64_t> key,
+                              std::vector<task_fn> tasks, bool read_only) {
   validate_tx(tasks);
   begin_enqueue();
   // Balance begin_enqueue on EVERY exit, exceptions included (e.g. an
@@ -240,14 +282,18 @@ ticket session_front::enqueue(unsigned pipe_idx, std::vector<task_fn> tasks,
   } guard{*this};
   auto st = make_ticket_state();
   submission s{detail::sub_tx{std::move(tasks), st, read_only}};
-  // Backpressure parks under the governed inbox budget (clients have no
-  // stat block, so the outcome is not recorded — drivers train the class).
-  pipes_[pipe_idx]->inbox.push_wait(rt_.governor().params(sched::gate_class::inbox),
-                                    std::move(s));
+  // Keyed writers are the FIFO class (per-key submission order is
+  // guaranteed, so they honour the resize fence); reads route by key but
+  // never fence — the fast path reads the committed frontier and makes no
+  // ordering promise against in-flight writes.
+  const std::optional<std::uint64_t> rh =
+      key ? std::optional<std::uint64_t>(session_route_hash(*key))
+          : std::nullopt;
+  route_and_push(rh, key.has_value() && !read_only, std::move(s), 1);
   return ticket(std::move(st));
 }
 
-std::vector<ticket> session_front::enqueue_batch(unsigned pipe_idx,
+std::vector<ticket> session_front::enqueue_batch(std::optional<std::uint64_t> key,
                                                  std::vector<std::vector<task_fn>> txs) {
   if (txs.empty()) throw std::invalid_argument("batch needs >= 1 transaction");
   // All-or-nothing validation: reject the whole batch before any enqueue
@@ -261,6 +307,12 @@ std::vector<ticket> session_front::enqueue_batch(unsigned pipe_idx,
   } guard{*this};
   std::vector<ticket> out;
   out.reserve(txs.size());
+  // One sticky route for the whole batch (the raw round-robin draw for
+  // unkeyed batches): chunks of one batch must land on one pipeline so the
+  // batch executes in submission order. Batches are always FIFO-class —
+  // across a mid-batch resize the fence holds later chunks back until the
+  // earlier ones retired on the old pipe.
+  const std::uint64_t rh = key ? session_route_hash(*key) : rr_index();
   const std::size_t chunk_max = rt_.cfg().session_batch_max;
   std::size_t i = 0;
   while (i < txs.size()) {
@@ -273,10 +325,180 @@ std::vector<ticket> session_front::enqueue_batch(unsigned pipe_idx,
       chunk.push_back(detail::sub_tx{std::move(txs[i]), std::move(st)});
     }
     submission s{std::move(chunk)};
-    pipes_[pipe_idx]->inbox.push_wait(rt_.governor().params(sched::gate_class::inbox),
-                                      std::move(s));
+    route_and_push(rh, /*fifo=*/true, std::move(s),
+                   static_cast<std::uint64_t>(n));
   }
   return out;
+}
+
+unsigned session_front::route_and_push(std::optional<std::uint64_t> route_hash,
+                                       bool fifo, submission&& s,
+                                       std::uint64_t n_txs) {
+  const sched::wait_params wp = rt_.governor().params(sched::gate_class::inbox);
+  for (;;) {
+    const std::uint64_t w = topo_.load(std::memory_order_seq_cst);
+    const unsigned width = topo_width(w);
+    // Resize fence (DESIGN.md §11): while a resize is pending, a FIFO
+    // submission whose route DIFFERS between the old and new width must
+    // not land — its key's old-epoch traffic may still be in flight on the
+    // old pipeline, and landing on the new one would reorder the key. Park
+    // until the fence clears. Unkeyed singles and reads sail through.
+    if (fifo && route_hash && topo_fence(w)) {
+      const std::uint64_t h = *route_hash;
+      if (h % width != h % topo_prev(w)) {
+        fence_waits_.fetch_add(1, std::memory_order_relaxed);
+        fence_gate_.await(wp, [&] {
+          const std::uint64_t cur = topo_.load(std::memory_order_seq_cst);
+          return !topo_fence(cur) ||
+                 h % topo_width(cur) == h % topo_prev(cur) ||
+                 stopping_.load(std::memory_order_seq_cst);
+        });
+        continue;  // re-read the topology word
+      }
+    }
+    const unsigned target = static_cast<unsigned>(
+        (route_hash ? *route_hash : rr_index()) % width);
+    pipe& p = *pipes_[target];
+    const std::uint64_t e = topo_epoch(w);
+    // Parity pusher Dekker with apply_resize's epoch publish: raise the
+    // counter of the epoch the route was decided under, then re-check. If
+    // the epoch moved, the decision is stale — undo and re-route. After
+    // apply_resize observes a momentary zero of the old parity, every
+    // pusher still in flight provably decided under the new epoch, so the
+    // enqueued snapshot taken then bounds the old epoch's traffic exactly.
+    p.pushers[e & 1].fetch_add(1, std::memory_order_seq_cst);
+    if (topo_epoch(topo_.load(std::memory_order_seq_cst)) != e) {
+      p.pushers[e & 1].fetch_sub(1, std::memory_order_seq_cst);
+      continue;
+    }
+    // Stamp placements before the push — the driver owns the cell the
+    // moment it lands. A bounced attempt re-stamps under its new route.
+    auto stamp = [&](detail::sub_tx& tx) {
+      tx.tk->pipe.store(target, std::memory_order_relaxed);
+      tx.tk->route_epoch.store(e, std::memory_order_release);
+    };
+    if (auto* one = std::get_if<detail::sub_tx>(&s.body)) {
+      stamp(*one);
+    } else {
+      for (detail::sub_tx& tx : std::get<std::vector<detail::sub_tx>>(s.body)) {
+        stamp(tx);
+      }
+    }
+    // Push. Backpressure parks on the producers' gate under the governed
+    // inbox budget, but bails the moment the inbox closes (a shrink retired
+    // this pipeline) — the reroute verdict; the outer loop re-routes under
+    // the new topology.
+    bool pushed = false;
+    p.inbox.producer_gate().await(wp, [&] {
+      pushed = p.inbox.try_push(std::move(s));
+      return pushed || p.inbox.is_closed();
+    });
+    if (!pushed) {
+      p.pushers[e & 1].fetch_sub(1, std::memory_order_seq_cst);
+      reroutes_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Enqueued bump BEFORE the parity drop (the drop's release side orders
+    // it): apply_resize's post-crossing snapshot must cover this cell.
+    p.enqueued_txs.fetch_add(n_txs, std::memory_order_relaxed);
+    p.pushers[e & 1].fetch_sub(1, std::memory_order_seq_cst);
+    return target;
+  }
+}
+
+unsigned session_front::clamp_width(unsigned width) const noexcept {
+  const config& cfg = rt_.cfg();
+  const unsigned lo = cfg.elastic ? cfg.min_pipelines : 1;
+  const unsigned hi = pipelines();
+  if (width < lo) return lo;
+  if (width > hi) return hi;
+  return width;
+}
+
+std::vector<std::pair<std::uint64_t, unsigned>> session_front::topology_history() const {
+  std::lock_guard<std::mutex> lk(history_mu_);
+  return history_;
+}
+
+bool session_front::apply_resize(unsigned width) {
+  std::lock_guard<std::mutex> lk(resize_mu_);
+  if (stopping_.load(std::memory_order_seq_cst)) return false;
+  width = clamp_width(width);
+  const std::uint64_t w0 = topo_.load(std::memory_order_seq_cst);
+  const unsigned old_w = topo_width(w0);
+  if (width == old_w) return false;
+  const std::uint64_t e = topo_epoch(w0) + 1;
+
+  // Grow: revive the incoming pipelines BEFORE publishing the new epoch, so
+  // the first push routed under it finds a live worker group, an open inbox
+  // and a running driver.
+  if (width > old_w) {
+    for (unsigned t = old_w; t < width; ++t) {
+      rt_.spawn_worker_group(t);
+      start_pipe(t);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> hlk(history_mu_);
+    history_.emplace_back(e, width);
+  }
+  // Publish the new routing epoch with the fence pending. From here every
+  // new route decision lands on the [0, width) prefix; FIFO pushers whose
+  // route moved park on fence_gate_ until the old epoch drained.
+  topo_.store(topo_pack(width, old_w, e, true), std::memory_order_seq_cst);
+  if (width > old_w) {
+    grows_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shrinks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Shrink: close the retiring inboxes now that the topology points clients
+  // at the surviving prefix — parked producers wake, read the close as a
+  // reroute verdict and resubmit; cells already published stay poppable for
+  // the retiring drivers to drain.
+  if (width < old_w) {
+    for (unsigned t = width; t < old_w; ++t) pipes_[t]->inbox.close();
+  }
+  // Old-parity pusher crossing, then the enqueued snapshot (see
+  // route_and_push): after parity (e-1)&1 touches zero on a pipe, every
+  // in-flight pusher routes under epoch e, so the snapshot is an exact
+  // upper bound of the old epoch's traffic on that pipe. Terminates because
+  // old-parity pushers either land (active pipes keep draining) or bounce
+  // off the closed inboxes.
+  std::vector<std::uint64_t> snap(old_w, 0);
+  for (unsigned t = 0; t < old_w; ++t) {
+    pipe& p = *pipes_[t];
+    while (p.pushers[(e - 1) & 1].load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+    snap[t] = p.enqueued_txs.load(std::memory_order_seq_cst);
+  }
+  // Shrink: nothing further can land on the retiring pipelines — let their
+  // drivers finish the published prefix (drain, install, complete, quiesce)
+  // and exit, then retire the worker groups. Zero drops: every cell that
+  // ever landed is installed and its ticket completed before the join
+  // returns.
+  if (width < old_w) {
+    for (unsigned t = width; t < old_w; ++t) {
+      pipe& p = *pipes_[t];
+      p.retire_state.store(2, std::memory_order_seq_cst);
+      p.inbox.wake_all();
+      if (p.driver.joinable()) p.driver.join();
+      rt_.retire_worker_group(t);
+    }
+  }
+  // Resolve the fence: per-key FIFO needs the old epoch's enqueued traffic
+  // fully retired (commit_ts assigned — the global commit clock is
+  // monotonic) before a moved key's next submission lands on its new
+  // pipeline.
+  for (unsigned t = 0; t < old_w; ++t) {
+    pipe& p = *pipes_[t];
+    while (p.retired_txs.load(std::memory_order_seq_cst) < snap[t]) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  topo_.store(topo_pack(width, old_w, e, false), std::memory_order_seq_cst);
+  fence_gate_.wake_all();
+  return true;
 }
 
 void session_front::install_submission(unsigned t, submission& s,
@@ -377,7 +599,7 @@ bool session_front::execute_read(unsigned t, detail::sub_tx& tx) {
       // Commit-observed + callback stamps and the completion edge come
       // from the shared completion path (distinct interpretation for
       // reads: commit = snapshot validated, DESIGN.md §10).
-      complete_ticket(*tx.tk, st);
+      complete_ticket(p, *tx.tk);
       return true;
     } catch (const stm::read_conflict&) {
       rt_.epochs().unpin(p.epoch_slot);
@@ -397,7 +619,8 @@ bool session_front::execute_read(unsigned t, detail::sub_tx& tx) {
   return false;
 }
 
-void session_front::complete_ticket(detail::ticket_state& tk, util::stat_block& st) {
+void session_front::complete_ticket(pipe& p, detail::ticket_state& tk) {
+  util::stat_block& st = p.stats;
   const bool capture = rt_.cfg().capture_latency;
   if (capture) {
     // Commit-observed capture point (§9): the driver saw the commit
@@ -435,13 +658,18 @@ void session_front::complete_ticket(detail::ticket_state& tk, util::stat_block& 
   tk.callback_error = err;  // published by the completed release-store
   tk.completed.store(true, std::memory_order_release);
   tk.gate.wake_all();
+  // Retirement counter (DESIGN.md §11): pairs with enqueued_txs — the
+  // resize fence resolves when every old-active pipe's retired count
+  // reaches its enqueued snapshot. Counted here so the read fast path and
+  // the full path both land exactly once per transaction.
+  p.retired_txs.fetch_add(1, std::memory_order_relaxed);
 }
 
 void session_front::complete_passed(unsigned t, std::deque<pending_ticket>& pending) {
   const thread_state& thr = *rt_.threads_[t];
   const std::uint64_t frontier = thr.committed_task.load_unstamped();
   while (!pending.empty() && pending.front().serial <= frontier) {
-    complete_ticket(*pending.front().tk, pipes_[t]->stats);
+    complete_ticket(*pipes_[t], *pending.front().tk);
     pending.pop_front();
   }
 }
@@ -453,10 +681,15 @@ void session_front::driver_main(unsigned t) {
   sched::wait_governor& gov = rt_.governor();
   // Honour the stop flag only once no enqueue is mid-push (see
   // pending_enqueues_): the drain keeps going until the inbox is empty AND
-  // no racing submission can still land in it.
-  auto stopped = [&] {
-    return stopping_.load(std::memory_order_seq_cst) &&
-           pending_enqueues_.load(std::memory_order_seq_cst) == 0;
+  // no racing submission can still land in it. Elastic retirement
+  // (retire_state == 2) is simpler: it is raised only after the inbox
+  // closed and the pusher crossing confirmed nothing further can land, so
+  // the published prefix is all there is — no pending-enqueue Dekker
+  // needed (in-flight enqueues bounce off the closed inbox and reroute).
+  auto leaving = [&] {
+    return (stopping_.load(std::memory_order_seq_cst) &&
+            pending_enqueues_.load(std::memory_order_seq_cst) == 0) ||
+           p.retire_state.load(std::memory_order_acquire) == 2;
   };
   std::vector<submission> batch;
   std::deque<pending_ticket> pending;
@@ -474,13 +707,13 @@ void session_front::driver_main(unsigned t) {
         bool got = false;
         gov.await(p.inbox.consumer_gate(), sched::gate_class::inbox, p.stats, [&] {
           got = p.inbox.try_pop(s);
-          return got || stopped();
+          return got || leaving();
         });
         if (got) {
           batch.push_back(std::move(s));
           p.inbox.try_pop_all(batch);  // the rest of the burst, if any
         } else {
-          drained_out = true;  // stopping, drained, no racing push
+          drained_out = true;  // stopping/retiring, drained, no racing push
         }
       } else {
         // Completions outstanding but no new work: park on the inbox's
@@ -490,9 +723,9 @@ void session_front::driver_main(unsigned t) {
         const std::uint64_t head = pending.front().serial;
         gov.await(p.inbox.consumer_gate(), sched::gate_class::inbox, p.stats, [&] {
           return !p.inbox.empty() ||
-                 thr.committed_task.load_unstamped() >= head || stopped();
+                 thr.committed_task.load_unstamped() >= head || leaving();
         });
-        if (p.inbox.empty() && stopped()) drained_out = true;
+        if (p.inbox.empty() && leaving()) drained_out = true;
       }
     }
     // --- install phase: publish serials, submit, queue the tickets.
@@ -510,10 +743,26 @@ void session_front::driver_main(unsigned t) {
 
 void session_front::accumulate_stats(util::stat_block& total) const {
   for (const auto& p : pipes_) total.accumulate(p->stats);
+  total.topo_grows += grows_.load(std::memory_order_relaxed);
+  total.topo_shrinks += shrinks_.load(std::memory_order_relaxed);
+  total.topo_fence_waits += fence_waits_.load(std::memory_order_relaxed);
+  total.topo_reroutes += reroutes_.load(std::memory_order_relaxed);
 }
 
 void session_front::stop() {
-  if (stopping_.exchange(true, std::memory_order_seq_cst)) return;
+  // Join the controller FIRST: a resize in flight always runs to completion
+  // (fence cleared, retiring drivers joined), so after this join no resize
+  // machinery moves again. Taking resize_mu_ below then serializes against
+  // any concurrent manual session::resize().
+  if (controller_ != nullptr) controller_->stop();
+  {
+    std::lock_guard<std::mutex> lk(resize_mu_);
+    if (stopping_.exchange(true, std::memory_order_seq_cst)) return;
+  }
+  // Fence-parked pushers escape on the stopping flag and finish their push
+  // (their pending-enqueue count keeps the drivers draining until it
+  // lands).
+  fence_gate_.wake_all();
   for (auto& p : pipes_) p->inbox.wake_all();
   // The drivers drain every already-admitted submission before honouring
   // the flag (pending_enqueues_ protocol in enqueue/driver_main), so after

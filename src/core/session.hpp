@@ -36,7 +36,9 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -50,17 +52,26 @@ namespace tlstm::core {
 
 class runtime;
 class session_front;
+class topology_controller;
 
-/// The session key-affinity routing hash (splitmix64 finalizer — cheap
-/// avalanche so clustered keys spread): key k routes to pipeline
-/// `session_route_hash(k) % pipelines`. Public so offline tooling (the
-/// trace/journal checker in tests/support/tracefile.hpp and
-/// scripts/check_journal.py) can reproduce the placement exactly.
+/// The session key-affinity routing hash: key k routes to pipeline
+/// `session_route_hash(k) % active_pipelines`. Two rounds of a folded
+/// 128-bit multiply (wyhash-style mum): the previous splitmix64 finalizer
+/// mixed well on random keys but left residue classes of adversarial/
+/// strided key sets clustered modulo small pipeline counts (ROADMAP item
+/// c); folding high^low of a wide product avalanches every input bit into
+/// every output bit, so `% pipelines` sees an unbiased word for structured
+/// keys too. Public so offline tooling (the trace/journal checker in
+/// tests/support/tracefile.hpp and scripts/check_journal.py) can reproduce
+/// the placement exactly — scripts/check_journal.py mirrors these exact
+/// constants and must change in lockstep.
 constexpr std::uint64_t session_route_hash(std::uint64_t key) noexcept {
-  key += 0x9e3779b97f4a7c15ull;
-  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ull;
-  key = (key ^ (key >> 27)) * 0x94d049bb133111ebull;
-  return key ^ (key >> 31);
+  using u128 = unsigned __int128;
+  u128 m = static_cast<u128>(key ^ 0x9e3779b97f4a7c15ull) * 0xe7037ed1a0b428dbull;
+  const std::uint64_t x =
+      static_cast<std::uint64_t>(m) ^ static_cast<std::uint64_t>(m >> 64);
+  m = static_cast<u128>(x ^ 0x8ebc6af09c88c6e3ull) * 0x2d358dccaa6c78a5ull;
+  return static_cast<std::uint64_t>(m) ^ static_cast<std::uint64_t>(m >> 64);
 }
 
 /// Wall-clock stamps of one submission's life cycle (config.capture_latency,
@@ -117,6 +128,15 @@ struct ticket_state {
   std::atomic<std::uint64_t> t_install_ns{0};
   std::atomic<std::uint64_t> t_commit_ns{0};
   std::atomic<std::uint64_t> t_callback_ns{0};
+
+  /// Actual placement (DESIGN.md §11): the pipeline this submission landed
+  /// on and the topology epoch its route was decided under. Stamped by the
+  /// enqueueing client immediately before the successful inbox push (a
+  /// bounced reroute re-stamps), so harnesses dump real placements into the
+  /// journal instead of recomputing hash%width — which would be wrong
+  /// across resizes.
+  std::atomic<std::uint32_t> pipe{0};
+  std::atomic<std::uint64_t> route_epoch{0};
 };
 
 /// One transaction riding in an inbox cell.
@@ -177,6 +197,18 @@ class ticket {
   /// done() has returned true.
   ticket_latency latency() const noexcept;
 
+  /// The pipeline this submission actually landed on and the topology epoch
+  /// its route was decided under (DESIGN.md §11). Stable once the enqueue
+  /// call returned; 0/0 on an empty ticket. Under a static topology the
+  /// epoch is always 0 and the pipe equals hash%pipelines — under elastic
+  /// resizing these are the authoritative placement for journal tooling.
+  unsigned pipeline() const noexcept {
+    return st_ == nullptr ? 0 : st_->pipe.load(std::memory_order_acquire);
+  }
+  std::uint64_t route_epoch() const noexcept {
+    return st_ == nullptr ? 0 : st_->route_epoch.load(std::memory_order_acquire);
+  }
+
  private:
   friend class session_front;
   explicit ticket(std::shared_ptr<detail::ticket_state> st) : st_(std::move(st)) {}
@@ -232,9 +264,31 @@ class session {
                                          std::vector<std::vector<task_fn>> txs);
 
   unsigned pipelines() const noexcept;
-  /// The pipeline submit_keyed(key, ...) routes to — exposes the routing so
-  /// harnesses can match submissions to per-pipeline commit journals.
+  /// The pipeline submit_keyed(key, ...) routes to under the CURRENT
+  /// topology — exposes the routing so harnesses can match submissions to
+  /// per-pipeline commit journals. Under elastic resizing this is a
+  /// snapshot; a ticket's authoritative placement is ticket::pipeline().
   unsigned pipeline_for_key(std::uint64_t key) const noexcept;
+
+  // --- Elastic topology (DESIGN.md §11). All of these are valid whether or
+  // --- not config.elastic is on; with it off the topology is pinned at
+  // --- num_threads, epoch 0.
+  /// Number of currently ACTIVE pipelines (<= pipelines()).
+  unsigned active_pipelines() const noexcept;
+  /// Current topology epoch (bumps once per resize).
+  std::uint64_t topology_epoch() const noexcept;
+  /// Manual topology control: resizes the active pipeline set to `width`
+  /// (clamped to [min_pipelines, num_threads] with elastic on, [1,
+  /// num_threads] otherwise), running the full fence/drain/handoff
+  /// protocol. Serialized against the controller and other callers; returns
+  /// false when the width is unchanged after clamping or the front is
+  /// stopping. Blocks until queued work of the previous epoch drained (the
+  /// resize fence) — do not call from a driver callback.
+  bool resize(unsigned width);
+  /// Epoch -> active-width history, oldest first (starts with {0, initial
+  /// width}). Journal dumps attach this so the offline checker can validate
+  /// placement per epoch.
+  std::vector<std::pair<std::uint64_t, unsigned>> topology_history() const;
 
  private:
   friend class runtime;
@@ -252,13 +306,36 @@ class session_front {
   session_front(const session_front&) = delete;
   session_front& operator=(const session_front&) = delete;
 
-  ticket enqueue(unsigned pipe, std::vector<task_fn> tasks,
+  /// Routed enqueue (DESIGN.md §11): `key` selects key-affinity routing
+  /// (hash % active width), nullopt round-robins over the active set. The
+  /// route is decided *inside* the push protocol so it is always consistent
+  /// with the topology epoch the push lands under — callers cannot pick a
+  /// pipeline index themselves, a pre-resize index would be stale by the
+  /// time the cell lands.
+  ticket enqueue(std::optional<std::uint64_t> key, std::vector<task_fn> tasks,
                  bool read_only = false);
-  std::vector<ticket> enqueue_batch(unsigned pipe,
+  std::vector<ticket> enqueue_batch(std::optional<std::uint64_t> key,
                                     std::vector<std::vector<task_fn>> txs);
-  unsigned route_next() noexcept;
+  /// The pipeline a key routes to under the current topology (snapshot).
   unsigned route_key(std::uint64_t key) const noexcept;
   unsigned pipelines() const noexcept { return static_cast<unsigned>(pipes_.size()); }
+
+  // --- Elastic topology (DESIGN.md §11) ---
+  /// Currently active pipeline count (the prefix [0, width) of pipes_).
+  unsigned active_pipelines() const noexcept {
+    return topo_width(topo_.load(std::memory_order_seq_cst));
+  }
+  std::uint64_t topology_epoch() const noexcept {
+    return topo_epoch(topo_.load(std::memory_order_seq_cst));
+  }
+  /// Runs the resize protocol (revive/publish/close/fence/retire); false if
+  /// the width is unchanged after clamping or the front is stopping.
+  /// Serialized under resize_mu_ against concurrent resizes and stop().
+  bool apply_resize(unsigned width);
+  /// Epoch -> width history, oldest first.
+  std::vector<std::pair<std::uint64_t, unsigned>> topology_history() const;
+  /// Width clamp for manual/controller resizes.
+  unsigned clamp_width(unsigned width) const noexcept;
 
   /// Folds the drivers' counters (batches, callbacks, driver parks) into
   /// `total`. Quiesce (stop) first for exact values.
@@ -270,6 +347,32 @@ class session_front {
   void stop();
 
  private:
+  friend class topology_controller;
+
+  // Topology word layout (DESIGN.md §11): one seq_cst atomic packs the whole
+  // routing epoch so clients read a consistent {width, prev_width, epoch,
+  // fence} in a single load. Bits [0,17) width, [17,34) previous width,
+  // [34,63) epoch, bit 63 fence-pending. 17 bits of width bound num_threads
+  // at 128Ki pipelines; 29 epoch bits wrap after 500M resizes — the
+  // controller's minimum period makes that decades of uptime.
+  static constexpr std::uint64_t topo_pack(unsigned width, unsigned prev,
+                                           std::uint64_t epoch, bool fence) noexcept {
+    return static_cast<std::uint64_t>(width) |
+           (static_cast<std::uint64_t>(prev) << 17) |
+           ((epoch & ((std::uint64_t{1} << 29) - 1)) << 34) |
+           (fence ? (std::uint64_t{1} << 63) : 0);
+  }
+  static constexpr unsigned topo_width(std::uint64_t w) noexcept {
+    return static_cast<unsigned>(w & 0x1ffff);
+  }
+  static constexpr unsigned topo_prev(std::uint64_t w) noexcept {
+    return static_cast<unsigned>((w >> 17) & 0x1ffff);
+  }
+  static constexpr std::uint64_t topo_epoch(std::uint64_t w) noexcept {
+    return (w >> 34) & ((std::uint64_t{1} << 29) - 1);
+  }
+  static constexpr bool topo_fence(std::uint64_t w) noexcept { return (w >> 63) != 0; }
+
   /// One inbox cell: a single transaction (the submit() fast path — no
   /// batch-vector allocation) or a batch of them (submit_batch chunks).
   struct submission {
@@ -310,10 +413,57 @@ class session_front {
     /// flavour — the core runtime's table is a SwissTM lock table.
     std::unique_ptr<stm::frontier_reader> reader;
 
+    // --- Elastic topology state (DESIGN.md §11) ---
+    /// Transactions successfully pushed into this pipe (counted per tx, not
+    /// per cell); bumped by the enqueueing client after the push lands and
+    /// BEFORE its parity counter drops, so the controller's post-crossing
+    /// snapshot covers it.
+    std::atomic<std::uint64_t> enqueued_txs{0};
+    /// Transactions fully retired by the driver (completion edge published,
+    /// read fast-path included). The resize fence resolves when every
+    /// old-active pipe's retired count reaches its enqueued snapshot.
+    std::atomic<std::uint64_t> retired_txs{0};
+    /// In-flight pusher counters indexed by (route epoch & 1). A client
+    /// raises the counter of the epoch it routed under, re-checks the
+    /// topology word (seq_cst Dekker with the resize publish), and backs
+    /// off/retries if the epoch moved. apply_resize publishes epoch E then
+    /// waits for a momentary zero of parity (E-1)&1 per pipe: after that,
+    /// every pusher still in flight decided under E, so a snapshot of
+    /// enqueued_txs bounds the old epoch's traffic exactly. Parity suffices
+    /// because resize E's crossing already cleared all E-1 pushers before
+    /// resize E+1 can start (resizes are serialized).
+    std::atomic<std::uint64_t> pushers[2] = {{0}, {0}};
+    /// 0 = active; 2 = retiring/retired/dormant: the driver drains what is
+    /// already published, completes it, and exits. Raised only after the
+    /// inbox closed and the pusher crossing confirmed nothing more can
+    /// land. Dormant-at-start pipes (elastic, index >= min_pipelines) are
+    /// constructed in state 2 with no driver.
+    std::atomic<unsigned> retire_state{0};
+    /// Controller gauge: inbox-depth EWMA, fixed-point x1000 (observability
+    /// only; the controller keeps its own float state).
+    std::atomic<std::uint64_t> depth_ewma_milli{0};
+
     std::thread driver;
   };
 
   void driver_main(unsigned t);
+  /// Spawns pipe t's driver thread (retire_state -> 0, inbox reopened).
+  /// Caller must hold resize_mu_ (or be the constructor).
+  void start_pipe(unsigned t);
+  /// The route-and-push protocol (DESIGN.md §11): decides the route under
+  /// the current topology word, raises the parity pusher counter, re-checks
+  /// the epoch, honours the resize fence for FIFO submissions whose route
+  /// changed, pushes (rerouting on a closed-inbox bounce), stamps every
+  /// ticket's placement and bumps the pipe's enqueued count. `route_hash`
+  /// is the final routing value (already hashed for keys; the raw
+  /// round-robin index for sticky unkeyed batches; nullopt draws a fresh
+  /// round-robin index per attempt). `fifo` opts into the resize fence —
+  /// keyed writers and batches, whose submission order is guaranteed.
+  /// Returns the pipeline the cell landed on.
+  unsigned route_and_push(std::optional<std::uint64_t> route_hash, bool fifo,
+                          submission&& s, std::uint64_t n_txs);
+  /// Fold-at-2^62 round-robin counter draw (raw, caller takes % width).
+  std::uint64_t rr_index() noexcept;
   /// Read-only fast path (DESIGN.md §10): runs `tx` inline on the driver
   /// against the committed frontier, retrying conflicts through the
   /// backoff ladder up to config.read_retry_cap attempts. True ⇒ the
@@ -331,7 +481,7 @@ class session_front {
   /// Complete phase: retires every queued ticket whose serial the commit
   /// frontier has passed (runs callbacks, publishes the completion edge).
   void complete_passed(unsigned t, std::deque<pending_ticket>& pending);
-  void complete_ticket(detail::ticket_state& tk, util::stat_block& st);
+  void complete_ticket(pipe& p, detail::ticket_state& tk);
   /// Raises the pending-enqueue count and checks the stop flag (Dekker
   /// pairing, see pending_enqueues_); throws once the front is stopping.
   void begin_enqueue();
@@ -347,7 +497,31 @@ class session_front {
   /// Drivers honour the stop flag only once this is zero (seq_cst Dekker
   /// pairing with stopping_), so a submission that passed the check is
   /// always drained — no racing push can strand a ticket in a dead inbox.
+  /// Stop-protocol only; the resize fence deliberately does NOT wait on it
+  /// (fence-parked pushers hold it — waiting would deadlock; the parity
+  /// pusher counters carry the resize crossing instead).
   std::atomic<std::uint64_t> pending_enqueues_{0};
+
+  // --- Elastic topology (DESIGN.md §11) ---
+  /// The packed topology word (see topo_pack). seq_cst on both sides of the
+  /// pusher-parity Dekker.
+  std::atomic<std::uint64_t> topo_{0};
+  /// Keyed writers whose route changed across the pending resize park here
+  /// until the fence clears (old epoch's traffic on their old pipe
+  /// retired) — this is what preserves per-key FIFO across a resize.
+  sched::wait_gate fence_gate_;
+  /// Serializes apply_resize callers (controller, session::resize, stop).
+  std::mutex resize_mu_;
+  mutable std::mutex history_mu_;
+  std::vector<std::pair<std::uint64_t, unsigned>> history_;
+  std::atomic<std::uint64_t> grows_{0};
+  std::atomic<std::uint64_t> shrinks_{0};
+  std::atomic<std::uint64_t> fence_waits_{0};
+  std::atomic<std::uint64_t> reroutes_{0};
+  /// Load-driven resize controller (core/topology.hpp); null unless
+  /// config.elastic with a non-zero topo_interval_us. Joined first in
+  /// stop().
+  std::unique_ptr<topology_controller> controller_;
 };
 
 }  // namespace tlstm::core

@@ -137,6 +137,13 @@ struct thread_state {
 
   std::atomic<bool> shutdown{false};
 
+  /// Elastic retirement (DESIGN.md §11): raised by the topology controller
+  /// after this pipeline fully drained (committed == submitted), so its
+  /// workers — all parked in wait_for_ready stage 1 with free slots — exit
+  /// their serial loops. Cleared before the group is respawned on a grow;
+  /// respawned workers resume at the serials following committed_task.
+  std::atomic<bool> retired{false};
+
   /// Commit journal (oracle tests); appended by commit-tasks under
   /// rollback_mu, read by the driver after drain(). Chunked so an append
   /// never regrow-copies the whole journal inside the stamped commit

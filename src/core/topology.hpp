@@ -1,0 +1,64 @@
+// Elastic topology controller (DESIGN.md §11): a background thread that
+// samples per-pipeline occupancy, smooths it with an EWMA and resizes the
+// active pipeline set through session_front::apply_resize — growing under
+// sustained backlog, shrinking when most of the active set idles. The same
+// observe/decide/actuate pattern as the adaptive speculation controller
+// (vt/adapt_controller.hpp, §5a), one level up: that one sizes the window
+// *inside* a pipeline, this one sizes the *set of pipelines*.
+//
+// Policy (all knobs in config.hpp):
+//   - signal: per-pipe occupancy = enqueued_txs - retired_txs (queued +
+//     in-pipeline transactions), EWMA-smoothed (alpha 0.3) per tick.
+//   - grow: mean active EWMA >= topo_grow_depth for topo_hysteresis
+//     consecutive ticks -> double the width (capped at num_threads).
+//   - shrink: mean active EWMA <= topo_shrink_depth AND at least half the
+//     active pipes momentarily idle, for topo_hysteresis consecutive
+//     ticks -> halve the width (floored at min_pipelines).
+//   - idle backoff: while stable, the tick period stretches up to 8x so a
+//     quiescent runtime pays near-zero controller CPU.
+//
+// The controller only exists when config.elastic is on AND topo_interval_us
+// is non-zero; with interval 0 the topology is manual-only
+// (session::resize), which is what the deterministic tests use.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tlstm::core {
+
+class session_front;
+
+class topology_controller {
+ public:
+  /// Starts the controller thread immediately.
+  explicit topology_controller(session_front& front);
+  ~topology_controller();
+  topology_controller(const topology_controller&) = delete;
+  topology_controller& operator=(const topology_controller&) = delete;
+
+  /// Signals the thread and joins it. Idempotent. A resize in flight runs
+  /// to completion (apply_resize never abandons a published epoch), so
+  /// after stop() returns the topology is quiescent.
+  void stop();
+
+ private:
+  void run();
+  /// One observe/decide/actuate step; returns true when it resized.
+  bool tick();
+
+  session_front& front_;
+  std::vector<double> ewma_;  ///< per-pipe occupancy EWMA (thread-private)
+  unsigned grow_streak_ = 0;
+  unsigned shrink_streak_ = 0;
+  unsigned backoff_ = 1;  ///< idle tick-period multiplier, 1..8
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread th_;
+};
+
+}  // namespace tlstm::core

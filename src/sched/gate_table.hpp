@@ -208,8 +208,12 @@ class wait_governor {
 
 /// The sharded cross-thread stripe gate table. Power-of-two shard count
 /// (config.waits.gate_shards, validated at runtime construction); the
-/// stripe's lock_pair address hashes to its shard with the same Fibonacci
-/// multiplicative hash the lock table uses.
+/// stripe's lock_pair address is mixed with a two-round folded multiply
+/// before masking. The previous single Fibonacci multiply kept only a
+/// middle bit window (`>> 40 & mask`), so stride-patterned lock_pair
+/// addresses (arrays of stripes are exactly that) could alias a handful of
+/// shards and serialize unrelated waiters (ROADMAP item c); the folded
+/// high^low product avalanches every input bit into the masked window.
 class gate_table {
  public:
   explicit gate_table(std::size_t shards) : mask_(shards - 1) {
@@ -222,7 +226,14 @@ class gate_table {
 
   std::size_t shard_index(const void* stripe) const noexcept {
     auto a = reinterpret_cast<std::uintptr_t>(stripe) >> 5;  // sizeof lock_pair
-    return (a * 0x9e3779b97f4a7c15ULL >> 40) & mask_;
+    using u128 = unsigned __int128;
+    u128 m = static_cast<u128>(a ^ 0x9e3779b97f4a7c15ULL) * 0xe7037ed1a0b428dbULL;
+    const std::uint64_t x = static_cast<std::uint64_t>(m) ^
+                            static_cast<std::uint64_t>(m >> 64);
+    m = static_cast<u128>(x) * 0x2d358dccaa6c78a5ULL;
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(m) ^
+                                    static_cast<std::uint64_t>(m >> 64)) &
+           mask_;
   }
 
   wait_gate& shard_for(const void* stripe) noexcept {
@@ -237,6 +248,20 @@ class gate_table {
   /// wake every shard a covered task could be parked on.
   void wake_all_shards() noexcept {
     for (std::size_t i = 0; i <= mask_; ++i) shards_[i].gate.wake_all_if_parked();
+  }
+
+  /// Lifetime futex parks on one shard (skew diagnostics: a hot shard under
+  /// an adversarial stripe set shows up as one outlier here).
+  std::uint64_t shard_parks(std::size_t i) const noexcept {
+    return shards_[i].gate.parks();
+  }
+
+  /// Sum of all shard park counters — folded into stat_block by the runtime
+  /// aggregation so shard-level parking pressure is visible in one number.
+  std::uint64_t total_parks() const noexcept {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) n += shards_[i].gate.parks();
+    return n;
   }
 
  private:

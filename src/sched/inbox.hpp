@@ -45,8 +45,12 @@ class bounded_inbox {
 
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
-  /// Producer side. Returns false when the ring is full.
+  /// Producer side. Returns false when the ring is full — or closed; a
+  /// producer that cares about the difference (the session's elastic
+  /// reroute, DESIGN.md §11) distinguishes via is_closed() and reroutes
+  /// instead of parking.
   bool try_push(T&& v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
     std::size_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       cell& c = cells_[pos & mask_];
@@ -76,13 +80,14 @@ class bounded_inbox {
 
   /// Consumer side — single consumer only. Returns false when empty.
   bool try_pop(T& out) {
-    cell& c = cells_[head_ & mask_];
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    cell& c = cells_[head & mask_];
     const std::size_t seq = c.seq.load(std::memory_order_acquire);
-    if (seq != head_ + 1) return false;  // empty (or producer mid-publish)
+    if (seq != head + 1) return false;  // empty (or producer mid-publish)
     out = std::move(c.val);
     c.val = T{};  // drop captured resources before the slot idles
-    c.seq.store(head_ + mask_ + 1, std::memory_order_release);
-    ++head_;
+    c.seq.store(head + mask_ + 1, std::memory_order_release);
+    head_.store(head + 1, std::memory_order_relaxed);
     not_full_.wake_one();  // one freed slot admits exactly one producer
     return true;
   }
@@ -103,7 +108,36 @@ class bounded_inbox {
   /// mid-publish counts as empty — its completed publication wakes the
   /// consumer gate, so a parked consumer never misses it.
   bool empty() const noexcept {
-    return cells_[head_ & mask_].seq.load(std::memory_order_acquire) != head_ + 1;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return cells_[head & mask_].seq.load(std::memory_order_acquire) != head + 1;
+  }
+
+  /// Racy queued-cell estimate for telemetry (the topology controller's
+  /// inbox-depth signal). head_ and tail_ are sampled independently, so the
+  /// value can be momentarily stale from either end — never use it for
+  /// control flow, only as a load signal.
+  std::size_t approx_size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  /// Close/handoff protocol (DESIGN.md §11): a closed inbox fails every
+  /// try_push — producers observe is_closed() as the reroute verdict and
+  /// resubmit against the current topology. Cells already published stay
+  /// poppable, so the retiring consumer drains the full published prefix.
+  /// Both gates wake: parked producers must re-check and reroute.
+  void close() noexcept {
+    closed_.store(true, std::memory_order_seq_cst);
+    wake_all();
+  }
+
+  /// Reopens a closed inbox (pipeline revival). Caller must guarantee the
+  /// previous consumer is gone and the ring was drained.
+  void reopen() noexcept { closed_.store(false, std::memory_order_seq_cst); }
+
+  bool is_closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
   }
 
   /// Blocking pop: parks while empty. Returns false only when `stopped()`
@@ -126,6 +160,12 @@ class bounded_inbox {
   /// can never swallow a backpressured producer's wake.
   wait_gate& consumer_gate() noexcept { return not_empty_; }
 
+  /// The producers' not-full gate, for callers that need a custom park
+  /// predicate on top of the full condition — the session's elastic push
+  /// parks here with a closed/fence-aware predicate instead of the plain
+  /// push_wait loop (DESIGN.md §11).
+  wait_gate& producer_gate() noexcept { return not_full_; }
+
   /// Wakes both sides — for shutdown flags that live outside the inbox.
   void wake_all() noexcept {
     not_empty_.wake_all();
@@ -140,8 +180,11 @@ class bounded_inbox {
 
   std::unique_ptr<cell[]> cells_;
   std::size_t mask_ = 0;
+  std::atomic<bool> closed_{false};
   alignas(util::cache_line_size) std::atomic<std::size_t> tail_{0};
-  alignas(util::cache_line_size) std::size_t head_ = 0;
+  /// Owned by the single consumer (relaxed stores); atomic only so
+  /// approx_size() can sample it from the controller thread without a race.
+  alignas(util::cache_line_size) std::atomic<std::size_t> head_{0};
   wait_gate not_full_;
   wait_gate not_empty_;
 };

@@ -110,6 +110,7 @@ class wait_gate {
         return;
       }
       ++parks;
+      park_count_.fetch_add(1, std::memory_order_relaxed);
       epoch_.wait(e, std::memory_order_acquire);
       waiters_.fetch_sub(1, std::memory_order_relaxed);
       if (pred()) return;
@@ -134,11 +135,20 @@ class wait_gate {
     return waiters_.load(std::memory_order_relaxed);
   }
 
+  /// Lifetime futex parks on this gate. Unlike the per-wait `parks` counter
+  /// (folded into the waiter's stat_block), this is gate-side, so sharded
+  /// owners (gate_table) can expose per-shard park skew without threading a
+  /// stat block through every caller. Relaxed — a park is a syscall anyway.
+  std::uint64_t parks() const noexcept {
+    return park_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::uint32_t> epoch_{0};
   /// Waiters registered between their epoch snapshot and futex return; lets
   /// wake_all_if_parked skip the notify when the gate is idle.
   std::atomic<std::uint32_t> waiters_{0};
+  std::atomic<std::uint64_t> park_count_{0};
 };
 
 }  // namespace tlstm::sched

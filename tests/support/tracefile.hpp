@@ -16,7 +16,9 @@
 //     journal's [tx_start, tx_commit] ranges tile 1..N densely, in order;
 //   missing-request / duplicate-request / request-count — the dump places
 //     every trace id exactly once;
-//   misrouted-request — placements match session_route_hash(key) % P;
+//   misrouted-request — placements match session_route_hash(key) % width,
+//     where width is the active pipeline count of the placement's topology
+//     epoch (the dump's E section; static dumps implicitly {0 -> P});
 //   missing-commit / unclaimed-commit — requests and journal records match
 //     one to one (every submission committed exactly once);
 //   commit-ts-zero / commit-ts-duplicate — commit timestamps are real and
@@ -237,18 +239,26 @@ inline bool read_trace(const std::string& path, trace_spec* spec,
 // placement the replay observed.
 //   tlstm-journal v1
 //   dims <pipelines> <requests>
+//   E <epoch> <width>                     (elastic runs only, DESIGN.md §11)
 //   J <pipe> <tx_start_serial> <tx_commit_serial> <commit_ts>
-//   T <id> <key> <pipe> <commit_serial> <tasks>
+//   T <id> <key> <pipe> <commit_serial> <tasks> [<epoch>]
+// The E section (the session's topology history: epoch -> active width) and
+// the T lines' 6th field appear only when the run actually resized (more
+// than one topology entry or a nonzero placement epoch), so static-topology
+// dumps stay byte-identical with the historical format. Without E lines the
+// topology is implicitly {epoch 0 -> pipelines}.
 // ---------------------------------------------------------------------------
 
-/// Placement of one replayed request: which pipeline it routed to and which
-/// commit serial the driver assigned (ticket::commit_serial()).
+/// Placement of one replayed request: which pipeline it routed to, which
+/// commit serial the driver assigned (ticket::commit_serial()), and the
+/// topology epoch the route was decided under (ticket::route_epoch()).
 struct request_placement {
   std::uint64_t id = 0;
   std::uint64_t key = 0;
   unsigned pipe = 0;
   std::uint64_t serial = 0;
   unsigned tasks = 1;
+  std::uint64_t epoch = 0;
 };
 
 struct journal_dump {
@@ -256,6 +266,9 @@ struct journal_dump {
   /// journals[p] = runtime.thread(p).journal() after the run quiesced.
   std::vector<std::vector<core::commit_record>> journals;
   std::vector<request_placement> requests;
+  /// Topology history (session::topology_history()): epoch -> active width,
+  /// oldest first. Empty means static — implicitly {{0, pipelines}}.
+  std::vector<std::pair<std::uint64_t, unsigned>> topology;
 };
 
 inline bool write_journal(const std::string& path, const journal_dump& d) {
@@ -264,6 +277,16 @@ inline bool write_journal(const std::string& path, const journal_dump& d) {
   std::fprintf(f, "tlstm-journal v1\n");
   std::fprintf(f, "dims %u %llu\n", d.pipelines,
                static_cast<unsigned long long>(d.requests.size()));
+  // Epoch format only when the run resized; static dumps keep the
+  // historical bytes (back-compat with checked-in goldens and old tooling).
+  bool epochal = d.topology.size() > 1;
+  for (const request_placement& r : d.requests) epochal |= r.epoch != 0;
+  if (epochal) {
+    for (const auto& [epoch, width] : d.topology) {
+      std::fprintf(f, "E %llu %u\n", static_cast<unsigned long long>(epoch),
+                   width);
+    }
+  }
   for (unsigned p = 0; p < d.journals.size(); ++p) {
     for (const core::commit_record& r : d.journals[p]) {
       std::fprintf(f, "J %u %llu %llu %llu\n", p,
@@ -273,10 +296,14 @@ inline bool write_journal(const std::string& path, const journal_dump& d) {
     }
   }
   for (const request_placement& r : d.requests) {
-    std::fprintf(f, "T %llu %llu %u %llu %u\n",
+    std::fprintf(f, "T %llu %llu %u %llu %u",
                  static_cast<unsigned long long>(r.id),
                  static_cast<unsigned long long>(r.key), r.pipe,
                  static_cast<unsigned long long>(r.serial), r.tasks);
+    if (epochal) {
+      std::fprintf(f, " %llu", static_cast<unsigned long long>(r.epoch));
+    }
+    std::fprintf(f, "\n");
   }
   std::fclose(f);
   return true;
@@ -305,6 +332,7 @@ inline bool read_journal(const std::string& path, journal_dump* d,
   d->pipelines = pipelines;
   d->journals.assign(pipelines, {});
   d->requests.clear();
+  d->topology.clear();
   while (std::fgets(line, sizeof line, f) != nullptr) {
     if (line[0] == '\n' || line[0] == '#') continue;
     if (line[0] == 'J') {
@@ -315,15 +343,24 @@ inline bool read_journal(const std::string& path, journal_dump* d,
         return fail(std::string("bad journal record: ") + line);
       }
       d->journals[p].push_back(core::commit_record{start, commit, ts});
+    } else if (line[0] == 'E') {
+      unsigned long long epoch;
+      unsigned width;
+      if (std::sscanf(line, "E %llu %u", &epoch, &width) != 2 || width == 0 ||
+          width > pipelines) {
+        return fail(std::string("bad topology record: ") + line);
+      }
+      d->topology.emplace_back(epoch, width);
     } else if (line[0] == 'T') {
       unsigned long long id, key, serial;
       unsigned p, tasks;
-      if (std::sscanf(line, "T %llu %llu %u %llu %u", &id, &key, &p, &serial,
-                      &tasks) != 5 ||
-          p >= pipelines) {
+      unsigned long long epoch = 0;  // absent 6th field = epoch 0
+      const int n = std::sscanf(line, "T %llu %llu %u %llu %u %llu", &id, &key,
+                                &p, &serial, &tasks, &epoch);
+      if ((n != 5 && n != 6) || p >= pipelines) {
         return fail(std::string("bad placement record: ") + line);
       }
-      d->requests.push_back(request_placement{id, key, p, serial, tasks});
+      d->requests.push_back(request_placement{id, key, p, serial, tasks, epoch});
     } else {
       return fail(std::string("unknown journal line: ") + line);
     }
@@ -442,11 +479,26 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
     }
   }
 
-  // 3. Placement matches the session routing hash, key and task shape.
+  // 3. Placement matches the session routing hash, key and task shape —
+  //    per topology epoch (DESIGN.md §11): the route of a request is
+  //    hash % width[its route epoch], so the dump's topology history (or
+  //    the implicit static {0 -> pipelines}) decides the divisor.
+  std::map<std::uint64_t, unsigned> width_of;
+  if (d.topology.empty()) {
+    width_of[0] = d.pipelines;
+  } else {
+    for (const auto& [epoch, width] : d.topology) width_of[epoch] = width;
+  }
   for (const trace_request& t : trace) {
     const request_placement& r = *by_id[t.id];
+    const auto wit = width_of.find(r.epoch);
+    if (wit == width_of.end()) {
+      return fail("unknown-epoch: id " + std::to_string(t.id) +
+                  " placed under epoch " + std::to_string(r.epoch) +
+                  " absent from the topology history");
+    }
     const unsigned want =
-        static_cast<unsigned>(core::session_route_hash(t.key) % d.pipelines);
+        static_cast<unsigned>(core::session_route_hash(t.key) % wit->second);
     if (r.key != t.key || r.tasks != t.tasks || r.pipe != want) {
       return fail("misrouted-request: id " + std::to_string(t.id) + " key " +
                   std::to_string(t.key) + " expected pipeline " +
@@ -511,12 +563,17 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
     }
   }
 
-  // 6. Per-key FIFO: submissions of one key route to one pipeline and must
-  //    commit in submission order — serials and commit timestamps both
-  //    increase along each key's trace order. Read-only requests are exempt
-  //    on both sides of the chain: fast-path reads serve the committed
-  //    frontier without ordering against in-flight submissions, and even a
-  //    fallback read's ts-0 record carries no ordering information.
+  // 6. Per-key FIFO: a key's submissions must commit in submission order.
+  //    On one pipeline, commit serials AND commit timestamps both increase
+  //    along the key's trace order. Across pipelines (the key moved in a
+  //    resize, DESIGN.md §11) serials are incomparable — they are per-pipe
+  //    counters — so the global commit clock alone carries the order: the
+  //    resize fence guarantees the old pipe's traffic committed (and took
+  //    its monotonic timestamps) before the new pipe saw the key. Read-only
+  //    requests are exempt on both sides of the chain: fast-path reads
+  //    serve the committed frontier without ordering against in-flight
+  //    submissions, and even a fallback read's ts-0 record carries no
+  //    ordering information.
   std::map<std::uint64_t, const trace_request*> last_of_key;
   for (const trace_request& t : trace) {
     if (t.read_only) continue;
@@ -526,7 +583,8 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
       const request_placement& cur = *by_id[t.id];
       const stm::word prev_ts = by_commit[prev.pipe].at(prev.serial)->commit_ts;
       const stm::word cur_ts = by_commit[cur.pipe].at(cur.serial)->commit_ts;
-      if (cur.serial <= prev.serial || cur_ts <= prev_ts) {
+      const bool same_pipe = cur.pipe == prev.pipe;
+      if ((same_pipe && cur.serial <= prev.serial) || cur_ts <= prev_ts) {
         return fail("fifo-violation: key " + std::to_string(t.key) + " request " +
                     std::to_string(t.id) + " (serial " + std::to_string(cur.serial) +
                     ", ts " + std::to_string(cur_ts) + ") did not commit after request " +
