@@ -269,7 +269,9 @@ mode_result run_mode(const mode_spec& m) {
   out.fence_waits = stats.topo_fence_waits;
   out.reroutes = stats.topo_reroutes;
   dump.journals.resize(n_pipes);
-  for (unsigned p = 0; p < n_pipes; ++p) dump.journals[p] = rt.thread(p).journal();
+  for (unsigned p = 0; p < n_pipes; ++p) {
+    dump.journals[p] = rt.thread(p).journal_snapshot().records;
+  }
   dump.requests.reserve(n_total);
   for (std::uint64_t r = 0; r < n_total; ++r) {
     dump.requests.push_back(support::request_placement{

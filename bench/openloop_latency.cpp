@@ -219,7 +219,9 @@ openloop_result run_rate(const rate_spec& rs, const std::string& trace_prefix,
   dump.pipelines = n_pipelines;
   dump.journals.resize(n_pipelines);
   dump.topology = topo_history;
-  for (unsigned p = 0; p < n_pipelines; ++p) dump.journals[p] = rt.thread(p).journal();
+  for (unsigned p = 0; p < n_pipelines; ++p) {
+    dump.journals[p] = rt.thread(p).journal_snapshot().records;
+  }
   for (const support::trace_request& r : trace) {
     // Authoritative placement from the ticket (DESIGN.md §11), not a
     // recomputed hash%width — the two only coincide under a static

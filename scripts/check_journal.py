@@ -28,7 +28,12 @@ a contract shared with the C++ checker (adversarial tests assert on them):
   fifo-violation
       per key, commits follow submission order: serials and timestamps on
       one pipeline, the global commit clock alone when a resize moved the
-      key across pipelines (per-pipe serials are incomparable).
+      key across pipelines (per-pipe serials are incomparable);
+  bad-truncation / pruned-claim
+      truncated dumps (config.journal_retain, DESIGN.md §12): the two-field
+      `T <pipe> <first-serial>` headers must be well formed (frontier >= 1,
+      one per pipeline), serial density starts at the frontier, and claims
+      below it must tile a suffix [L, frontier-1] of the pruned range.
 
 Read-only requests (trace `reads` section, DESIGN.md §10) relax these: a
 read served by the fast path carries placement serial 0 and must claim NO
@@ -103,11 +108,22 @@ def read_journal(path):
     journals = [[] for _ in range(pipelines)]
     requests = []
     topology = []
+    first_serial = []
     for ln in lines[2:]:
         if not ln or ln.startswith("#"):
             continue
         parts = ln.split()
-        if parts[0] == "J" and len(parts) == 5:
+        if parts[0] == "T" and len(parts) == 3:
+            # Truncation header `T <pipe> <first-serial>` (DESIGN.md §12).
+            # The frontier value is left to check_journal's bad-truncation
+            # diagnostic, in lockstep with the C++ checker.
+            tp, first = int(parts[1]), int(parts[2])
+            if tp >= pipelines:
+                raise ValueError("bad truncation record: " + ln)
+            if not first_serial:
+                first_serial = [1] * pipelines
+            first_serial[tp] = first
+        elif parts[0] == "J" and len(parts) == 5:
             p, start, commit, ts = (int(x) for x in parts[1:])
             if p >= pipelines:
                 raise ValueError("bad journal record: " + ln)
@@ -128,17 +144,33 @@ def read_journal(path):
             raise ValueError("unknown journal line: " + ln)
     if len(requests) != n_requests:
         raise ValueError("placement count mismatch")
-    return pipelines, journals, requests, topology
+    return pipelines, journals, requests, topology, first_serial
 
 
-def check_journal(trace, pipelines, journals, requests, topology=()):
+def check_journal(trace, pipelines, journals, requests, topology=(),
+                  first_serial=()):
     """Returns None on success, else the diagnostic string."""
     if pipelines == 0 or len(journals) != pipelines:
         return "dump-shape: pipelines=%d journals=%d" % (pipelines, len(journals))
 
-    # 1. Per-pipeline serial density.
+    # 0. Retain frontiers (DESIGN.md §12): when present, one per pipeline and
+    #    each >= 1 — serial 0 does not exist, so a zero frontier is a corrupt
+    #    truncation header, not a legal "nothing pruned".
+    if first_serial:
+        if len(first_serial) != pipelines:
+            return "bad-truncation: %d frontiers for %d pipelines" % (
+                len(first_serial), pipelines)
+        for p in range(pipelines):
+            if first_serial[p] == 0:
+                return "bad-truncation: pipeline %d declares frontier 0" % p
+
+    def frontier(p):
+        return first_serial[p] if first_serial else 1
+
+    # 1. Per-pipeline serial density (from the retain frontier; 1 when
+    #    untruncated).
     for p in range(pipelines):
-        expect = 1
+        expect = frontier(p)
         prev = None
         for start, commit, _ts in journals[p]:
             if commit < start:
@@ -196,9 +228,19 @@ def check_journal(trace, pipelines, journals, requests, topology=()):
             by_commit[p][rec[1]] = rec
     claimed = [0] * pipelines
     read_claimed = set()
+    # Claims below a pipeline's frontier reference pruned records (DESIGN.md
+    # §12): no journal record backs them, so they are collected and verified
+    # as a suffix tiling afterwards instead of through by_commit.
+    pruned_claims = [[] for _ in range(pipelines)]
     for tid, _tkey, _arr, ttasks, _ops, ro in trace:
         _rid, _rkey, rpipe, serial, _rtasks, _repoch = by_id[tid]
         if ro and serial == 0:
+            continue
+        if serial < frontier(rpipe):
+            if serial < ttasks:
+                return ("pruned-claim: request %d claims inverted serial "
+                        "range [%d - %d + 1, %d]" % (tid, serial, ttasks, serial))
+            pruned_claims[rpipe].append((serial - ttasks + 1, serial))
             continue
         rec = by_commit[rpipe].get(serial)
         if rec is None or rec[0] != serial - ttasks + 1:
@@ -208,6 +250,22 @@ def check_journal(trace, pipelines, journals, requests, topology=()):
         if ro:
             read_claimed.add(id(rec))
         claimed[rpipe] += 1
+    # Pruned claims must tile a suffix [L, frontier - 1] of the pruned range:
+    # in order, non-overlapping, gap-free, ending exactly at the frontier.
+    # (Empty is legal — a windowed trace can drop pruned requests entirely.)
+    for p in range(pipelines):
+        claims = sorted(pruned_claims[p])
+        if not claims:
+            continue
+        for i in range(1, len(claims)):
+            if claims[i][0] != claims[i - 1][1] + 1:
+                return ("pruned-claim: pipeline %d pruned claims [%d, %d] and "
+                        "[%d, %d] do not tile the pruned range" % (
+                            p, claims[i - 1][0], claims[i - 1][1],
+                            claims[i][0], claims[i][1]))
+        if claims[-1][1] != frontier(p) - 1:
+            return ("pruned-claim: pipeline %d pruned claims end at %d but "
+                    "the frontier is %d" % (p, claims[-1][1], frontier(p)))
     for p in range(pipelines):
         if claimed[p] != len(journals[p]):
             return ("unclaimed-commit: pipeline %d journal has %d records but "
@@ -241,13 +299,23 @@ def check_journal(trace, pipelines, journals, requests, topology=()):
             prev_t = last_of_key[tkey]
             prev = by_id[prev_t[0]]
             cur = by_id[tid]
-            prev_ts = by_commit[prev[2]][prev[3]][2]
-            cur_ts = by_commit[cur[2]][cur[3]][2]
             same_pipe = cur[2] == prev[2]
-            if (same_pipe and cur[3] <= prev[3]) or cur_ts <= prev_ts:
-                return ("fifo-violation: key %d request %d (serial %d, ts %d) "
-                        "did not commit after request %d (serial %d, ts %d)" % (
-                            tkey, tid, cur[3], cur_ts, prev_t[0], prev[3], prev_ts))
+            # A pruned endpoint has no record, hence no commit_ts — its half
+            # of the timestamp comparison is unavailable (DESIGN.md §12).
+            # Same-pipe serial order survives pruning.
+            prev_pruned = prev[3] < frontier(prev[2])
+            cur_pruned = cur[3] < frontier(cur[2])
+            if same_pipe and cur[3] <= prev[3]:
+                return ("fifo-violation: key %d request %d (serial %d) did "
+                        "not commit after request %d (serial %d)" % (
+                            tkey, tid, cur[3], prev_t[0], prev[3]))
+            if not prev_pruned and not cur_pruned:
+                prev_ts = by_commit[prev[2]][prev[3]][2]
+                cur_ts = by_commit[cur[2]][cur[3]][2]
+                if cur_ts <= prev_ts:
+                    return ("fifo-violation: key %d request %d (serial %d, ts %d) "
+                            "did not commit after request %d (serial %d, ts %d)" % (
+                                tkey, tid, cur[3], cur_ts, prev_t[0], prev[3], prev_ts))
         last_of_key[tkey] = t
     return None
 
@@ -258,11 +326,12 @@ def main(argv):
         return 2
     try:
         _spec, trace = read_trace(argv[1])
-        pipelines, journals, requests, topology = read_journal(argv[2])
+        pipelines, journals, requests, topology, first_serial = read_journal(argv[2])
     except (OSError, ValueError) as e:
         sys.stderr.write("check_journal: %s\n" % e)
         return 1
-    diag = check_journal(trace, pipelines, journals, requests, topology)
+    diag = check_journal(trace, pipelines, journals, requests, topology,
+                         first_serial)
     if diag is not None:
         sys.stderr.write("check_journal: FAIL %s\n" % diag)
         return 1

@@ -7,6 +7,8 @@
 #   scripts/ci.sh tsan       # just the TSan configuration (unit label)
 #   scripts/ci.sh bench      # just the bench_smoke label (one reduced row
 #                            # per bench/abl_* and bench/fig* binary)
+#   scripts/ci.sh soak       # reduced-duration bounded-memory soak (label
+#                            # `soak`) + the same smoke under ASan/LSan
 #
 # The tier-1 full ctest already includes the bench_smoke label, so every
 # bench binary is built AND executed on every CI run — benches cannot rot
@@ -46,6 +48,22 @@ bench() {
   run_ctest build -L bench_smoke
 }
 
+soak() {
+  echo "=== soak: reduced-duration bounded-memory smoke + ASan leak pass ==="
+  # The smoke enforces elastic resizes, journal pruning, write-log recycling
+  # and a green checker on every dump (the RSS-slope gate needs the
+  # multi-minute collect_bench.sh run). The ASan configuration repeats it
+  # with leak detection: recycled chunks and trimmed pool pages must all be
+  # accounted for when the process exits.
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target abl_soak
+  run_ctest build -L soak
+  cmake -B build-asan-soak -S . \
+    -DTLSTM_SANITIZE="address;undefined" -DTLSTM_BUILD_EXAMPLES=OFF
+  cmake --build build-asan-soak -j "$JOBS" --target abl_soak
+  run_ctest build-asan-soak -L soak
+}
+
 tsan() {
   echo "=== TSan: unit + sched/session labels ==="
   # TSan multiplies the cost of the spin-heavy runtime paths; the short
@@ -64,14 +82,17 @@ case "$STAGE" in
   asan) asan ;;
   tsan) tsan ;;
   bench) bench ;;
+  soak) soak ;;
   all)
-    tier1  # includes the bench_smoke label
+    tier1  # includes the bench_smoke and soak labels
     asan
     tsan
+    soak   # the tier-1 ctest already ran the default-build smoke; this
+           # stage adds the ASan/LSan pass
     echo "=== ci.sh: all stages green ==="
     ;;
   *)
-    echo "unknown stage: $STAGE (expected tier1|asan|tsan|bench|all)" >&2
+    echo "unknown stage: $STAGE (expected tier1|asan|tsan|bench|soak|all)" >&2
     exit 2
     ;;
 esac

@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS" --target abl_waits abl_elastic abl_readpath openloop_latency >/dev/null
+cmake --build build -j "$JOBS" --target abl_waits abl_elastic abl_readpath abl_soak openloop_latency >/dev/null
 
 echo "=== abl_waits -> BENCH_waits.json ==="
 ./build/bench/abl_waits --json BENCH_waits.json
@@ -29,6 +29,14 @@ echo "=== abl_elastic -> BENCH_elastic.json ==="
 # keeps an unverified BENCH_readpath.json from being checked in.
 echo "=== abl_readpath -> BENCH_readpath.json ==="
 ./build/bench/abl_readpath --json BENCH_readpath.json
+
+# Bounded-memory soak (DESIGN.md §12): the full multi-minute run with
+# elastic resizes, periodic truncated journal dumps (all checker-verified
+# in-process) and the post-warmup RSS-slope acceptance gate (<= 1%/min,
+# recorded as acceptance/rss_slope_ratio). Nonzero exit keeps a failed
+# acceptance out of the checked-in trajectory.
+echo "=== abl_soak -> BENCH_soak.json ==="
+./build/bench/abl_soak --json BENCH_soak.json
 
 # The open-loop harness validates every rate step's commit journal inline
 # (nonzero exit on a checker failure) AND dumps the trace/journal pair so

@@ -187,7 +187,10 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
       }
       ts_slot.logs.commit_retire.clear();
     }
-    if (cfg_.record_commits) thr.journal.push_back({tx_start, serial, 0});
+    if (cfg_.record_commits) {
+      thr.journal.push_back({tx_start, serial, 0});
+      if (cfg_.journal_retain != 0) thr.prune_journal(cfg_.journal_retain);
+    }
     thr.completed_task.store(serial, clk);
     thr.committed_task.store(serial, clk);
     thr.rollback_mu.unlock(clk);
@@ -287,7 +290,10 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
   std::uint64_t wm = thr.committed_writer_wm.load(std::memory_order_relaxed);
   thr.committed_writer_wm.store(std::max(wm, max_writer_serial), std::memory_order_relaxed);
   slot.commit_ts_value = ts;
-  if (cfg_.record_commits) thr.journal.push_back({tx_start, serial, ts});
+  if (cfg_.record_commits) {
+    thr.journal.push_back({tx_start, serial, ts});
+    if (cfg_.journal_retain != 0) thr.prune_journal(cfg_.journal_retain);
+  }
   thr.completed_writer.store(serial, clk);
   thr.completed_task.store(serial, clk);
   thr.committed_task.store(serial, clk);

@@ -153,6 +153,19 @@ struct config {
   /// the restart backoff ladder. Validation rejects 0 while read_path is
   /// on: it would silently route every submit_read through the slow path.
   unsigned read_retry_cap = 64;
+  /// Bounded-memory server mode (DESIGN.md §12): minimum committed records
+  /// retained per user-thread journal. 0 = unbounded (the default; journal
+  /// dumps stay byte-identical to the v1 format and the serializability
+  /// oracle sees the full history). Nonzero: the commit path retires whole
+  /// journal chunks strictly older than the retain frontier once at least
+  /// `journal_retain` newer records exist; dumps then carry `T` truncation
+  /// header lines and the checkers validate the retained suffix.
+  std::uint64_t journal_retain = 0;
+  /// Let the topology controller drive trim-to-high-water passes (spare
+  /// write-log chunks past their grace period, registered pool trim hooks)
+  /// after a shrink or a sustained fully-idle stretch. Off ⇒ reclaimed
+  /// memory is recycled but never returned to the OS mid-run.
+  bool trim_on_idle = true;
 };
 
 }  // namespace tlstm::core

@@ -218,6 +218,9 @@ void runtime::spawn_worker_group(unsigned t) {
   if (group_active_[t]) return;
   thread_state& thr = *threads_[t];
   thr.retired.store(false, std::memory_order_release);
+  // Reissue recycled write-log chunks (DESIGN.md §12) before the workers
+  // exist — nothing touches these logs yet.
+  reissue_write_logs(t);
   // A revived group resumes where the pipeline quiesced: worker widx takes
   // the first serial of its residue class past the committed frontier (the
   // retire precondition guarantees committed == submitted, so the frontier
@@ -259,6 +262,81 @@ void runtime::retire_worker_group(unsigned t) {
     epochs_.unregister_participant(wk.epoch_slot);
   }
   group_active_[t] = false;
+  // Park the retired group's write-log chunks for recycling instead of
+  // leaving them stranded on the idle slots (DESIGN.md §12).
+  harvest_write_logs(t);
+}
+
+void runtime::harvest_write_logs(unsigned t) {
+  // topo_mu_ held. The pipeline is drained and its workers joined, so no
+  // local writer touches these logs; doomed *foreign* readers may still
+  // chase stale chain pointers into them, which is why the batch waits out
+  // a full epoch grace period before any chunk is reissued or freed.
+  thread_state& thr = *threads_[t];
+  retired_wlog_batch batch;
+  batch.epoch = epochs_.current();
+  for (task_slot& sl : thr.owners) {
+    auto chunks = sl.logs.write_log.harvest_chunks();
+    for (auto& c : chunks) batch.chunks.push_back(std::move(c));
+  }
+  if (batch.chunks.empty()) return;
+  std::lock_guard<std::mutex> lk(recycle_mu_);
+  retired_wlogs_.push_back(std::move(batch));
+}
+
+void runtime::reissue_write_logs(unsigned t) {
+  // topo_mu_ held; the group's workers are not spawned yet. Hand each
+  // chunk-less slot one spare chunk so the revived pipeline's first
+  // transactions run allocation-free on recycled storage.
+  thread_state& thr = *threads_[t];
+  std::lock_guard<std::mutex> lk(recycle_mu_);
+  epochs_.try_advance();
+  reap_safe_wlogs_locked();
+  for (task_slot& sl : thr.owners) {
+    if (spare_wlogs_.empty()) break;
+    if (sl.logs.write_log.chunks_live() != 0) continue;
+    sl.logs.write_log.adopt_chunk(std::move(spare_wlogs_.back()));
+    spare_wlogs_.pop_back();
+    ++writelog_chunks_recycled_;
+  }
+}
+
+void runtime::reap_safe_wlogs_locked() {
+  const std::uint64_t safe = epochs_.safe_before();
+  std::size_t kept = 0;
+  for (auto& batch : retired_wlogs_) {
+    if (batch.epoch < safe) {
+      for (auto& c : batch.chunks) spare_wlogs_.push_back(std::move(c));
+    } else {
+      retired_wlogs_[kept++] = std::move(batch);
+    }
+  }
+  retired_wlogs_.resize(kept);
+}
+
+std::size_t runtime::trim_now() {
+  std::lock_guard<std::mutex> lk(recycle_mu_);
+  epochs_.try_advance();
+  reap_safe_wlogs_locked();
+  // Trim to high water, not to zero: one group's worth of spares stays so
+  // the next grow still reseeds from recycled chunks (the whole point of
+  // the free list); only the excess above that mark goes back to the OS.
+  constexpr std::size_t chunk_bytes =
+      util::chunked_vector<stm::write_entry>::chunk_size * sizeof(stm::write_entry);
+  const std::size_t keep = cfg_.spec_depth;
+  std::size_t bytes = 0;
+  if (spare_wlogs_.size() > keep) {
+    bytes = (spare_wlogs_.size() - keep) * chunk_bytes;
+    spare_wlogs_.resize(keep);
+  }
+  for (const auto& hook : trim_hooks_) bytes += hook();
+  pool_bytes_trimmed_ += bytes;
+  return bytes;
+}
+
+void runtime::add_trim_hook(std::function<std::size_t()> hook) {
+  std::lock_guard<std::mutex> lk(recycle_mu_);
+  trim_hooks_.push_back(std::move(hook));
 }
 
 bool runtime::worker_group_active(unsigned t) const {
@@ -314,6 +392,18 @@ util::stat_block runtime::aggregated_stats() const {
   // Gate-table shard telemetry (satellite of DESIGN.md §11): global, added
   // once — not a per-worker field.
   total.gate_shard_parks += stripe_gates_.total_parks();
+  // Bounded-memory counters (DESIGN.md §12): recycling is runtime-global,
+  // journal retention per user-thread.
+  {
+    std::lock_guard<std::mutex> lk(recycle_mu_);
+    total.writelog_chunks_recycled += writelog_chunks_recycled_;
+    total.pool_bytes_trimmed += pool_bytes_trimmed_;
+  }
+  for (const auto& thr : threads_) {
+    std::lock_guard<std::mutex> lk(thr->journal_mu);
+    total.journal_chunks_live += thr->journal.chunks_live();
+    total.journal_chunks_pruned += thr->journal_chunks_pruned;
+  }
   return total;
 }
 

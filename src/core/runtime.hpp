@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,14 +85,26 @@ class user_thread {
   /// spec_depth. Self-tuning generators can consult it to size their
   /// decompositions to what the runtime will actually admit.
   unsigned effective_window() const noexcept;
-  /// Commit journal snapshot (requires config.record_commits; call after
-  /// drain()). The live journal is chunked (appends under rollback_mu never
-  /// regrow-copy); this copies it out so oracle/replay tooling keeps
-  /// consuming a plain vector.
-  std::vector<commit_record> journal() const {
-    std::vector<commit_record> out;
-    out.reserve(thr_.journal.size());
-    thr_.journal.for_each([&](const commit_record& r) { out.push_back(r); });
+  /// Journal snapshot bounded by the retain frontier (DESIGN.md §12).
+  /// `records` holds the retained suffix only — the whole history while
+  /// config.journal_retain is 0 — and `first_serial` names the oldest
+  /// serial it covers (1 when untruncated). Holding journal_mu during the
+  /// copy is the reader half of the prune grace protocol: the commit path
+  /// skips pruning while a snapshot is in flight, so the copied chunks
+  /// stay mapped. Requires config.record_commits; call after drain() (or
+  /// between waited rounds) for a complete prefix.
+  struct journal_view {
+    std::uint64_t first_serial = 1;
+    std::vector<commit_record> records;
+  };
+  journal_view journal_snapshot() const {
+    journal_view out;
+    std::lock_guard<std::mutex> lock(thr_.journal_mu);
+    out.first_serial = thr_.journal_first_serial;
+    out.records.reserve(thr_.journal.size() - thr_.journal.first_index());
+    for (std::size_t i = thr_.journal.first_index(); i < thr_.journal.size(); ++i) {
+      out.records.push_back(thr_.journal[i]);
+    }
     return out;
   }
   std::uint32_t id() const noexcept { return thr_.ptid; }
@@ -165,6 +178,17 @@ class runtime {
   /// Maximum final virtual clock across workers and submitters — the virtual
   /// makespan of the run (DESIGN.md §5).
   vt::vtime makespan() const;
+
+  /// Trim-to-high-water pass (DESIGN.md §12): frees spare write-log chunks
+  /// whose grace period has passed and runs every registered trim hook
+  /// (pool trims). Driven by the topology controller on shrink/idle when
+  /// config.trim_on_idle; callable directly by harnesses. Returns bytes
+  /// released to the OS by this pass.
+  std::size_t trim_now();
+  /// Registers a trim callback (e.g. a tm_pool's object_pool::trim bound to
+  /// this runtime's epoch domain); it must return bytes freed. Hooks run
+  /// under trim_now() and must be safe to call from the controller thread.
+  void add_trim_hook(std::function<std::size_t()> hook);
 
   /// Racy snapshot of per-thread counters, fences and slot phases for
   /// diagnosing stuck runs. Debug aid only — values may be torn.
@@ -261,6 +285,26 @@ class runtime {
   /// may race in from another thread.
   std::vector<bool> group_active_;
   mutable std::mutex topo_mu_;
+  /// Write-log recycling (DESIGN.md §12). Chunks harvested from a retired
+  /// pipeline's write logs wait out a grace period (stamped with the epoch
+  /// at harvest time — doomed foreign readers may still chase stale chain
+  /// pointers into them) in retired_wlogs_, graduate to spare_wlogs_ once
+  /// safe, and are reissued to the slots of the next spawned group instead
+  /// of leaking. trim_now() frees the spare set when idle. All guarded by
+  /// recycle_mu_ (controller thread vs. stats readers vs. harness trims).
+  struct retired_wlog_batch {
+    std::uint64_t epoch;
+    std::vector<std::unique_ptr<stm::write_entry[]>> chunks;
+  };
+  void harvest_write_logs(unsigned t);          // topo_mu_ held
+  void reissue_write_logs(unsigned t);          // topo_mu_ held
+  void reap_safe_wlogs_locked();                // recycle_mu_ held
+  mutable std::mutex recycle_mu_;
+  std::vector<retired_wlog_batch> retired_wlogs_;
+  std::vector<std::unique_ptr<stm::write_entry[]>> spare_wlogs_;
+  std::uint64_t writelog_chunks_recycled_ = 0;  // guarded by recycle_mu_
+  std::uint64_t pool_bytes_trimmed_ = 0;        // guarded by recycle_mu_
+  std::vector<std::function<std::size_t()>> trim_hooks_;  // guarded by recycle_mu_
   /// Session front-end (lazily created by open_session; stopped first).
   std::unique_ptr<session_front> sessions_;
   /// Guards sessions_/stopped_; mutable so const statistics readers can

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/task.hpp"
@@ -150,6 +151,36 @@ struct thread_state {
   /// critical section (long-lived servers would otherwise pay reallocation
   /// spikes under rollback_mu — ROADMAP "journal scalability").
   util::chunked_vector<commit_record, 256> journal;
+
+  /// Grace protocol of the retain frontier (DESIGN.md §12): snapshot readers
+  /// (user_thread::journal_snapshot, journal dumps) hold journal_mu while
+  /// copying the retained suffix; prune_journal only releases chunks while
+  /// holding it, so no reader ever dereferences a freed chunk. Appends stay
+  /// lock-free relative to this mutex — they are serialized by rollback_mu
+  /// and never touch released indices.
+  mutable std::mutex journal_mu;
+  /// Serial of the oldest retained journal record (1 while untruncated).
+  /// Guarded by journal_mu; becomes each dump's `T` truncation header.
+  std::uint64_t journal_first_serial = 1;
+  /// Chunks released by prune_journal over this thread's lifetime (guarded
+  /// by journal_mu; folded into stats as journal_chunks_pruned).
+  std::uint64_t journal_chunks_pruned = 0;
+
+  /// Retires journal chunks strictly below the retain frontier (everything
+  /// except the newest `retain` records, rounded down to a chunk boundary).
+  /// Called on the commit path right after an append (serialized by
+  /// rollback_mu); the cheap size precheck keeps the common case at one
+  /// branch, and try_lock skips the pass entirely while a snapshot reader
+  /// holds the frontier pinned — that is the grace period.
+  void prune_journal(std::uint64_t retain) {
+    constexpr std::uint64_t chunk = decltype(journal)::chunk_size;
+    if (journal.size() - journal.first_index() < retain + chunk) return;
+    if (!journal_mu.try_lock()) return;
+    const std::size_t keep_from = journal.size() - retain;
+    journal_chunks_pruned += journal.release_before(keep_from);
+    journal_first_serial = journal[journal.first_index()].tx_start_serial;
+    journal_mu.unlock();
+  }
 
   task_slot& slot_for(std::uint64_t serial) noexcept { return owners[(serial - 1) % depth]; }
 

@@ -80,6 +80,21 @@ bool topology_controller::tick() {
   const double mean = total / static_cast<double>(width);
   const double mean_now = total_now / static_cast<double>(width);
 
+  // Trim pass (DESIGN.md §12): after a sustained fully-idle stretch no
+  // worker is mid-transaction and nothing is queued, so spare write-log
+  // chunks and registered pools can safely go back to the OS. Two ticks of
+  // full idleness gate it (one tick can be a sampling artifact), and the
+  // counter resets on any activity or after a trim so a long lull pays one
+  // pass, not one per tick.
+  if (cfg.trim_on_idle && idle == width && total_now == 0.0) {
+    if (++idle_ticks_ >= 2) {
+      front_.rt_.trim_now();
+      idle_ticks_ = 0;
+    }
+  } else {
+    idle_ticks_ = 0;
+  }
+
   unsigned target = width;
   // Growth needs the backlog to be *still there*, not just remembered: after
   // a short burst drains, the EWMA keeps reading above the threshold for a
@@ -117,6 +132,9 @@ bool topology_controller::tick() {
   if (resized && target > width) {
     for (unsigned t = width; t < target; ++t) ewma_[t] = mean;
   }
+  // A shrink just harvested the retired pipes' write logs; trim the spares
+  // that cleared their grace period (plus registered pools) right away.
+  if (resized && target < width && cfg.trim_on_idle) front_.rt_.trim_now();
   return resized;
 }
 

@@ -54,6 +54,10 @@ class topology_controller {
   unsigned grow_streak_ = 0;
   unsigned shrink_streak_ = 0;
   unsigned backoff_ = 1;  ///< idle tick-period multiplier, 1..8
+  /// Consecutive fully-idle ticks; at the trim threshold the controller
+  /// drives runtime::trim_now() (DESIGN.md §12) and resets, so a quiescent
+  /// server returns its high-water memory without a dedicated thread.
+  unsigned idle_ticks_ = 0;
 
   std::mutex mu_;
   std::condition_variable cv_;

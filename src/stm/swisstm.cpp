@@ -14,8 +14,30 @@ swiss_runtime::swiss_runtime(swiss_config cfg)
     : cfg_(cfg), table_(cfg.log2_table) {}
 
 std::unique_ptr<swiss_thread> swiss_runtime::make_thread() {
-  return std::make_unique<swiss_thread>(
+  auto th = std::make_unique<swiss_thread>(
       *this, next_thread_id_.fetch_add(1, std::memory_order_relaxed));
+  // Reissue recycled write-log chunks whose grace period has passed
+  // (DESIGN.md §12): the new thread has run nothing yet, so its log is
+  // empty and adoption is race-free. One chunk covers most transactions;
+  // deeper logs grow normally.
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  epochs_.try_advance();
+  const std::uint64_t safe = epochs_.safe_before();
+  std::size_t kept = 0;
+  for (auto& batch : retired_logs_) {
+    if (batch.epoch < safe) {
+      for (auto& c : batch.chunks) spare_chunks_.push_back(std::move(c));
+    } else {
+      retired_logs_[kept++] = std::move(batch);
+    }
+  }
+  retired_logs_.resize(kept);
+  if (!spare_chunks_.empty()) {
+    th->logs_.write_log.adopt_chunk(std::move(spare_chunks_.back()));
+    spare_chunks_.pop_back();
+    ++recycled_chunks_;
+  }
+  return th;
 }
 
 swiss_thread::swiss_thread(swiss_runtime& rt, std::uint32_t id)
@@ -31,8 +53,16 @@ swiss_thread::~swiss_thread() {
 }
 
 void swiss_runtime::retire_write_log(util::chunked_vector<write_entry>&& log) {
+  // Harvesting only moves the chunk owners — the storage itself stays
+  // mapped, so stale chain readers keep dereferencing valid memory until
+  // the grace period expires and the chunks are reissued (overwritten only
+  // by fully-assigned fresh entries).
+  retired_wlog batch;
+  batch.epoch = epochs_.current();
+  batch.chunks = log.harvest_chunks();
+  if (batch.chunks.empty()) return;
   std::lock_guard<std::mutex> lock(retired_mu_);
-  retired_logs_.push_back(std::move(log));
+  retired_logs_.push_back(std::move(batch));
 }
 
 void swiss_thread::begin_new() {

@@ -152,9 +152,18 @@ class swiss_runtime {
 
   /// Takes ownership of a dying thread's write-log chunks. Concurrent
   /// transactions may still chase stale chain pointers into that log
-  /// (type-stability, DESIGN.md §4.4); parking the memory here keeps it
-  /// mapped until the runtime itself dies.
+  /// (type-stability, DESIGN.md §4.4); the chunks are parked here, stamped
+  /// with the current epoch, and reissued to future make_thread() calls
+  /// once a full grace period rules out stale readers (DESIGN.md §12) —
+  /// instead of leaking until the runtime dies.
   void retire_write_log(util::chunked_vector<write_entry>&& log);
+
+  /// Write-log chunks reissued to new threads so far (reclamation telemetry;
+  /// folded into harness stats next to writelog_chunks_recycled).
+  std::uint64_t writelog_chunks_recycled() const {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    return recycled_chunks_;
+  }
 
   lock_table& table() noexcept { return table_; }
   /// The global commit clock. Deliberately *not* virtual-time stamped: the
@@ -177,8 +186,18 @@ class swiss_runtime {
   std::atomic<std::uint64_t> greedy_counter_{1};
   std::atomic<std::uint32_t> next_thread_id_{0};
   util::epoch_domain epochs_;
-  std::mutex retired_mu_;
-  std::vector<util::chunked_vector<write_entry>> retired_logs_;
+  /// Recycling state (DESIGN.md §12): chunks harvested from retired logs
+  /// wait in retired_logs_ until the epoch domain passes their retire
+  /// epoch, graduate to spare_chunks_, and are adopted by new threads'
+  /// write logs. Memory stays mapped throughout — type stability holds.
+  struct retired_wlog {
+    std::uint64_t epoch;
+    std::vector<std::unique_ptr<write_entry[]>> chunks;
+  };
+  mutable std::mutex retired_mu_;
+  std::vector<retired_wlog> retired_logs_;
+  std::vector<std::unique_ptr<write_entry[]>> spare_chunks_;
+  std::uint64_t recycled_chunks_ = 0;
 };
 
 }  // namespace tlstm::stm

@@ -8,6 +8,7 @@
 // logically stale, which validation detects — see DESIGN.md §4.4).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -21,6 +22,8 @@ class chunked_vector {
                 "ChunkSize must be a power of two");
 
  public:
+  static constexpr std::size_t chunk_size = ChunkSize;
+
   chunked_vector() = default;
   chunked_vector(const chunked_vector&) = delete;
   chunked_vector& operator=(const chunked_vector&) = delete;
@@ -31,12 +34,14 @@ class chunked_vector {
   // assignment: overwriting a live log would free the target's chunks —
   // exactly the unmapping this type exists to prevent.
   chunked_vector(chunked_vector&& other) noexcept
-      : chunks_(std::move(other.chunks_)), size_(std::exchange(other.size_, 0)) {}
+      : chunks_(std::move(other.chunks_)),
+        size_(std::exchange(other.size_, 0)),
+        base_chunk_(std::exchange(other.base_chunk_, 0)) {}
   chunked_vector& operator=(chunked_vector&&) = delete;
 
   /// Appends a default-constructed element and returns a stable reference.
   T& emplace_back() {
-    const std::size_t chunk = size_ / ChunkSize;
+    const std::size_t chunk = size_ / ChunkSize - base_chunk_;
     const std::size_t slot = size_ & (ChunkSize - 1);
     if (chunk == chunks_.size()) {
       chunks_.push_back(std::make_unique<T[]>(ChunkSize));
@@ -52,18 +57,63 @@ class chunked_vector {
   void push_back(const T& v) { emplace_back() = v; }
   void push_back(T&& v) { emplace_back() = std::move(v); }
 
-  T& operator[](std::size_t i) noexcept { return chunks_[i / ChunkSize][i & (ChunkSize - 1)]; }
+  T& operator[](std::size_t i) noexcept {
+    return chunks_[i / ChunkSize - base_chunk_][i & (ChunkSize - 1)];
+  }
   const T& operator[](std::size_t i) const noexcept {
-    return chunks_[i / ChunkSize][i & (ChunkSize - 1)];
+    return chunks_[i / ChunkSize - base_chunk_][i & (ChunkSize - 1)];
   }
 
   std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  bool empty() const noexcept { return size_ == first_index(); }
+
+  /// Smallest index still backed by a live chunk. 0 until release_before()
+  /// has retired a prefix; indices below it must never be dereferenced.
+  std::size_t first_index() const noexcept { return base_chunk_ * ChunkSize; }
+
+  /// Frees every whole chunk strictly below element index `keep_from`,
+  /// keeping addresses of all retained elements stable (chunks are dropped,
+  /// never moved). Partial chunks are kept. Returns the number of chunks
+  /// released. Callers own the grace protocol: no reader may still demand an
+  /// index below keep_from (thread_state::prune_journal holds journal_mu
+  /// against snapshot readers).
+  std::size_t release_before(std::size_t keep_from) {
+    const std::size_t target = std::min(keep_from, size_) / ChunkSize;
+    if (target <= base_chunk_) return 0;
+    const std::size_t drop = target - base_chunk_;
+    chunks_.erase(chunks_.begin(),
+                  chunks_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_chunk_ = target;
+    return drop;
+  }
+
+  /// Number of chunks currently allocated (retained suffix only).
+  std::size_t chunks_live() const noexcept { return chunks_.size(); }
 
   /// Logical clear. Chunk memory is retained so that (a) re-use is
   /// allocation-free and (b) stale chain pointers held by concurrent readers
   /// remain dereferenceable (type-stability).
-  void clear() noexcept { size_ = 0; }
+  void clear() noexcept {
+    size_ = 0;
+    base_chunk_ = 0;
+  }
+
+  /// Strips every chunk for reuse elsewhere (write-log recycling): the
+  /// harvested storage is handed to adopt_chunk() on another instance once a
+  /// grace period rules out stale readers. Leaves *this genuinely empty.
+  std::vector<std::unique_ptr<T[]>> harvest_chunks() noexcept {
+    size_ = 0;
+    base_chunk_ = 0;
+    return std::move(chunks_);
+  }
+
+  /// Installs a previously harvested chunk as spare capacity at the tail;
+  /// emplace_back will grow into it before allocating. The chunk's contents
+  /// are stale garbage until overwritten — callers pass only chunks that
+  /// cleared a grace period, so no reader still chases pointers into them.
+  void adopt_chunk(std::unique_ptr<T[]> chunk) {
+    chunks_.push_back(std::move(chunk));
+  }
 
   /// Logical removal of the newest element (used when a lock CAS loses the
   /// race and the speculatively appended entry must be withdrawn).
@@ -89,6 +139,9 @@ class chunked_vector {
  private:
   std::vector<std::unique_ptr<T[]>> chunks_;
   std::size_t size_ = 0;
+  /// Chunks released below the retain frontier (release_before); chunks_[0]
+  /// holds indices [base_chunk_ * ChunkSize, ...).
+  std::size_t base_chunk_ = 0;
 };
 
 }  // namespace tlstm::util

@@ -62,6 +62,21 @@ class epoch_domain {
   /// participant can still observe them.
   std::uint64_t safe_before() const noexcept;
 
+  /// True iff no participant is currently pinned. Stronger than safe_before:
+  /// trimming pool chunks (object_pool::trim) unmaps memory, which breaks
+  /// type stability for *any* in-flight speculative reader, however recent —
+  /// so it is only legal while the domain is fully quiescent.
+  bool quiescent() const noexcept {
+    const std::size_t hw = high_water_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < hw; ++i) {
+      if (used_[i].load(std::memory_order_acquire) &&
+          slots_[i].value.load(std::memory_order_seq_cst) != unpinned) {
+        return false;
+      }
+    }
+    return true;
+  }
+
  private:
   std::atomic<std::uint64_t> global_{1};
   padded<std::atomic<std::uint64_t>> slots_[max_participants];
@@ -170,6 +185,61 @@ class object_pool {
   std::size_t chunks_allocated() const {
     std::lock_guard<std::mutex> lock(mu_);
     return chunks_.size();
+  }
+
+  /// Trim-to-high-water pass: returns fully-free chunks (every slot on the
+  /// free list) to the OS. This deliberately pierces type stability, so it
+  /// is refused unless `dom` (when given) is fully quiescent — no pinned
+  /// reader that might still dereference a recycled slot. The bump chunk
+  /// (partially handed out) is never freed. Returns bytes released.
+  std::size_t trim(const epoch_domain* dom = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chunks_.size() <= 1 || free_list_.empty()) return 0;
+    if (dom != nullptr && !dom->quiescent()) return 0;
+    const std::size_t bytes_per_chunk = chunk_objects_ * slot_size();
+    // Count free slots per chunk; a chunk is reclaimable iff every one of
+    // its slots is free. The bump chunk (chunks_.back()) stays: slots past
+    // bump_ were never handed out, so its free count can't reach capacity,
+    // and keeping it preserves allocate_raw's bump arithmetic.
+    std::vector<std::size_t> free_in(chunks_.size(), 0);
+    auto chunk_of = [&](void* p) -> std::size_t {
+      const char* q = static_cast<const char*>(p);
+      for (std::size_t i = 0; i < chunks_.size(); ++i) {
+        if (q >= chunks_[i] && q < chunks_[i] + bytes_per_chunk) return i;
+      }
+      return chunks_.size();  // unreachable for pool-owned slots
+    };
+    for (void* p : free_list_) {
+      const std::size_t c = chunk_of(p);
+      if (c < chunks_.size()) ++free_in[c];
+    }
+    std::vector<bool> drop(chunks_.size(), false);
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i + 1 < chunks_.size(); ++i) {
+      if (free_in[i] == chunk_objects_) {
+        drop[i] = true;
+        ++dropped;
+      }
+    }
+    if (dropped == 0) return 0;
+    // Purge free-list slots that live in dropped chunks, then the chunks.
+    std::vector<void*> kept;
+    kept.reserve(free_list_.size() - dropped * chunk_objects_);
+    for (void* p : free_list_) {
+      if (!drop[chunk_of(p)]) kept.push_back(p);
+    }
+    free_list_ = std::move(kept);
+    std::vector<char*> survivors;
+    survivors.reserve(chunks_.size() - dropped);
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      if (drop[i]) {
+        ::operator delete[](chunks_[i], std::align_val_t{alignof(T)});
+      } else {
+        survivors.push_back(chunks_[i]);
+      }
+    }
+    chunks_ = std::move(survivors);
+    return dropped * bytes_per_chunk;
   }
 
  private:

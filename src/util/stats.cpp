@@ -57,6 +57,10 @@ void stat_block::accumulate(const stat_block& other) noexcept {
   topo_fence_waits += other.topo_fence_waits;
   topo_reroutes += other.topo_reroutes;
   gate_shard_parks += other.gate_shard_parks;
+  journal_chunks_live += other.journal_chunks_live;
+  journal_chunks_pruned += other.journal_chunks_pruned;
+  writelog_chunks_recycled += other.writelog_chunks_recycled;
+  pool_bytes_trimmed += other.pool_bytes_trimmed;
 }
 
 std::string to_string(const stat_block& s) {
@@ -92,7 +96,11 @@ std::ostream& operator<<(std::ostream& os, const stat_block& s) {
      << " win_stalls=" << s.window_stalls << " drain_stalls=" << s.drain_stalls
      << "} topo{grows=" << s.topo_grows << " shrinks=" << s.topo_shrinks
      << " fence_waits=" << s.topo_fence_waits << " reroutes=" << s.topo_reroutes
-     << " shard_parks=" << s.gate_shard_parks << "}";
+     << " shard_parks=" << s.gate_shard_parks
+     << "} mem{journal_live=" << s.journal_chunks_live
+     << " journal_pruned=" << s.journal_chunks_pruned
+     << " writelog_recycled=" << s.writelog_chunks_recycled
+     << " pool_trimmed=" << s.pool_bytes_trimmed << "}";
   return os;
 }
 

@@ -91,6 +91,12 @@ struct alignas(cache_line_size) stat_block {
   std::uint64_t topo_reroutes = 0;     // pushes bounced off a closed inbox
   std::uint64_t gate_shard_parks = 0;  // futex parks across gate-table shards
 
+  // Bounded-memory server mode (DESIGN.md §12): reclamation observability.
+  std::uint64_t journal_chunks_live = 0;      // journal chunks currently held
+  std::uint64_t journal_chunks_pruned = 0;    // journal chunks retired below the frontier
+  std::uint64_t writelog_chunks_recycled = 0; // write-log chunks reissued after grace
+  std::uint64_t pool_bytes_trimmed = 0;       // bytes returned to the OS by trim passes
+
   void accumulate(const stat_block& other) noexcept;
   std::uint64_t aborts_total() const noexcept {
     return abort_war + abort_waw_past_running + abort_waw_signalled + abort_cm +

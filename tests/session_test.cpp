@@ -242,7 +242,7 @@ TEST(SessionThen, CallbacksLinearizeWithTheCommitJournal) {
   rt.stop();  // joins the driver: callback_order is safely readable now
   ASSERT_EQ(callback_order.size(), n);
   for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(callback_order[i], i);
-  const auto journal = rt.thread(0).journal();
+  const auto journal = rt.thread(0).journal_snapshot().records;
   ASSERT_EQ(journal.size(), n);
   for (std::uint64_t i = 0; i < n; ++i) {
     // Single-task transactions: commit serial i+1 belongs to submission i.

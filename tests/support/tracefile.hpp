@@ -240,6 +240,7 @@ inline bool read_trace(const std::string& path, trace_spec* spec,
 //   tlstm-journal v1
 //   dims <pipelines> <requests>
 //   E <epoch> <width>                     (elastic runs only, DESIGN.md §11)
+//   T <pipe> <first-serial>               (truncated dumps only, DESIGN.md §12)
 //   J <pipe> <tx_start_serial> <tx_commit_serial> <commit_ts>
 //   T <id> <key> <pipe> <commit_serial> <tasks> [<epoch>]
 // The E section (the session's topology history: epoch -> active width) and
@@ -247,6 +248,14 @@ inline bool read_trace(const std::string& path, trace_spec* spec,
 // than one topology entry or a nonzero placement epoch), so static-topology
 // dumps stay byte-identical with the historical format. Without E lines the
 // topology is implicitly {epoch 0 -> pipelines}.
+//
+// Truncated dumps (config.journal_retain != 0, DESIGN.md §12): a two-field
+// `T <pipe> <first-serial>` header line declares the oldest retained serial
+// of that pipeline's journal; serials below it were pruned and the checkers
+// validate the retained suffix instead of diagnosing a serial gap. The line
+// count disambiguates it from placements (2 fields vs 5/6), and it is
+// emitted only for pipelines whose frontier moved past 1 — journal_retain=0
+// dumps stay byte-identical to the historical v1 format.
 // ---------------------------------------------------------------------------
 
 /// Placement of one replayed request: which pipeline it routed to, which
@@ -263,12 +272,18 @@ struct request_placement {
 
 struct journal_dump {
   unsigned pipelines = 0;
-  /// journals[p] = runtime.thread(p).journal() after the run quiesced.
+  /// journals[p] = runtime.thread(p).journal_snapshot().records after the
+  /// run quiesced — the retained suffix when the journal is pruned.
   std::vector<std::vector<core::commit_record>> journals;
   std::vector<request_placement> requests;
   /// Topology history (session::topology_history()): epoch -> active width,
   /// oldest first. Empty means static — implicitly {{0, pipelines}}.
   std::vector<std::pair<std::uint64_t, unsigned>> topology;
+  /// Retain frontiers (DESIGN.md §12): first_serial[p] is the oldest serial
+  /// pipeline p's journal still holds. Empty means untruncated (frontier 1
+  /// everywhere); when non-empty it must have one entry per pipeline, each
+  /// >= 1 (the checkers' bad-truncation diagnostic enforces this).
+  std::vector<std::uint64_t> first_serial;
 };
 
 inline bool write_journal(const std::string& path, const journal_dump& d) {
@@ -285,6 +300,15 @@ inline bool write_journal(const std::string& path, const journal_dump& d) {
     for (const auto& [epoch, width] : d.topology) {
       std::fprintf(f, "E %llu %u\n", static_cast<unsigned long long>(epoch),
                    width);
+    }
+  }
+  // Truncation headers only for moved frontiers, so untruncated dumps keep
+  // the historical bytes (a deliberately-bad frontier of 0 is emitted too —
+  // the adversarial checker tests round-trip it through the file).
+  for (unsigned p = 0; p < d.first_serial.size(); ++p) {
+    if (d.first_serial[p] != 1) {
+      std::fprintf(f, "T %u %llu\n", p,
+                   static_cast<unsigned long long>(d.first_serial[p]));
     }
   }
   for (unsigned p = 0; p < d.journals.size(); ++p) {
@@ -333,6 +357,7 @@ inline bool read_journal(const std::string& path, journal_dump* d,
   d->journals.assign(pipelines, {});
   d->requests.clear();
   d->topology.clear();
+  d->first_serial.clear();
   while (std::fgets(line, sizeof line, f) != nullptr) {
     if (line[0] == '\n' || line[0] == '#') continue;
     if (line[0] == 'J') {
@@ -357,6 +382,19 @@ inline bool read_journal(const std::string& path, journal_dump* d,
       unsigned long long epoch = 0;  // absent 6th field = epoch 0
       const int n = std::sscanf(line, "T %llu %llu %u %llu %u %llu", &id, &key,
                                 &p, &serial, &tasks, &epoch);
+      if (n == 2) {
+        // Truncation header `T <pipe> <first-serial>` (DESIGN.md §12). The
+        // frontier value is NOT validated here — check_journal's
+        // bad-truncation diagnostic owns that, in lockstep with the python
+        // checker.
+        const unsigned long long tp = id;
+        if (tp >= pipelines) {
+          return fail(std::string("bad truncation record: ") + line);
+        }
+        if (d->first_serial.empty()) d->first_serial.assign(pipelines, 1);
+        d->first_serial[tp] = key;
+        continue;
+      }
       if ((n != 5 && n != 6) || p >= pipelines) {
         return fail(std::string("bad placement record: ") + line);
       }
@@ -421,11 +459,31 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
                 " journals=" + std::to_string(d.journals.size()));
   }
 
+  // 0. Retain frontiers (DESIGN.md §12): when present, one per pipeline and
+  //    each >= 1 — serial 0 does not exist, so a zero frontier is a corrupt
+  //    truncation header, not a legal "nothing pruned".
+  if (!d.first_serial.empty()) {
+    if (d.first_serial.size() != d.pipelines) {
+      return fail("bad-truncation: " + std::to_string(d.first_serial.size()) +
+                  " frontiers for " + std::to_string(d.pipelines) + " pipelines");
+    }
+    for (unsigned p = 0; p < d.pipelines; ++p) {
+      if (d.first_serial[p] == 0) {
+        return fail("bad-truncation: pipeline " + std::to_string(p) +
+                    " declares frontier 0");
+      }
+    }
+  }
+  auto frontier = [&](unsigned p) -> std::uint64_t {
+    return d.first_serial.empty() ? 1 : d.first_serial[p];
+  };
+
   // 1. Per-pipeline serial density: the committed [start, commit] ranges
-  //    tile 1..N in order — a dropped record is a gap, a duplicated one an
-  //    exact repeat, any other overlap a corruption.
+  //    tile frontier..N in order — a dropped record is a gap, a duplicated
+  //    one an exact repeat, any other overlap a corruption. Untruncated
+  //    dumps tile from 1.
   for (unsigned p = 0; p < d.pipelines; ++p) {
-    std::uint64_t expect = 1;
+    std::uint64_t expect = frontier(p);
     const core::commit_record* prev = nullptr;
     for (const core::commit_record& r : d.journals[p]) {
       if (r.tx_commit_serial < r.tx_start_serial) {
@@ -522,9 +580,24 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
   }
   std::vector<std::uint64_t> claimed(d.pipelines, 0);
   std::set<const core::commit_record*> read_claimed;
+  // Claims below a pipeline's frontier reference pruned records (DESIGN.md
+  // §12): no journal record backs them, so they are collected here and
+  // verified as a suffix tiling afterwards instead of through by_commit.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> pruned_claims(
+      d.pipelines);
   for (const trace_request& t : trace) {
     const request_placement& r = *by_id[t.id];
     if (t.read_only && r.serial == 0) continue;  // fast-path read: no record
+    if (r.serial < frontier(r.pipe)) {
+      if (r.serial < t.tasks) {
+        return fail("pruned-claim: request " + std::to_string(t.id) +
+                    " claims inverted serial range [" +
+                    std::to_string(r.serial) + " - " + std::to_string(t.tasks) +
+                    " + 1, " + std::to_string(r.serial) + "]");
+      }
+      pruned_claims[r.pipe].emplace_back(r.serial - t.tasks + 1, r.serial);
+      continue;
+    }
     const auto it = by_commit[r.pipe].find(r.serial);
     if (it == by_commit[r.pipe].end() ||
         it->second->tx_start_serial != r.serial - t.tasks + 1) {
@@ -535,6 +608,31 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
     }
     if (t.read_only) read_claimed.insert(it->second);
     claimed[r.pipe]++;
+  }
+  // Pruned claims must tile a suffix [L, frontier - 1] of the pruned range:
+  // in order, non-overlapping, gap-free, ending exactly at the frontier.
+  // (An empty set is legal — a windowed trace can drop pruned requests
+  // entirely.) A claim forged below the frontier lands as an overlap or a
+  // dangling end and is diagnosed here.
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    auto& claims = pruned_claims[p];
+    if (claims.empty()) continue;
+    std::sort(claims.begin(), claims.end());
+    for (std::size_t i = 1; i < claims.size(); ++i) {
+      if (claims[i].first != claims[i - 1].second + 1) {
+        return fail("pruned-claim: pipeline " + std::to_string(p) +
+                    " pruned claims [" + std::to_string(claims[i - 1].first) +
+                    ", " + std::to_string(claims[i - 1].second) + "] and [" +
+                    std::to_string(claims[i].first) + ", " +
+                    std::to_string(claims[i].second) +
+                    "] do not tile the pruned range");
+      }
+    }
+    if (claims.back().second != frontier(p) - 1) {
+      return fail("pruned-claim: pipeline " + std::to_string(p) +
+                  " pruned claims end at " + std::to_string(claims.back().second) +
+                  " but the frontier is " + std::to_string(frontier(p)));
+    }
   }
   for (unsigned p = 0; p < d.pipelines; ++p) {
     if (claimed[p] != d.journals[p].size()) {
@@ -581,15 +679,30 @@ inline check_result check_journal(const std::vector<trace_request>& trace,
     if (it != last_of_key.end()) {
       const request_placement& prev = *by_id[it->second->id];
       const request_placement& cur = *by_id[t.id];
-      const stm::word prev_ts = by_commit[prev.pipe].at(prev.serial)->commit_ts;
-      const stm::word cur_ts = by_commit[cur.pipe].at(cur.serial)->commit_ts;
       const bool same_pipe = cur.pipe == prev.pipe;
-      if ((same_pipe && cur.serial <= prev.serial) || cur_ts <= prev_ts) {
+      // A pruned endpoint has no record, hence no commit_ts — its half of
+      // the timestamp comparison is unavailable (DESIGN.md §12). Same-pipe
+      // serial order survives pruning (serials are the placement's own), so
+      // that check always runs.
+      const bool prev_pruned = prev.serial < frontier(prev.pipe);
+      const bool cur_pruned = cur.serial < frontier(cur.pipe);
+      if (same_pipe && cur.serial <= prev.serial) {
         return fail("fifo-violation: key " + std::to_string(t.key) + " request " +
                     std::to_string(t.id) + " (serial " + std::to_string(cur.serial) +
-                    ", ts " + std::to_string(cur_ts) + ") did not commit after request " +
+                    ") did not commit after request " +
                     std::to_string(it->second->id) + " (serial " +
-                    std::to_string(prev.serial) + ", ts " + std::to_string(prev_ts) + ")");
+                    std::to_string(prev.serial) + ")");
+      }
+      if (!prev_pruned && !cur_pruned) {
+        const stm::word prev_ts = by_commit[prev.pipe].at(prev.serial)->commit_ts;
+        const stm::word cur_ts = by_commit[cur.pipe].at(cur.serial)->commit_ts;
+        if (cur_ts <= prev_ts) {
+          return fail("fifo-violation: key " + std::to_string(t.key) + " request " +
+                      std::to_string(t.id) + " (serial " + std::to_string(cur.serial) +
+                      ", ts " + std::to_string(cur_ts) + ") did not commit after request " +
+                      std::to_string(it->second->id) + " (serial " +
+                      std::to_string(prev.serial) + ", ts " + std::to_string(prev_ts) + ")");
+        }
       }
     }
     last_of_key[t.key] = &t;

@@ -65,7 +65,7 @@ inline word_run run_tlstm(const core::config& cfg, std::uint64_t txs_per_thread,
         th.submit(std::move(tasks));
       }
       th.drain();
-      if (cfg.record_commits) out.journals[t] = th.journal();
+      if (cfg.record_commits) out.journals[t] = th.journal_snapshot().records;
     });
   }
   for (auto& d : drivers) d.join();

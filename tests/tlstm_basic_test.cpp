@@ -100,7 +100,7 @@ TEST(TlstmBasic, TransactionsCommitInProgramOrderPerThread) {
   }
   th.drain();
   EXPECT_EQ(x, 20u);
-  const auto& j = th.journal();
+  const auto j = th.journal_snapshot().records;
   ASSERT_EQ(j.size(), 20u);
   for (std::size_t i = 1; i < j.size(); ++i) {
     EXPECT_LT(j[i - 1].tx_commit_serial, j[i].tx_start_serial);

@@ -147,7 +147,7 @@ TEST(Topology, ResizeStormJournalPassesEpochAwareChecker) {
   rt.stop();
   dump.journals.resize(dump.pipelines);
   for (unsigned p = 0; p < dump.pipelines; ++p) {
-    dump.journals[p] = rt.thread(p).journal();
+    dump.journals[p] = rt.thread(p).journal_snapshot().records;
   }
   for (unsigned i = 0; i < n_reqs; ++i) {
     dump.requests.push_back(support::request_placement{

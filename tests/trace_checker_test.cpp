@@ -230,7 +230,9 @@ TEST(TraceChecker, LiveReplayJournalPasses) {
   journal_dump d;
   d.pipelines = cfg.num_threads;
   d.journals.resize(d.pipelines);
-  for (unsigned p = 0; p < d.pipelines; ++p) d.journals[p] = rt.thread(p).journal();
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    d.journals[p] = rt.thread(p).journal_snapshot().records;
+  }
   for (const trace_request& r : reqs) {
     d.requests.push_back(support::request_placement{
         r.id, r.key,
@@ -629,7 +631,9 @@ TEST(TraceCheckerReads, LiveReplayWithReadsPasses) {
   journal_dump d;
   d.pipelines = cfg.num_threads;
   d.journals.resize(d.pipelines);
-  for (unsigned p = 0; p < d.pipelines; ++p) d.journals[p] = rt.thread(p).journal();
+  for (unsigned p = 0; p < d.pipelines; ++p) {
+    d.journals[p] = rt.thread(p).journal_snapshot().records;
+  }
   for (const trace_request& r : reqs) {
     d.requests.push_back(support::request_placement{
         r.id, r.key,
@@ -646,6 +650,145 @@ TEST(TraceCheckerReads, LiveReplayWithReadsPasses) {
   }
   EXPECT_EQ(rt.aggregated_stats().readpath_hits, zero_serials);
   EXPECT_GT(zero_serials, 0u);
+}
+
+// --- truncated journals (DESIGN.md §12) -------------------------------------
+
+/// Truncates pipeline `p` of a synthesized dump: drops the first `drop`
+/// journal records and declares the retain frontier of the first surviving
+/// one, the way thread_state::prune_journal does. The trace is untouched —
+/// placements below the frontier become pruned claims, which fully tile
+/// [1, frontier-1] because the synthesized journal was dense from serial 1.
+journal_dump truncate_pipe(journal_dump d, unsigned p, std::size_t drop) {
+  d.first_serial.assign(d.pipelines, 1);
+  d.journals[p].erase(d.journals[p].begin(),
+                      d.journals[p].begin() + static_cast<std::ptrdiff_t>(drop));
+  d.first_serial[p] = d.journals[p].front().tx_start_serial;
+  return d;
+}
+
+TEST(TraceCheckerTruncated, TruncatedDumpPassesAndRoundTripsWithTHeader) {
+  const auto reqs = generate_trace(small_spec(71));
+  const journal_dump full = synthesize_journal(reqs, 2);
+  ASSERT_GT(full.journals[0].size(), 8u);
+  const journal_dump d = truncate_pipe(full, 0, 5);
+  ASSERT_GT(d.first_serial[0], 1u);
+  const check_result r = check_journal(reqs, d);
+  EXPECT_TRUE(r.ok) << r.diagnostic;
+
+  // The dump round-trips through the file format with its two-field
+  // truncation header intact and still passes afterwards.
+  const std::string path = tmp_path("truncated.journal");
+  ASSERT_TRUE(support::write_journal(path, d));
+  const std::string bytes = slurp(path);
+  EXPECT_NE(bytes.find("T 0 " + std::to_string(d.first_serial[0]) + "\n"),
+            std::string::npos);
+  journal_dump back;
+  std::string err;
+  ASSERT_TRUE(support::read_journal(path, &back, &err)) << err;
+  ASSERT_EQ(back.first_serial, d.first_serial);
+  const check_result r2 = check_journal(reqs, back);
+  EXPECT_TRUE(r2.ok) << r2.diagnostic;
+}
+
+TEST(TraceCheckerTruncated, UntruncatedDumpsKeepTheLegacyFormat) {
+  // journal_retain = 0 dumps must stay byte-identical to the historical v1
+  // format whether or not the frontier vector is materialized at all-1s.
+  const auto reqs = generate_trace(small_spec(72));
+  journal_dump with_frontiers = synthesize_journal(reqs, 2);
+  with_frontiers.first_serial.assign(2, 1);
+  const journal_dump without = synthesize_journal(reqs, 2);
+  const std::string p1 = tmp_path("trunc_frontier1.journal");
+  const std::string p2 = tmp_path("trunc_nofrontier.journal");
+  ASSERT_TRUE(support::write_journal(p1, with_frontiers));
+  ASSERT_TRUE(support::write_journal(p2, without));
+  EXPECT_EQ(slurp(p1), slurp(p2));
+}
+
+TEST(TraceCheckerTruncated, WindowedTraceMayDropPrunedRequests) {
+  // Soak-style window: the harness forgets requests whose serials fell
+  // below the frontier, oldest first, and renumbers what remains 0..N-1.
+  // The kept pruned claims then tile a SUFFIX [L, frontier-1] of the pruned
+  // range — legal, as is dropping every pruned request outright.
+  const auto reqs = generate_trace(small_spec(73));
+  const journal_dump full = synthesize_journal(reqs, 2);
+  ASSERT_GT(full.journals[0].size(), 8u);
+  const journal_dump d = truncate_pipe(full, 0, 6);
+  const std::uint64_t fr = d.first_serial[0];
+
+  // Pruned requests on pipeline 0, in serial order (= pruned-range order).
+  std::vector<std::uint64_t> pruned_ids;
+  for (const support::request_placement& p : d.requests) {
+    if (p.pipe == 0 && p.serial < fr) pruned_ids.push_back(p.id);
+  }
+  std::sort(pruned_ids.begin(), pruned_ids.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return d.requests[a].serial < d.requests[b].serial;
+            });
+  ASSERT_GT(pruned_ids.size(), 2u);
+
+  // Drop a strict prefix (2 oldest), then everything, from trace AND dump.
+  for (std::size_t n_drop : {std::size_t{2}, pruned_ids.size()}) {
+    std::set<std::uint64_t> dropped(pruned_ids.begin(),
+                                    pruned_ids.begin() + n_drop);
+    std::vector<trace_request> wreqs;
+    journal_dump wd;
+    wd.pipelines = d.pipelines;
+    wd.journals = d.journals;
+    wd.first_serial = d.first_serial;
+    for (const trace_request& t : reqs) {
+      if (dropped.count(t.id) != 0) continue;
+      trace_request wt = t;
+      support::request_placement wp = d.requests[t.id];
+      wt.id = wp.id = wreqs.size();  // renumber 0..N-1
+      wreqs.push_back(wt);
+      wd.requests.push_back(wp);
+    }
+    const check_result r = check_journal(wreqs, wd);
+    EXPECT_TRUE(r.ok) << "n_drop=" << n_drop << ": " << r.diagnostic;
+  }
+}
+
+TEST(TraceCheckerAdversarial, ZeroFrontierIsABadTruncation) {
+  adversarial_fixture f;
+  // A frontier of 0 names a serial that does not exist — corrupt header,
+  // not a legal "nothing pruned" (that is the absence of the T line).
+  f.dump.first_serial.assign(2, 1);
+  f.dump.first_serial[1] = 0;
+  check_result r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("bad-truncation"), std::string::npos) << r.diagnostic;
+
+  // Wrong frontier count (only buildable in memory — the file reader always
+  // materializes one slot per pipeline) is the same class.
+  f.dump.first_serial = {2};
+  r = check_journal(f.reqs, f.dump);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("bad-truncation"), std::string::npos) << r.diagnostic;
+}
+
+TEST(TraceCheckerAdversarial, ClaimForgedBelowFrontierIsAPrunedClaim) {
+  const auto reqs = generate_trace(small_spec(74));
+  const journal_dump full = synthesize_journal(reqs, 2);
+  ASSERT_GT(full.journals[0].size(), 6u);
+  journal_dump d = truncate_pipe(full, 0, 4);
+  const std::uint64_t fr = d.first_serial[0];
+  ASSERT_TRUE(check_journal(reqs, d).ok);
+
+  // Move a retained placement's serial below the frontier: its forged claim
+  // overlaps the (already fully tiled) pruned range.
+  bool mutated = false;
+  for (support::request_placement& p : d.requests) {
+    if (p.pipe == 0 && p.serial >= fr) {
+      p.serial = fr - 1;
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated);
+  const check_result r = check_journal(reqs, d);
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diagnostic.find("pruned-claim"), std::string::npos) << r.diagnostic;
 }
 
 // --- agreement with the standalone python checker --------------------------
@@ -788,6 +931,55 @@ TEST_F(PythonChecker, AgreesWithCppOnReadBearingDumps) {
   ASSERT_TRUE(support::write_journal(bad_path, bad));
   EXPECT_EQ(run_checker(trace_path, bad_path), 1) << out_;
   EXPECT_NE(out_.find("missing-commit"), std::string::npos) << out_;
+}
+
+TEST_F(PythonChecker, AgreesWithCppOnTruncatedDumps) {
+  const trace_spec spec = small_spec(79);
+  const auto reqs = generate_trace(spec);
+  const std::string trace_path = tmp_path("pytrunc.trace");
+  ASSERT_TRUE(support::write_trace(trace_path, spec, reqs));
+
+  // Valid truncated dump (T header, suffix journal): both accept.
+  const journal_dump full = synthesize_journal(reqs, 2);
+  ASSERT_GT(full.journals[0].size(), 8u);
+  const journal_dump good = truncate_pipe(full, 0, 5);
+  ASSERT_TRUE(check_journal(reqs, good).ok);
+  const std::string good_path = tmp_path("pytrunc_good.journal");
+  ASSERT_TRUE(support::write_journal(good_path, good));
+  EXPECT_EQ(run_checker(trace_path, good_path), 0) << out_;
+
+  // Truncation-specific corruptions: both reject with the same prefix.
+  // (write_journal deliberately emits a frontier of 0 — any value != 1 —
+  // so the bad-truncation case round-trips through the file format.)
+  struct mutation {
+    const char* expect;
+    void (*apply)(journal_dump&);
+  } mutations[] = {
+      {"bad-truncation", [](journal_dump& d) { d.first_serial[1] = 0; }},
+      {"pruned-claim",
+       [](journal_dump& d) {
+         const std::uint64_t fr = d.first_serial[0];
+         for (support::request_placement& p : d.requests) {
+           if (p.pipe == 0 && p.serial >= fr) {
+             p.serial = fr - 1;  // forged claim below the frontier
+             return;
+           }
+         }
+       }},
+  };
+  for (const mutation& m : mutations) {
+    journal_dump bad = truncate_pipe(synthesize_journal(reqs, 2), 0, 5);
+    m.apply(bad);
+    const check_result cpp = check_journal(reqs, bad);
+    ASSERT_FALSE(cpp.ok) << m.expect;
+    EXPECT_NE(cpp.diagnostic.find(m.expect), std::string::npos) << cpp.diagnostic;
+
+    const std::string bad_path =
+        tmp_path(std::string("pytrunc_") + m.expect + ".journal");
+    ASSERT_TRUE(support::write_journal(bad_path, bad));
+    EXPECT_EQ(run_checker(trace_path, bad_path), 1) << m.expect << ": " << out_;
+    EXPECT_NE(out_.find(m.expect), std::string::npos) << m.expect << ": " << out_;
+  }
 }
 
 }  // namespace

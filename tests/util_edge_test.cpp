@@ -53,6 +53,54 @@ TEST(ChunkedVectorEdge, ClearRetainsChunkMemory) {
   EXPECT_EQ(*stale, 1037u);
 }
 
+TEST(ChunkedVectorEdge, ReleaseBeforeKeepsRetainedAddressesStable) {
+  chunked_vector<std::uint64_t, 8> v;
+  for (std::size_t i = 0; i < 100; ++i) v.emplace_back() = i;
+  std::vector<std::uint64_t*> addrs;
+  for (std::size_t i = 0; i < 100; ++i) addrs.push_back(&v[i]);
+
+  // Release everything strictly below index 50: whole chunks only, so the
+  // frontier lands on the chunk boundary at 48.
+  EXPECT_EQ(v.release_before(50), 6u);  // chunks [0,8)...[40,48)
+  EXPECT_EQ(v.first_index(), 48u);
+  EXPECT_EQ(v.size(), 100u);
+  for (std::size_t i = 48; i < 100; ++i) {
+    EXPECT_EQ(addrs[i], &v[i]) << "retained element " << i << " moved";
+    EXPECT_EQ(v[i], i);
+  }
+  // Appends continue past the release with the same chunk arithmetic.
+  v.emplace_back() = 100;
+  EXPECT_EQ(v[100], 100u);
+  // Releasing below the current frontier is a no-op.
+  EXPECT_EQ(v.release_before(10), 0u);
+  EXPECT_EQ(v.first_index(), 48u);
+  // A second release advances further.
+  EXPECT_EQ(v.release_before(99), 6u);  // chunks [48,56)...[88,96)
+  EXPECT_EQ(v.first_index(), 96u);
+  EXPECT_EQ(v[99], 99u);
+}
+
+TEST(ChunkedVectorEdge, HarvestAndAdoptRecycleChunkStorage) {
+  chunked_vector<std::uint64_t, 8> donor;
+  for (std::size_t i = 0; i < 24; ++i) donor.emplace_back() = i;
+  std::uint64_t* stale = &donor[0];
+  auto chunks = donor.harvest_chunks();
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_TRUE(donor.empty());
+  EXPECT_EQ(donor.size(), 0u);
+  // Harvesting moves owners, not storage: the stale pointer still reads the
+  // old value (type stability for readers inside their grace period).
+  EXPECT_EQ(*stale, 0u);
+
+  chunked_vector<std::uint64_t, 8> taker;
+  for (auto& c : chunks) taker.adopt_chunk(std::move(c));
+  // Adopted chunks are spare capacity: appends fill them without allocating,
+  // handing back the donor's exact addresses.
+  taker.emplace_back() = 777;
+  EXPECT_EQ(&taker[0], stale);
+  EXPECT_EQ(*stale, 777u);
+}
+
 TEST(ChunkedVectorEdge, PopBackWithdrawsAndRecycles) {
   chunked_vector<std::uint64_t, 4> v;
   v.emplace_back() = 1;
@@ -67,6 +115,59 @@ TEST(ChunkedVectorEdge, PopBackWithdrawsAndRecycles) {
   std::uint64_t sum = 0;
   v.for_each([&](std::uint64_t x) { sum += x; });
   EXPECT_EQ(sum, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// object_pool trim-to-high-water (DESIGN.md §12): unmapping pool chunks
+// pierces type stability, so a trim must be refused while any epoch
+// participant is pinned and succeed only once the domain is quiescent.
+// ---------------------------------------------------------------------------
+
+TEST(EpochEdge, PoolTrimRefusedWhilePinnedThenReclaims) {
+  epoch_domain dom;
+  object_pool<std::uint64_t> pool(/*chunk_objects=*/4);
+  const std::size_t reader = dom.register_participant();
+
+  // Fill two whole chunks plus one bump slot, then free the first two
+  // chunks' objects back (as reclaimer::retire would, after grace).
+  std::vector<std::uint64_t*> objs;
+  for (int i = 0; i < 9; ++i) objs.push_back(pool.construct());
+  ASSERT_EQ(pool.chunks_allocated(), 3u);
+  for (int i = 0; i < 8; ++i) pool.deallocate_raw(objs[i]);
+
+  dom.pin(reader);
+  // A pinned (possibly doomed) reader may still dereference recycled slots;
+  // trim must refuse to unmap anything.
+  EXPECT_EQ(pool.trim(&dom), 0u);
+  EXPECT_EQ(pool.chunks_allocated(), 3u);
+
+  dom.unpin(reader);
+  // Quiescent: the two fully-free chunks go back to the OS; the bump chunk
+  // (holding objs[8]) must survive.
+  EXPECT_EQ(pool.trim(&dom), 2u * 4u * sizeof(std::uint64_t));
+  EXPECT_EQ(pool.chunks_allocated(), 1u);
+  EXPECT_EQ(*objs[8], *objs[8]);  // bump-chunk slot still mapped
+
+  // Nothing left to trim; allocation keeps working after the pass.
+  EXPECT_EQ(pool.trim(&dom), 0u);
+  std::uint64_t* fresh = pool.construct();
+  *fresh = 42;
+  EXPECT_EQ(*fresh, 42u);
+  dom.unregister_participant(reader);
+}
+
+TEST(EpochEdge, PoolTrimKeepsPartiallyFreeChunks) {
+  object_pool<std::uint64_t> pool(/*chunk_objects=*/4);
+  std::vector<std::uint64_t*> objs;
+  for (int i = 0; i < 8; ++i) objs.push_back(pool.construct());
+  ASSERT_EQ(pool.chunks_allocated(), 2u);
+  // Free three of the first chunk's four slots: not fully free, not
+  // trimmable — a live object still points into it.
+  for (int i = 0; i < 3; ++i) pool.deallocate_raw(objs[i]);
+  EXPECT_EQ(pool.trim(), 0u);
+  EXPECT_EQ(pool.chunks_allocated(), 2u);
+  *objs[3] = 7;
+  EXPECT_EQ(*objs[3], 7u);
 }
 
 // ---------------------------------------------------------------------------
