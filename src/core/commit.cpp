@@ -188,7 +188,7 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
       ts_slot.logs.commit_retire.clear();
     }
     if (cfg_.record_commits) {
-      thr.journal.push_back({tx_start, serial, 0});
+      thr.journal_append({tx_start, serial, 0});
       if (cfg_.journal_retain != 0) thr.prune_journal(cfg_.journal_retain);
     }
     thr.completed_task.store(serial, clk);
@@ -291,7 +291,7 @@ void commit_pipeline::tx_commit_whole(task_env& env) {
   thr.committed_writer_wm.store(std::max(wm, max_writer_serial), std::memory_order_relaxed);
   slot.commit_ts_value = ts;
   if (cfg_.record_commits) {
-    thr.journal.push_back({tx_start, serial, ts});
+    thr.journal_append({tx_start, serial, ts});
     if (cfg_.journal_retain != 0) thr.prune_journal(cfg_.journal_retain);
   }
   thr.completed_writer.store(serial, clk);

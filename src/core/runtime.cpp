@@ -302,16 +302,9 @@ void runtime::reissue_write_logs(unsigned t) {
 }
 
 void runtime::reap_safe_wlogs_locked() {
-  const std::uint64_t safe = epochs_.safe_before();
-  std::size_t kept = 0;
-  for (auto& batch : retired_wlogs_) {
-    if (batch.epoch < safe) {
-      for (auto& c : batch.chunks) spare_wlogs_.push_back(std::move(c));
-    } else {
-      retired_wlogs_[kept++] = std::move(batch);
-    }
-  }
-  retired_wlogs_.resize(kept);
+  // Shared helper: self-move-safe compaction (a naive move-onto-itself
+  // would free batches still inside their grace period).
+  util::reap_retired_batches(retired_wlogs_, epochs_.safe_before(), spare_wlogs_);
 }
 
 std::size_t runtime::trim_now() {
@@ -400,9 +393,13 @@ util::stat_block runtime::aggregated_stats() const {
     total.pool_bytes_trimmed += pool_bytes_trimmed_;
   }
   for (const auto& thr : threads_) {
-    std::lock_guard<std::mutex> lk(thr->journal_mu);
-    total.journal_chunks_live += thr->journal.chunks_live();
-    total.journal_chunks_pruned += thr->journal_chunks_pruned;
+    // Atomic mirrors, not journal.chunks_live(): appends run under
+    // rollback_mu, so the chunk vector itself is unreadable mid-run even
+    // under journal_mu (that lock only excludes prune and snapshots).
+    total.journal_chunks_live +=
+        thr->journal_chunks_live.load(std::memory_order_relaxed);
+    total.journal_chunks_pruned +=
+        thr->journal_chunks_pruned.load(std::memory_order_relaxed);
   }
   return total;
 }

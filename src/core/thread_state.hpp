@@ -162,9 +162,20 @@ struct thread_state {
   /// Serial of the oldest retained journal record (1 while untruncated).
   /// Guarded by journal_mu; becomes each dump's `T` truncation header.
   std::uint64_t journal_first_serial = 1;
-  /// Chunks released by prune_journal over this thread's lifetime (guarded
-  /// by journal_mu; folded into stats as journal_chunks_pruned).
-  std::uint64_t journal_chunks_pruned = 0;
+  /// Lifetime counters mirrored as atomics because aggregated_stats reads
+  /// them while pipelines run: journal appends are serialized by rollback_mu
+  /// (not journal_mu), so touching journal.chunks_live() — a std::vector
+  /// size — from the stats thread would race a concurrent chunk push. The
+  /// commit path refreshes the live mirror on every append/prune instead.
+  std::atomic<std::uint64_t> journal_chunks_pruned{0};
+  std::atomic<std::size_t> journal_chunks_live{0};
+
+  /// Journal append for the commit path (rollback_mu held): records the
+  /// commit and refreshes the lock-free chunk mirror for mid-run stats.
+  void journal_append(const commit_record& rec) {
+    journal.push_back(rec);
+    journal_chunks_live.store(journal.chunks_live(), std::memory_order_relaxed);
+  }
 
   /// Retires journal chunks strictly below the retain frontier (everything
   /// except the newest `retain` records, rounded down to a chunk boundary).
@@ -177,7 +188,9 @@ struct thread_state {
     if (journal.size() - journal.first_index() < retain + chunk) return;
     if (!journal_mu.try_lock()) return;
     const std::size_t keep_from = journal.size() - retain;
-    journal_chunks_pruned += journal.release_before(keep_from);
+    journal_chunks_pruned.fetch_add(journal.release_before(keep_from),
+                                    std::memory_order_relaxed);
+    journal_chunks_live.store(journal.chunks_live(), std::memory_order_relaxed);
     journal_first_serial = journal[journal.first_index()].tx_start_serial;
     journal_mu.unlock();
   }

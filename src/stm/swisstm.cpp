@@ -22,16 +22,7 @@ std::unique_ptr<swiss_thread> swiss_runtime::make_thread() {
   // deeper logs grow normally.
   std::lock_guard<std::mutex> lock(retired_mu_);
   epochs_.try_advance();
-  const std::uint64_t safe = epochs_.safe_before();
-  std::size_t kept = 0;
-  for (auto& batch : retired_logs_) {
-    if (batch.epoch < safe) {
-      for (auto& c : batch.chunks) spare_chunks_.push_back(std::move(c));
-    } else {
-      retired_logs_[kept++] = std::move(batch);
-    }
-  }
-  retired_logs_.resize(kept);
+  util::reap_retired_batches(retired_logs_, epochs_.safe_before(), spare_chunks_);
   if (!spare_chunks_.empty()) {
     th->logs_.write_log.adopt_chunk(std::move(spare_chunks_.back()));
     spare_chunks_.pop_back();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/cache.hpp"
+#include "util/spin.hpp"
 
 namespace tlstm::util {
 
@@ -42,10 +43,20 @@ class epoch_domain {
   /// Pins the participant at the current global epoch for the duration of a
   /// task. Reads between pin and unpin are protected.
   void pin(std::size_t idx) noexcept {
-    // Publish the observed epoch before any protected read; seq_cst keeps
-    // the pin visible to advancers without a second fence.
-    slots_[idx].value.store(global_.load(std::memory_order_relaxed),
-                            std::memory_order_seq_cst);
+    for (;;) {
+      // Publish the observed epoch before any protected read; seq_cst keeps
+      // the pin visible to advancers without a second fence.
+      slots_[idx].value.store(global_.load(std::memory_order_relaxed),
+                              std::memory_order_seq_cst);
+      // Dekker handshake with begin_trim(): our pin store and its gate
+      // store are both seq_cst, so either we observe the in-flight trim
+      // here (and back off unpinned until it finishes) or the trimmer
+      // observes our pin in quiescent() and refuses to unmap. Both loads
+      // reading "old" is impossible under the seq_cst total order.
+      if (!trim_gate_.load(std::memory_order_seq_cst)) return;
+      slots_[idx].value.store(unpinned, std::memory_order_release);
+      while (trim_gate_.load(std::memory_order_acquire)) cpu_relax();
+    }
   }
   void unpin(std::size_t idx) noexcept {
     slots_[idx].value.store(unpinned, std::memory_order_release);
@@ -64,8 +75,10 @@ class epoch_domain {
 
   /// True iff no participant is currently pinned. Stronger than safe_before:
   /// trimming pool chunks (object_pool::trim) unmaps memory, which breaks
-  /// type stability for *any* in-flight speculative reader, however recent —
-  /// so it is only legal while the domain is fully quiescent.
+  /// type stability for *any* in-flight speculative reader, however recent.
+  /// A bare sample cannot HOLD that state — a participant may pin right
+  /// after it returns — so unmapping must go through begin_trim()/
+  /// end_trim(), which excludes new pins for the duration.
   bool quiescent() const noexcept {
     const std::size_t hw = high_water_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < hw; ++i) {
@@ -77,13 +90,57 @@ class epoch_domain {
     return true;
   }
 
+  /// Enters the exclusive trim section: raises a gate that makes concurrent
+  /// pin() calls back off, then re-checks full quiescence under that gate.
+  /// Returns false (gate released) if any participant was already pinned —
+  /// the caller must not unmap anything. On true, the domain stays pin-free
+  /// until the matching end_trim(); keep the section short, since pinners
+  /// spin-wait on the gate for its duration.
+  bool begin_trim() noexcept {
+    bool expected = false;
+    if (!trim_gate_.compare_exchange_strong(expected, true, std::memory_order_seq_cst)) {
+      return false;  // another trim is already in flight
+    }
+    if (!quiescent()) {
+      trim_gate_.store(false, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+  void end_trim() noexcept { trim_gate_.store(false, std::memory_order_release); }
+
  private:
   std::atomic<std::uint64_t> global_{1};
   padded<std::atomic<std::uint64_t>> slots_[max_participants];
   std::atomic<bool> used_[max_participants]{};
   std::mutex register_mu_;
   std::atomic<std::size_t> high_water_{0};
+  /// Trim-in-flight gate (begin_trim/end_trim); checked by pin().
+  std::atomic<bool> trim_gate_{false};
 };
+
+/// Moves the chunks of every retired write-log batch whose retire epoch is
+/// strictly below `safe` onto `spares`, compacting the survivors in place.
+/// Shared by the recycling sites (runtime::reap_safe_wlogs_locked,
+/// swiss_runtime::make_thread) chiefly for the self-move guard: when the
+/// leading batch has not graduated yet, kept == i, and an unguarded
+/// `retired[kept++] = std::move(retired[i])` would move a vector onto
+/// itself — which empties it, freeing chunks still inside their grace
+/// period while doomed readers may chase stale chain pointers into them.
+template <typename Batch, typename Spares>
+void reap_retired_batches(std::vector<Batch>& retired, std::uint64_t safe, Spares& spares) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < retired.size(); ++i) {
+    Batch& batch = retired[i];
+    if (batch.epoch < safe) {
+      for (auto& c : batch.chunks) spares.push_back(std::move(c));
+    } else {
+      if (kept != i) retired[kept] = std::move(batch);
+      ++kept;
+    }
+  }
+  retired.resize(kept);
+}
 
 /// Per-thread deferred-free list. `retire()` records (pointer, deleter);
 /// `collect()` runs deleters whose retirement epoch is safely in the past.
@@ -188,14 +245,26 @@ class object_pool {
   }
 
   /// Trim-to-high-water pass: returns fully-free chunks (every slot on the
-  /// free list) to the OS. This deliberately pierces type stability, so it
-  /// is refused unless `dom` (when given) is fully quiescent — no pinned
-  /// reader that might still dereference a recycled slot. The bump chunk
+  /// free list) to the OS. This deliberately pierces type stability, so when
+  /// `dom` is given the pass runs inside dom->begin_trim()/end_trim(): the
+  /// gate both verifies that no reader is pinned and HOLDS that quiescence
+  /// (new pins back off) until the frees below complete — a bare quiescent()
+  /// sample could go stale between the check and the delete. The bump chunk
   /// (partially handed out) is never freed. Returns bytes released.
-  std::size_t trim(const epoch_domain* dom = nullptr) {
+  std::size_t trim(epoch_domain* dom = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     if (chunks_.size() <= 1 || free_list_.empty()) return 0;
-    if (dom != nullptr && !dom->quiescent()) return 0;
+    if (dom == nullptr) return trim_locked();
+    if (!dom->begin_trim()) return 0;
+    const std::size_t bytes = trim_locked();
+    dom->end_trim();
+    return bytes;
+  }
+
+ private:
+  /// The actual pass; mu_ held, and (when epoch-guarded) the caller holds
+  /// the domain's trim gate across the ::operator delete[] calls.
+  std::size_t trim_locked() {
     const std::size_t bytes_per_chunk = chunk_objects_ * slot_size();
     // Count free slots per chunk; a chunk is reclaimable iff every one of
     // its slots is free. The bump chunk (chunks_.back()) stays: slots past

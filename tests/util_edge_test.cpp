@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -154,6 +155,90 @@ TEST(EpochEdge, PoolTrimRefusedWhilePinnedThenReclaims) {
   *fresh = 42;
   EXPECT_EQ(*fresh, 42u);
   dom.unregister_participant(reader);
+}
+
+TEST(EpochEdge, TrimGateExcludesConcurrentPins) {
+  epoch_domain dom;
+  const std::size_t reader = dom.register_participant();
+
+  // A pinned participant makes begin_trim refuse (and release the gate so a
+  // later attempt can succeed).
+  dom.pin(reader);
+  EXPECT_FALSE(dom.begin_trim());
+  dom.unpin(reader);
+
+  // With the gate held, a concurrent pin() must not complete until
+  // end_trim() — that hold is what makes trim safe against the
+  // check-then-free race a bare quiescent() sample leaves open.
+  ASSERT_TRUE(dom.begin_trim());
+  EXPECT_FALSE(dom.begin_trim());  // trim section is exclusive
+  std::atomic<bool> pinned{false};
+  std::thread t([&] {
+    dom.pin(reader);
+    pinned.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pinned.load(std::memory_order_acquire))
+      << "pin() completed while a trim was in flight";
+  dom.end_trim();
+  t.join();
+  EXPECT_TRUE(pinned.load(std::memory_order_acquire));
+  dom.unpin(reader);
+  dom.unregister_participant(reader);
+}
+
+// ---------------------------------------------------------------------------
+// reap_retired_batches: the compaction keeping still-in-grace batches must
+// be self-move-safe. The common steady-state case is head-not-yet-safe
+// (batches are epoch-ordered), where kept == i for every survivor; a naive
+// move-onto-itself empties the vector and frees chunks still inside their
+// grace period.
+// ---------------------------------------------------------------------------
+
+TEST(EpochEdge, ReapRetiredBatchesKeepsInGraceChunksAlive) {
+  struct batch {
+    std::uint64_t epoch;
+    std::vector<std::unique_ptr<std::uint64_t[]>> chunks;
+  };
+  std::vector<batch> retired;
+  std::vector<std::unique_ptr<std::uint64_t[]>> spares;
+
+  auto make_batch = [](std::uint64_t epoch, std::size_t n_chunks) {
+    batch b;
+    b.epoch = epoch;
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      auto c = std::make_unique<std::uint64_t[]>(4);
+      c[0] = epoch;  // sentinel a stale reader would still observe
+      b.chunks.push_back(std::move(c));
+    }
+    return b;
+  };
+
+  // Nothing safe yet: every batch self-compacts in place and must keep its
+  // chunks mapped (the regression emptied them all here).
+  retired.push_back(make_batch(5, 2));
+  retired.push_back(make_batch(6, 1));
+  std::uint64_t* stale = retired[0].chunks[0].get();
+  reap_retired_batches(retired, /*safe=*/5, spares);
+  ASSERT_EQ(retired.size(), 2u);
+  ASSERT_EQ(retired[0].chunks.size(), 2u);
+  ASSERT_EQ(retired[1].chunks.size(), 1u);
+  EXPECT_EQ(retired[0].chunks[0].get(), stale);
+  EXPECT_EQ(stale[0], 5u);  // still dereferenceable, value intact
+  EXPECT_TRUE(spares.empty());
+
+  // Head graduates: its chunks move to spares, the survivor shifts down
+  // with all chunks intact.
+  reap_retired_batches(retired, /*safe=*/6, spares);
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0].epoch, 6u);
+  ASSERT_EQ(retired[0].chunks.size(), 1u);
+  EXPECT_EQ(spares.size(), 2u);
+
+  // Everything graduates.
+  reap_retired_batches(retired, /*safe=*/7, spares);
+  EXPECT_TRUE(retired.empty());
+  EXPECT_EQ(spares.size(), 3u);
 }
 
 TEST(EpochEdge, PoolTrimKeepsPartiallyFreeChunks) {
